@@ -1,0 +1,14 @@
+// Reproduces Fig. 10: E·D·A vs switch width with DOUBLE-width wires at
+// double spacing (lower wire resistance, higher area capacitance).
+// Paper: optimum 10× for L=1,2,4; 16× for L=8.
+
+#include "fig_passtransistor_common.hpp"
+
+int main() {
+  amdrel::bench::run_passtransistor_figure(
+      "Fig. 10: double wire width, double spacing",
+      amdrel::process::WireWidth::kDouble,
+      amdrel::process::WireSpacing::kDouble);
+  std::printf("\npaper: optimum 10x for L=1,2,4; 16x for L=8\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Fig. 8: E·D·A product vs routing pass-transistor width with
+// minimum-width wires at minimum spacing. Paper: optimum ~10–16× minimum
+// for wire lengths 1/2/4; larger (64×) for length 8.
+
+#include "fig_passtransistor_common.hpp"
+
+int main() {
+  amdrel::bench::run_passtransistor_figure(
+      "Fig. 8: minimum wire width, minimum spacing",
+      amdrel::process::WireWidth::kMinimum,
+      amdrel::process::WireSpacing::kMinimum);
+  std::printf("\npaper: optimum 10-16x for L=1,2,4; 64x for L=8\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Fig. 9: E·D·A vs switch width with minimum-width wires at
+// DOUBLE spacing (less coupling capacitance → better E·D·A overall).
+// Paper: optimum 10× for L=1,2,4; 64× for L=8.
+
+#include "fig_passtransistor_common.hpp"
+
+int main() {
+  amdrel::bench::run_passtransistor_figure(
+      "Fig. 9: minimum wire width, double spacing",
+      amdrel::process::WireWidth::kMinimum,
+      amdrel::process::WireSpacing::kDouble);
+  std::printf("\npaper: optimum 10x for L=1,2,4; 64x for L=8; overall "
+              "E*D*A improves vs Fig. 8\n");
+  return 0;
+}

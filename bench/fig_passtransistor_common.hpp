@@ -1,0 +1,71 @@
+#pragma once
+// Shared sweep harness for the paper's Figs 8–10: energy·delay·area
+// product vs routing pass-transistor width, for wire lengths 1/2/4/8, at
+// one wire width/spacing configuration per figure.
+
+#include <cstdio>
+#include <vector>
+
+#include "cells/routing_expt.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace amdrel::bench {
+
+inline void run_passtransistor_figure(const char* title,
+                                      process::WireWidth ww,
+                                      process::WireSpacing ws) {
+  using cells::RoutingExptOptions;
+  using cells::run_routing_experiment;
+
+  std::printf("%s\n", title);
+  std::printf("E*D*A product vs routing pass-transistor width "
+              "(relative to the width=10x value of each length)\n\n");
+
+  const std::vector<double> widths = {1, 2, 4, 6, 8, 10, 16, 32, 64};
+  const std::vector<int> lengths = {1, 2, 4, 8};
+
+  std::vector<std::string> header{"W/Wmin"};
+  for (int len : lengths) header.push_back("L=" + std::to_string(len));
+  Table table(header);
+
+  // Normalize each length's series by its W=10 point so the curve shapes
+  // (and the optimum position) are directly comparable with the figures.
+  std::vector<std::vector<double>> eda(
+      lengths.size(), std::vector<double>(widths.size(), 0.0));
+  std::vector<double> best_w(lengths.size(), 0.0);
+  for (std::size_t li = 0; li < lengths.size(); ++li) {
+    double best = 0;
+    for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+      RoutingExptOptions opt;
+      opt.wire_length = lengths[li];
+      opt.switch_width_x = widths[wi];
+      opt.wire_width = ww;
+      opt.wire_spacing = ws;
+      opt.dt = 5e-12;
+      auto r = run_routing_experiment(opt);
+      eda[li][wi] = r.eda;
+      if (best == 0 || r.eda < best) {
+        best = r.eda;
+        best_w[li] = widths[wi];
+      }
+    }
+  }
+  for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+    std::vector<std::string> row{strprintf("%.0f", widths[wi])};
+    for (std::size_t li = 0; li < lengths.size(); ++li) {
+      double w10 = 0;
+      for (std::size_t k = 0; k < widths.size(); ++k) {
+        if (widths[k] == 10) w10 = eda[li][k];
+      }
+      row.push_back(strprintf("%.3f", eda[li][wi] / w10));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  for (std::size_t li = 0; li < lengths.size(); ++li) {
+    std::printf("optimal width for L=%d: %.0fx\n", lengths[li], best_w[li]);
+  }
+}
+
+}  // namespace amdrel::bench

@@ -1,0 +1,42 @@
+// Reproduces Table 1: energy consumption, worst-case delay and
+// energy-delay product of the five DETFF candidates, simulated at
+// transistor level in the 0.18 µm substitute process.
+//
+// Paper conclusions to match (absolute fJ/ps differ, see EXPERIMENTS.md):
+//   * Llopis 1 has the lowest total energy (and is selected for the BLE);
+//   * Chung 2 has the lowest energy-delay product.
+
+#include <cstdio>
+
+#include "cells/characterize.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace amdrel;
+  using namespace amdrel::cells;
+  std::printf("Table 1: energy, delay and E*D of DET flip-flops "
+              "(level-1 0.18um simulation)\n\n");
+
+  auto rows = characterize_all_detffs();
+  Table table({"Cell", "Total Energy (fJ)", "Delay (ps)",
+               "Energy*Delay (fJ*ps)", "transistors", "functional"});
+  const DetffMetrics* best_e = nullptr;
+  const DetffMetrics* best_edp = nullptr;
+  for (const auto& m : rows) {
+    if (best_e == nullptr || m.energy_j < best_e->energy_j) best_e = &m;
+    if (best_edp == nullptr || m.edp < best_edp->edp) best_edp = &m;
+    table.add_row({detff_name(m.kind), strprintf("%.1f", m.energy_j * 1e15),
+                   strprintf("%.1f", m.delay_s * 1e12),
+                   strprintf("%.0f", m.edp * 1e27),
+                   std::to_string(m.transistors), m.functional ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("lowest energy       : %s (paper: Llopis 1)\n",
+              detff_name(best_e->kind));
+  std::printf("lowest energy-delay : %s (paper: Chung 2)\n",
+              detff_name(best_edp->kind));
+  std::printf("selected for the BLE: Llopis 1 (lowest energy, simplest "
+              "structure / smallest area)\n");
+  return 0;
+}

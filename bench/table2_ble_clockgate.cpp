@@ -1,0 +1,35 @@
+// Reproduces Table 2: energy per clock cycle of one BLE's clock path
+// (driver chain + final stage + DETFF) for a plain clock vs the gated
+// clock (NAND + inverter), with the enable high and low.
+//
+// Paper values: single 40.76 fJ; gated EN=1 43.44 fJ (+6.2%); gated EN=0
+// 9.31 fJ (−77%). The shape to match: small overhead when enabled, large
+// saving when disabled.
+
+#include <cstdio>
+
+#include "cells/characterize.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace amdrel;
+  using namespace amdrel::cells;
+  std::printf("Table 2: BLE-level clock gating energy per cycle\n\n");
+
+  auto e = measure_ble_clock_gating();
+  Table table({"Configuration", "Energy (fJ)", "vs single clock"});
+  table.add_row({"Single clock", strprintf("%.2f", e.single_clock_j * 1e15),
+                 "-"});
+  table.add_row({"Gated clock, CLK_ENABLE=1",
+                 strprintf("%.2f", e.gated_enabled_j * 1e15),
+                 strprintf("%+.1f%%", 100.0 * (e.gated_enabled_j /
+                                               e.single_clock_j - 1.0))});
+  table.add_row({"Gated clock, CLK_ENABLE=0",
+                 strprintf("%.2f", e.gated_disabled_j * 1e15),
+                 strprintf("%+.1f%%", 100.0 * (e.gated_disabled_j /
+                                               e.single_clock_j - 1.0))});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("paper: +6.2%% when enabled, -77%% when disabled\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces the §3.3.2 tri-state buffer exploration (results "omitted for
+// lack of space" in the paper): routing switches as pairs of two-stage
+// tri-state buffers, output-stage width swept up to 16× minimum (beyond
+// which the paper notes energy becomes prohibitive). The paper's final
+// selection — pass transistors on length-1, min-width double-spaced wires
+// — is checked at the end.
+
+#include <cstdio>
+
+#include "cells/routing_expt.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace amdrel;
+  using namespace amdrel::cells;
+  std::printf("S3.3.2: tri-state buffer routing switch sizing "
+              "(min wire width, double spacing)\n\n");
+
+  const double widths[] = {1, 2, 4, 8, 16};
+  const int lengths[] = {1, 4};
+  Table table({"W/Wmin", "L", "delay (ps)", "energy (fJ)", "area (um2)",
+               "E*D*A (norm)"});
+  double base = 0;
+  for (int len : lengths) {
+    for (double w : widths) {
+      RoutingExptOptions opt;
+      opt.style = SwitchStyle::kTriStateBuffer;
+      opt.wire_length = len;
+      opt.switch_width_x = w;
+      opt.wire_spacing = process::WireSpacing::kDouble;
+      opt.dt = 5e-12;
+      auto r = run_routing_experiment(opt);
+      if (base == 0) base = r.eda;
+      table.add_row({strprintf("%.0f", w), std::to_string(len),
+                     strprintf("%.0f", r.delay_s * 1e12),
+                     strprintf("%.0f", r.energy_j * 1e15),
+                     strprintf("%.0f", r.area_um2),
+                     strprintf("%.3f", r.eda / base)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Compare the best tri-state configuration against the selected pass
+  // transistor switch (10x, L=1) on the same wires.
+  RoutingExptOptions pass;
+  pass.wire_length = 1;
+  pass.switch_width_x = 10;
+  pass.wire_spacing = process::WireSpacing::kDouble;
+  pass.dt = 5e-12;
+  auto rp = run_routing_experiment(pass);
+  std::printf("selected pass-transistor switch (10x, L=1, double spacing): "
+              "delay %.0f ps, energy %.0f fJ, area %.0f um2\n",
+              rp.delay_s * 1e12, rp.energy_j * 1e15, rp.area_um2);
+  std::printf("paper conclusion: pass transistors with length-1 wires at "
+              "minimum width / double spacing give the low-energy fabric\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// amdrel_cli — the command-line face of the toolset (the paper's GUI
+// exposes exactly these six stages; each tool also runs standalone here,
+// matching the paper's "modularity" requirement §4.1.iii).
+//
+//   amdrel_cli flow      <design.vhd|design.blif> <top> [outdir]
+//   amdrel_cli synth     <design.vhd> <top>         # VHDL → EDIF on stdout
+//   amdrel_cli e2fmt     <design.edif>              # EDIF → BLIF on stdout
+//   amdrel_cli map       <design.blif> [K]          # BLIF → K-LUT BLIF
+//   amdrel_cli pack      <mapped.blif>              # → T-VPack .net text
+//   amdrel_cli dutys     [K N W]                    # architecture file
+//   amdrel_cli pnr       <mapped.blif>              # place+route report
+//   amdrel_cli power     <mapped.blif>              # PowerModel report
+//   amdrel_cli dagger    <mapped.blif> <out.bit>    # bitstream file
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "flow/flow.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/edif.hpp"
+#include "pack/pack.hpp"
+#include "synth/lutmap.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "vhdl/synth.hpp"
+
+namespace {
+
+using namespace amdrel;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+netlist::Network load_design(const std::string& path, const std::string& top) {
+  if (ends_with(path, ".vhd") || ends_with(path, ".vhdl")) {
+    return vhdl::synthesize_vhdl(read_file(path), top, path);
+  }
+  if (ends_with(path, ".edif")) return netlist::read_edif_file(path);
+  return netlist::read_blif_file(path);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: amdrel_cli "
+               "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger} args...\n"
+               "see the header of examples/amdrel_cli.cpp\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "flow") {
+      if (argc < 4) return usage();
+      flow::FlowOptions options;
+      options.search_min_channel_width = true;
+      if (argc > 4) options.artifact_dir = argv[4];
+      auto net = load_design(argv[2], argv[3]);
+      auto result = flow::run_flow_from_network(net, options);
+      std::printf("%s", result.report().c_str());
+      return 0;
+    }
+    if (cmd == "synth") {
+      if (argc < 4) return usage();
+      auto net = vhdl::synthesize_vhdl(read_file(argv[2]), argv[3], argv[2]);
+      netlist::write_edif(net, std::cout);
+      return 0;
+    }
+    if (cmd == "e2fmt") {
+      if (argc < 3) return usage();
+      auto net = netlist::read_edif_file(argv[2]);
+      netlist::write_blif(net, std::cout);
+      return 0;
+    }
+    if (cmd == "map") {
+      if (argc < 3) return usage();
+      auto net = netlist::read_blif_file(argv[2]);
+      synth::LutMapOptions options;
+      if (argc > 3) options.k = std::stoi(argv[3]);
+      synth::LutMapStats stats;
+      auto mapped = synth::map_to_luts(net, options, &stats);
+      std::fprintf(stderr, "# %d LUTs, depth %d\n", stats.luts, stats.depth);
+      netlist::write_blif(mapped, std::cout);
+      return 0;
+    }
+    if (cmd == "pack") {
+      if (argc < 3) return usage();
+      auto net = netlist::read_blif_file(argv[2]);
+      arch::ArchSpec spec;
+      pack::PackedNetlist packed(net, spec);
+      std::printf("%s", pack::write_net_string(packed).c_str());
+      std::fprintf(stderr, "# %s\n", packed.stats().c_str());
+      return 0;
+    }
+    if (cmd == "dutys") {
+      arch::ArchSpec spec;
+      if (argc > 2) spec.k = std::stoi(argv[2]);
+      if (argc > 3) spec.n = std::stoi(argv[3]);
+      if (argc > 4) spec.channel_width = std::stoi(argv[4]);
+      arch::write_arch(spec, std::cout);
+      return 0;
+    }
+    if (cmd == "pnr" || cmd == "power" || cmd == "dagger") {
+      if (argc < 3) return usage();
+      auto net = netlist::read_blif_file(argv[2]);
+      flow::FlowOptions options;
+      options.search_min_channel_width = true;
+      options.verify_each_stage = false;
+      auto result = flow::run_flow_from_network(net, options);
+      if (cmd == "pnr") {
+        std::printf("%s", result.report().c_str());
+      } else if (cmd == "power") {
+        std::printf("%s\n", result.power.summary().c_str());
+      } else {
+        if (argc < 4) return usage();
+        std::ofstream out(argv[3], std::ios::binary);
+        out.write(
+            reinterpret_cast<const char*>(result.bitstream_bytes.data()),
+            static_cast<std::streamsize>(result.bitstream_bytes.size()));
+        std::printf("wrote %zu bytes (%lld config bits) to %s\n",
+                    result.bitstream_bytes.size(),
+                    result.bitstream.config_bits(), argv[3]);
+      }
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,120 @@
+#include "arch/arch.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel::arch {
+
+GridSize size_grid(const ArchSpec& spec, int n_clusters, int n_ios) {
+  AMDREL_CHECK(n_clusters >= 0 && n_ios >= 0);
+  GridSize g;
+  for (int side = 1;; ++side) {
+    const int clb_capacity = side * side;
+    const int io_capacity = 4 * side * spec.io_per_tile;
+    if (clb_capacity >= n_clusters && io_capacity >= n_ios) {
+      g.nx = g.ny = side;
+      return g;
+    }
+  }
+}
+
+void write_arch(const ArchSpec& spec, std::ostream& out) {
+  out << "# DUTYS architecture file — AMDREL island-style FPGA\n";
+  out << "name " << spec.name << "\n";
+  out << "lut_inputs " << spec.k << "\n";
+  out << "cluster_size " << spec.n << "\n";
+  out << "gated_clock_ble " << (spec.gated_clock_ble ? 1 : 0) << "\n";
+  out << "gated_clock_clb " << (spec.gated_clock_clb ? 1 : 0) << "\n";
+  out << "channel_width " << spec.channel_width << "\n";
+  out << "segment_length " << spec.segment_length << "\n";
+  out << "fs " << spec.fs << "\n";
+  out << strprintf("fc_in %.6g\n", spec.fc_in);
+  out << strprintf("fc_out %.6g\n", spec.fc_out);
+  out << strprintf("switch_width_x %.6g\n", spec.switch_width_x);
+  out << "io_per_tile " << spec.io_per_tile << "\n";
+  out << strprintf("t_lut %.6g\n", spec.t_lut);
+  out << strprintf("t_local_mux %.6g\n", spec.t_local_mux);
+  out << strprintf("t_ff_clk_q %.6g\n", spec.t_ff_clk_q);
+  out << strprintf("t_ff_setup %.6g\n", spec.t_ff_setup);
+  out << strprintf("r_switch %.6g\n", spec.r_switch);
+  out << strprintf("c_switch %.6g\n", spec.c_switch);
+  out << strprintf("r_wire_tile %.6g\n", spec.r_wire_tile);
+  out << strprintf("c_wire_tile %.6g\n", spec.c_wire_tile);
+  out << strprintf("t_io %.6g\n", spec.t_io);
+}
+
+std::string write_arch_string(const ArchSpec& spec) {
+  std::ostringstream out;
+  write_arch(spec, out);
+  return out.str();
+}
+
+void write_arch_file(const ArchSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write arch file: " + path);
+  write_arch(spec, out);
+}
+
+ArchSpec read_arch(std::istream& in, const std::string& filename) {
+  ArchSpec spec;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 2) {
+      throw ParseError(filename, lineno, "expected 'key value'");
+    }
+    const std::string& key = tokens[0];
+    const std::string& val = tokens[1];
+    auto as_int = [&]() { return std::stoi(val); };
+    auto as_double = [&]() { return std::stod(val); };
+    if (key == "name") spec.name = val;
+    else if (key == "lut_inputs") spec.k = as_int();
+    else if (key == "cluster_size") spec.n = as_int();
+    else if (key == "gated_clock_ble") spec.gated_clock_ble = as_int() != 0;
+    else if (key == "gated_clock_clb") spec.gated_clock_clb = as_int() != 0;
+    else if (key == "channel_width") spec.channel_width = as_int();
+    else if (key == "segment_length") spec.segment_length = as_int();
+    else if (key == "fs") spec.fs = as_int();
+    else if (key == "fc_in") spec.fc_in = as_double();
+    else if (key == "fc_out") spec.fc_out = as_double();
+    else if (key == "switch_width_x") spec.switch_width_x = as_double();
+    else if (key == "io_per_tile") spec.io_per_tile = as_int();
+    else if (key == "t_lut") spec.t_lut = as_double();
+    else if (key == "t_local_mux") spec.t_local_mux = as_double();
+    else if (key == "t_ff_clk_q") spec.t_ff_clk_q = as_double();
+    else if (key == "t_ff_setup") spec.t_ff_setup = as_double();
+    else if (key == "r_switch") spec.r_switch = as_double();
+    else if (key == "c_switch") spec.c_switch = as_double();
+    else if (key == "r_wire_tile") spec.r_wire_tile = as_double();
+    else if (key == "c_wire_tile") spec.c_wire_tile = as_double();
+    else if (key == "t_io") spec.t_io = as_double();
+    else throw ParseError(filename, lineno, "unknown key: " + key);
+  }
+  if (spec.k < 2 || spec.k > 8 || spec.n < 1 || spec.channel_width < 2) {
+    throw ParseError(filename, lineno, "architecture out of supported range");
+  }
+  return spec;
+}
+
+ArchSpec read_arch_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_arch(in);
+}
+
+ArchSpec read_arch_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open arch file: " + path);
+  return read_arch(in, path);
+}
+
+}  // namespace amdrel::arch

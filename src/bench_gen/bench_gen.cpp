@@ -1,0 +1,128 @@
+#include "bench_gen/bench_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace amdrel::bench_gen {
+
+using netlist::kNoSignal;
+using netlist::LatchInit;
+using netlist::Network;
+using netlist::SignalId;
+using netlist::TruthTable;
+
+Network generate(const BenchSpec& spec) {
+  AMDREL_CHECK(spec.n_inputs >= 1 && spec.n_outputs >= 1 && spec.n_gates >= 1);
+  Rng rng(spec.seed);
+  Network net(spec.name);
+
+  std::vector<SignalId> pool;  // candidate fanin signals, creation order
+  for (int i = 0; i < spec.n_inputs; ++i) {
+    SignalId s = net.add_signal("pi" + std::to_string(i));
+    net.add_input(s);
+    pool.push_back(s);
+  }
+  SignalId clk = kNoSignal;
+  if (spec.n_latches > 0) {
+    clk = net.add_signal("clk");
+    net.add_input(clk);
+  }
+  std::vector<SignalId> latch_q;
+  for (int i = 0; i < spec.n_latches; ++i) {
+    SignalId q = net.add_signal("ff" + std::to_string(i));
+    latch_q.push_back(q);
+    pool.push_back(q);
+  }
+
+  // Locality-biased fanin pick: prefer recently created signals.
+  auto pick_fanin = [&]() -> SignalId {
+    const std::size_t n = pool.size();
+    if (rng.next_double() < spec.locality) {
+      // Geometric-ish window over the most recent quarter.
+      std::size_t window = std::max<std::size_t>(4, n / 4);
+      std::size_t back = rng.next_below(std::min(window, n));
+      return pool[n - 1 - back];
+    }
+    return pool[static_cast<std::size_t>(rng.next_below(n))];
+  };
+
+  // Random nontrivial 2-input functions.
+  auto random_tt2 = [&]() {
+    for (;;) {
+      std::uint64_t bits = rng.next_below(16);
+      TruthTable t = TruthTable::from_bits(2, bits);
+      if (!t.is_constant() && t.depends_on(0) && t.depends_on(1)) return t;
+    }
+  };
+
+  std::vector<SignalId> gate_outs;
+  for (int i = 0; i < spec.n_gates; ++i) {
+    SignalId a = pick_fanin();
+    SignalId b = pick_fanin();
+    int guard = 0;
+    while (b == a && ++guard < 10) b = pick_fanin();
+    SignalId out = net.add_signal("n" + std::to_string(i));
+    if (a == b) {
+      net.add_gate("g" + std::to_string(i), TruthTable::inverter(), {a}, out);
+    } else {
+      net.add_gate("g" + std::to_string(i), random_tt2(), {a, b}, out);
+    }
+    pool.push_back(out);
+    gate_outs.push_back(out);
+  }
+
+  // Latch D inputs from late gates (keeps sequential depth interesting).
+  for (int i = 0; i < spec.n_latches; ++i) {
+    SignalId d = gate_outs[static_cast<std::size_t>(
+        rng.next_below(gate_outs.size()))];
+    net.add_latch("ff" + std::to_string(i), d, latch_q[static_cast<std::size_t>(i)],
+                  clk, rng.next_bool() ? LatchInit::kOne : LatchInit::kZero);
+  }
+
+  // Outputs from the last gates (plus random earlier picks).
+  for (int i = 0; i < spec.n_outputs; ++i) {
+    SignalId src;
+    if (i < static_cast<int>(gate_outs.size())) {
+      src = gate_outs[gate_outs.size() - 1 - static_cast<std::size_t>(i)];
+    } else {
+      src = gate_outs[static_cast<std::size_t>(rng.next_below(gate_outs.size()))];
+    }
+    SignalId po = net.add_signal("po" + std::to_string(i));
+    net.add_gate("obuf" + std::to_string(i), TruthTable::identity(), {src},
+                 po);
+    net.add_output(po);
+  }
+
+  net.validate();
+  return net;
+}
+
+std::vector<BenchSpec> mcnc_like_suite() {
+  // Sizes loosely follow the LGSynth93 range the paper's tools target.
+  std::vector<BenchSpec> suite;
+  auto add = [&](const char* name, int pi, int po, int gates, int ffs,
+                 std::uint64_t seed) {
+    BenchSpec s;
+    s.name = name;
+    s.n_inputs = pi;
+    s.n_outputs = po;
+    s.n_gates = gates;
+    s.n_latches = ffs;
+    s.seed = seed;
+    suite.push_back(s);
+  };
+  add("syn_ex5p", 8, 28, 350, 0, 11);
+  add("syn_misex", 14, 14, 500, 0, 12);
+  add("syn_alu4", 14, 8, 800, 0, 13);
+  add("syn_apex4", 9, 19, 900, 0, 14);
+  add("syn_tseng", 52, 30, 600, 128, 15);
+  add("syn_dsip", 36, 28, 900, 224, 16);
+  add("syn_s298", 4, 6, 1200, 8, 17);
+  add("syn_bigseq", 16, 16, 1600, 96, 18);
+  return suite;
+}
+
+}  // namespace amdrel::bench_gen

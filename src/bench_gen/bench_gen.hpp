@@ -1,0 +1,34 @@
+#pragma once
+// Deterministic synthetic benchmark-circuit generator.
+//
+// Substitutes for the MCNC LGSynth93 suite the paper's tool flow targets
+// (not redistributable / not available offline — see DESIGN.md §1).
+// Generates random combinational/sequential logic with locality-biased
+// connectivity (Rent's-rule-like structure), in the size range of the
+// classic MCNC benchmarks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace amdrel::bench_gen {
+
+struct BenchSpec {
+  std::string name = "synth";
+  int n_inputs = 8;
+  int n_outputs = 8;
+  int n_gates = 100;        ///< combinational gate count (2-input)
+  int n_latches = 0;        ///< registers (adds a "clk" input when > 0)
+  double locality = 0.8;    ///< 0..1: preference for nearby fanins
+  std::uint64_t seed = 1;
+};
+
+/// Generates a valid, fully driven network per the spec.
+netlist::Network generate(const BenchSpec& spec);
+
+/// A fixed suite of MCNC-like benchmarks (small → large), deterministic.
+std::vector<BenchSpec> mcnc_like_suite();
+
+}  // namespace amdrel::bench_gen

@@ -1,0 +1,570 @@
+#include "bitgen/bitstream.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace amdrel::bitgen {
+
+using netlist::kNoSignal;
+using netlist::LatchInit;
+using netlist::Network;
+using netlist::SignalId;
+using netlist::TruthTable;
+using place::BlockKind;
+using route::RrNode;
+using route::RrType;
+
+long long Bitstream::config_bits() const {
+  long long bits = 0;
+  const int lut_bits_n = 1 << k;
+  const int sel_bits = 6;  // enough for I + N + "unused"
+  for (const auto& clb : clbs) {
+    bits += 1;  // CLB clock enable
+    bits += static_cast<long long>(clb.bles.size()) *
+            (lut_bits_n + 3 + k * sel_bits);
+  }
+  bits += static_cast<long long>(wire_switches.size() +
+                                 opin_switches.size() + ipin_switches.size());
+  return bits;
+}
+
+namespace {
+
+WireRef wire_of(const RrNode& n) {
+  WireRef w;
+  w.horizontal = n.type == RrType::kChanX;
+  w.x = n.x;
+  w.y = n.y;
+  w.track = n.track;
+  return w;
+}
+
+}  // namespace
+
+Bitstream generate_bitstream(const pack::PackedNetlist& packed,
+                             const place::Placement& placement,
+                             const route::RrGraph& graph,
+                             const route::RouteResult& routing,
+                             const arch::ArchSpec& spec) {
+  AMDREL_CHECK_MSG(routing.success, "cannot generate bitstream: unrouted");
+  AMDREL_CHECK_MSG(spec.k <= 5, "bitstream frame format supports K <= 5");
+  const Network& net = packed.network();
+  const auto& nodes = graph.nodes();
+
+  Bitstream bs;
+  bs.design = net.name();
+  bs.nx = placement.nx();
+  bs.ny = placement.ny();
+  bs.channel_width = graph.channel_width();
+  bs.k = spec.k;
+  bs.n = spec.n;
+  bs.cluster_inputs = spec.cluster_inputs();
+
+  // Global clock: the latch clock signal (paper fabric: one clock/CLB).
+  std::set<SignalId> clocks;
+  for (const auto& l : net.latches()) {
+    if (l.clock != kNoSignal) clocks.insert(l.clock);
+  }
+  AMDREL_CHECK_MSG(clocks.size() <= 1,
+                   "bitstream supports a single global clock");
+  if (!clocks.empty()) bs.clock_name = net.signal_name(*clocks.begin());
+
+  // ---- pads ----
+  for (std::size_t bi = 0; bi < placement.blocks().size(); ++bi) {
+    const auto& blk = placement.blocks()[bi];
+    if (blk.kind == BlockKind::kClb) continue;
+    const auto& loc = placement.location(static_cast<int>(bi));
+    PadConfig pad;
+    pad.x = loc.x;
+    pad.y = loc.y;
+    pad.sub = loc.sub;
+    pad.is_input = blk.kind == BlockKind::kInputPad;
+    pad.signal = net.signal_name(blk.signal);
+    bs.pads.push_back(std::move(pad));
+  }
+
+  // ---- routing switches + per-cluster signal→IPIN map ----
+  // ipin_of[cluster block][signal] = input pin index carrying it.
+  std::map<int, std::map<SignalId, int>> ipin_of;
+  std::set<std::tuple<bool, int, int, int, bool, int, int, int>> seen_ww;
+  for (std::size_t ni = 0; ni < routing.routes.size(); ++ni) {
+    const auto& route = routing.routes[ni];
+    const SignalId sig = placement.nets()[ni].signal;
+    for (std::size_t kk = 1; kk < route.nodes.size(); ++kk) {
+      const RrNode& child = nodes[static_cast<std::size_t>(route.nodes[kk])];
+      const RrNode& parent = nodes[static_cast<std::size_t>(
+          route.nodes[static_cast<std::size_t>(route.parent[kk])])];
+      const bool child_wire =
+          child.type == RrType::kChanX || child.type == RrType::kChanY;
+      const bool parent_wire =
+          parent.type == RrType::kChanX || parent.type == RrType::kChanY;
+      if (parent_wire && child_wire) {
+        WireWireSwitch sw{wire_of(parent), wire_of(child)};
+        if (sw.b < sw.a) std::swap(sw.a, sw.b);
+        auto key = std::tuple_cat(sw.a.key(), sw.b.key());
+        if (seen_ww.insert(key).second) bs.wire_switches.push_back(sw);
+      } else if (parent.type == RrType::kOpin && child_wire) {
+        const auto& loc = placement.location(parent.block);
+        bs.opin_switches.push_back(
+            OpinSwitch{loc.x, loc.y, parent.pin, wire_of(child)});
+      } else if (parent_wire && child.type == RrType::kIpin) {
+        const auto& loc = placement.location(child.block);
+        bs.ipin_switches.push_back(
+            IpinSwitch{wire_of(parent), loc.x, loc.y, child.pin});
+        if (placement.blocks()[static_cast<std::size_t>(child.block)].kind ==
+            BlockKind::kClb) {
+          ipin_of[child.block][sig] = child.pin;
+        }
+      }
+      // IPIN→SINK edges carry no configuration.
+    }
+  }
+
+  // ---- CLB frames ----
+  for (std::size_t ci = 0; ci < packed.clusters().size(); ++ci) {
+    const auto& cluster = packed.clusters()[ci];
+    const int block = placement.block_of_cluster(static_cast<int>(ci));
+    const auto& loc = placement.location(block);
+    ClbConfig clb;
+    clb.x = loc.x;
+    clb.y = loc.y;
+    clb.bles.resize(static_cast<std::size_t>(spec.n));
+
+    // BLE slot of each intra-cluster signal (for feedback selects).
+    std::map<SignalId, int> slot_of;
+    for (std::size_t s = 0; s < cluster.bles.size(); ++s) {
+      slot_of[packed.bles()[static_cast<std::size_t>(cluster.bles[s])].output] =
+          static_cast<int>(s);
+    }
+
+    for (std::size_t s = 0; s < cluster.bles.size(); ++s) {
+      const auto& ble = packed.bles()[static_cast<std::size_t>(cluster.bles[s])];
+      BleConfig& cfg = clb.bles[s];
+      cfg.used = true;
+      cfg.input_sel.assign(static_cast<std::size_t>(spec.k), -1);
+
+      // LUT function: the mapped LUT, or a route-through for FF-only BLEs.
+      TruthTable tt = TruthTable::identity();
+      std::vector<SignalId> lut_inputs = ble.inputs;
+      if (ble.lut_gate >= 0) {
+        tt = net.gates()[static_cast<std::size_t>(ble.lut_gate)].table;
+      }
+      AMDREL_CHECK(static_cast<int>(lut_inputs.size()) <= spec.k);
+      // Expand to K inputs (don't-care padding).
+      while (tt.n_inputs() < spec.k) tt = tt.extend(tt.n_inputs() + 1);
+      cfg.lut_bits = 0;
+      for (std::uint64_t row = 0; row < tt.n_rows(); ++row) {
+        if (tt.get(row)) cfg.lut_bits |= 1u << row;
+      }
+      for (std::size_t i = 0; i < lut_inputs.size(); ++i) {
+        const SignalId in = lut_inputs[i];
+        auto fb = slot_of.find(in);
+        if (fb != slot_of.end()) {
+          cfg.input_sel[i] = spec.cluster_inputs() + fb->second;
+        } else {
+          auto& pin_map = ipin_of[block];
+          auto it = pin_map.find(in);
+          AMDREL_CHECK_MSG(it != pin_map.end(),
+                           "cluster input signal was not routed to a pin: " +
+                               net.signal_name(in));
+          cfg.input_sel[i] = it->second;
+        }
+      }
+      if (ble.latch >= 0) {
+        const auto& l = net.latches()[static_cast<std::size_t>(ble.latch)];
+        cfg.use_ff = true;
+        cfg.ff_init = l.init == LatchInit::kOne;
+        cfg.clock_enable = true;
+        clb.clb_clock_enable = true;
+      }
+    }
+    bs.clbs.push_back(std::move(clb));
+  }
+  return bs;
+}
+
+// --------------------------------------------------------- serialization --
+
+namespace {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(&bytes) {}
+  std::uint8_t u8() {
+    AMDREL_CHECK_MSG(pos_ < bytes_->size(), "bitstream truncated");
+    return (*bytes_)[pos_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::string str() {
+    std::uint32_t n = u32();
+    AMDREL_CHECK_MSG(pos_ + n <= bytes_->size(), "bitstream truncated");
+    std::string s(reinterpret_cast<const char*>(bytes_->data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint32_t kMagic = 0x4c444d41;  // "AMDL"
+
+void put_wire(ByteWriter& w, const WireRef& wire) {
+  w.u8(wire.horizontal ? 1 : 0);
+  w.i32(wire.x);
+  w.i32(wire.y);
+  w.i32(wire.track);
+}
+
+WireRef get_wire(ByteReader& r) {
+  WireRef w;
+  w.horizontal = r.u8() != 0;
+  w.x = r.i32();
+  w.y = r.i32();
+  w.track = r.i32();
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Bitstream& bs) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.str(bs.design);
+  w.i32(bs.nx);
+  w.i32(bs.ny);
+  w.i32(bs.channel_width);
+  w.i32(bs.k);
+  w.i32(bs.n);
+  w.i32(bs.cluster_inputs);
+  w.str(bs.clock_name);
+
+  w.u32(static_cast<std::uint32_t>(bs.pads.size()));
+  for (const auto& p : bs.pads) {
+    w.i32(p.x);
+    w.i32(p.y);
+    w.i32(p.sub);
+    w.u8(p.is_input ? 1 : 0);
+    w.str(p.signal);
+  }
+  w.u32(static_cast<std::uint32_t>(bs.clbs.size()));
+  for (const auto& clb : bs.clbs) {
+    w.i32(clb.x);
+    w.i32(clb.y);
+    w.u8(clb.clb_clock_enable ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(clb.bles.size()));
+    for (const auto& b : clb.bles) {
+      w.u8(b.used ? 1 : 0);
+      w.u32(b.lut_bits);
+      w.u8(b.use_ff ? 1 : 0);
+      w.u8(b.ff_init ? 1 : 0);
+      w.u8(b.clock_enable ? 1 : 0);
+      w.u32(static_cast<std::uint32_t>(b.input_sel.size()));
+      for (int sel : b.input_sel) w.i32(sel);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(bs.wire_switches.size()));
+  for (const auto& s : bs.wire_switches) {
+    put_wire(w, s.a);
+    put_wire(w, s.b);
+  }
+  w.u32(static_cast<std::uint32_t>(bs.opin_switches.size()));
+  for (const auto& s : bs.opin_switches) {
+    w.i32(s.x);
+    w.i32(s.y);
+    w.i32(s.pin);
+    put_wire(w, s.wire);
+  }
+  w.u32(static_cast<std::uint32_t>(bs.ipin_switches.size()));
+  for (const auto& s : bs.ipin_switches) {
+    put_wire(w, s.wire);
+    w.i32(s.x);
+    w.i32(s.y);
+    w.i32(s.pin);
+  }
+  return w.take();
+}
+
+Bitstream deserialize(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  AMDREL_CHECK_MSG(r.u32() == kMagic, "not an AMDREL bitstream");
+  Bitstream bs;
+  bs.design = r.str();
+  bs.nx = r.i32();
+  bs.ny = r.i32();
+  bs.channel_width = r.i32();
+  bs.k = r.i32();
+  bs.n = r.i32();
+  bs.cluster_inputs = r.i32();
+  bs.clock_name = r.str();
+
+  const std::uint32_t n_pads = r.u32();
+  for (std::uint32_t i = 0; i < n_pads; ++i) {
+    PadConfig p;
+    p.x = r.i32();
+    p.y = r.i32();
+    p.sub = r.i32();
+    p.is_input = r.u8() != 0;
+    p.signal = r.str();
+    bs.pads.push_back(std::move(p));
+  }
+  const std::uint32_t n_clbs = r.u32();
+  for (std::uint32_t i = 0; i < n_clbs; ++i) {
+    ClbConfig clb;
+    clb.x = r.i32();
+    clb.y = r.i32();
+    clb.clb_clock_enable = r.u8() != 0;
+    const std::uint32_t n_bles = r.u32();
+    for (std::uint32_t j = 0; j < n_bles; ++j) {
+      BleConfig b;
+      b.used = r.u8() != 0;
+      b.lut_bits = r.u32();
+      b.use_ff = r.u8() != 0;
+      b.ff_init = r.u8() != 0;
+      b.clock_enable = r.u8() != 0;
+      const std::uint32_t n_sel = r.u32();
+      for (std::uint32_t s = 0; s < n_sel; ++s) b.input_sel.push_back(r.i32());
+      clb.bles.push_back(std::move(b));
+    }
+    bs.clbs.push_back(std::move(clb));
+  }
+  const std::uint32_t n_ww = r.u32();
+  for (std::uint32_t i = 0; i < n_ww; ++i) {
+    WireWireSwitch s;
+    s.a = get_wire(r);
+    s.b = get_wire(r);
+    bs.wire_switches.push_back(s);
+  }
+  const std::uint32_t n_op = r.u32();
+  for (std::uint32_t i = 0; i < n_op; ++i) {
+    OpinSwitch s;
+    s.x = r.i32();
+    s.y = r.i32();
+    s.pin = r.i32();
+    s.wire = get_wire(r);
+    bs.opin_switches.push_back(s);
+  }
+  const std::uint32_t n_ip = r.u32();
+  for (std::uint32_t i = 0; i < n_ip; ++i) {
+    IpinSwitch s;
+    s.wire = get_wire(r);
+    s.x = r.i32();
+    s.y = r.i32();
+    s.pin = r.i32();
+    bs.ipin_switches.push_back(s);
+  }
+  return bs;
+}
+
+// ------------------------------------------------------- fabric decoding --
+
+Network decode_to_network(const Bitstream& bs) {
+  Network net(bs.design + "_decoded");
+
+  // Union-find over wire segments to recover net connectivity.
+  std::map<WireRef, int> wire_ids;
+  auto wire_id = [&](const WireRef& w) {
+    auto it = wire_ids.find(w);
+    if (it != wire_ids.end()) return it->second;
+    int id = static_cast<int>(wire_ids.size());
+    wire_ids.emplace(w, id);
+    return id;
+  };
+  std::vector<int> parent;
+  std::function<int(int)> find = [&](int a) {
+    while (parent[static_cast<std::size_t>(a)] != a) {
+      parent[static_cast<std::size_t>(a)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(a)])];
+      a = parent[static_cast<std::size_t>(a)];
+    }
+    return a;
+  };
+  auto ensure = [&](int id) {
+    while (static_cast<int>(parent.size()) <= id) {
+      parent.push_back(static_cast<int>(parent.size()));
+    }
+  };
+  auto unite = [&](int a, int b) {
+    ensure(std::max(a, b));
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<std::size_t>(a)] = b;
+  };
+  for (const auto& s : bs.wire_switches) {
+    int a = wire_id(s.a), b = wire_id(s.b);
+    ensure(std::max(a, b));
+    unite(a, b);
+  }
+  // Make sure isolated wires referenced only by pin switches exist.
+  for (const auto& s : bs.opin_switches) ensure(wire_id(s.wire));
+  for (const auto& s : bs.ipin_switches) ensure(wire_id(s.wire));
+
+  // ---- create PIs and clock ----
+  std::map<std::string, SignalId> pi_signal;
+  for (const auto& pad : bs.pads) {
+    if (!pad.is_input) continue;
+    SignalId s = net.add_signal(pad.signal);
+    net.add_input(s);
+    pi_signal[pad.signal] = s;
+  }
+  SignalId clock = kNoSignal;
+  if (!bs.clock_name.empty()) {
+    auto it = pi_signal.find(bs.clock_name);
+    if (it != pi_signal.end()) {
+      clock = it->second;
+    } else {
+      clock = net.add_signal(bs.clock_name);
+      net.add_input(clock);
+    }
+  }
+
+  // ---- BLE output signals per tile ----
+  std::map<std::pair<int, int>, const ClbConfig*> clb_at;
+  for (const auto& clb : bs.clbs) clb_at[{clb.x, clb.y}] = &clb;
+  std::map<std::tuple<int, int, int>, SignalId> ble_out;  // (x, y, slot)
+  for (const auto& clb : bs.clbs) {
+    for (std::size_t s = 0; s < clb.bles.size(); ++s) {
+      if (!clb.bles[s].used) continue;
+      ble_out[{clb.x, clb.y, static_cast<int>(s)}] = net.add_signal(
+          "clb" + std::to_string(clb.x) + "_" + std::to_string(clb.y) + "_b" +
+          std::to_string(s));
+    }
+  }
+
+  // ---- driver signal per wire component ----
+  std::map<int, SignalId> comp_driver;
+  for (const auto& s : bs.opin_switches) {
+    SignalId driver = kNoSignal;
+    const bool is_core = s.x >= 1 && s.x <= bs.nx && s.y >= 1 && s.y <= bs.ny;
+    if (is_core) {
+      auto it = ble_out.find({s.x, s.y, s.pin});
+      AMDREL_CHECK_MSG(it != ble_out.end(),
+                       "bitstream routes from an unused BLE output");
+      driver = it->second;
+    } else {
+      // Input pad at (x, y, sub=pin).
+      driver = kNoSignal;
+      for (const auto& pad : bs.pads) {
+        if (pad.is_input && pad.x == s.x && pad.y == s.y && pad.sub == s.pin) {
+          driver = pi_signal.at(pad.signal);
+          break;
+        }
+      }
+      AMDREL_CHECK_MSG(driver != kNoSignal,
+                       "bitstream routes from an unconfigured pad");
+    }
+    const int comp = find(wire_id(s.wire));
+    auto [it, inserted] = comp_driver.emplace(comp, driver);
+    AMDREL_CHECK_MSG(inserted || it->second == driver,
+                     "two drivers on one routing component");
+  }
+
+  // ---- signal arriving at each (tile, input pin) ----
+  std::map<std::tuple<int, int, int>, SignalId> at_ipin;
+  for (const auto& s : bs.ipin_switches) {
+    const int comp = find(wire_id(s.wire));
+    auto it = comp_driver.find(comp);
+    AMDREL_CHECK_MSG(it != comp_driver.end(),
+                     "routing component has no driver");
+    at_ipin[{s.x, s.y, s.pin}] = it->second;
+  }
+
+  // ---- constant-0 for unused LUT inputs ----
+  SignalId const0 = kNoSignal;
+  auto get_const0 = [&]() {
+    if (const0 == kNoSignal) {
+      const0 = net.add_signal("fabric_const0");
+      net.add_gate("fabric_const0_drv", TruthTable::constant(false), {},
+                   const0);
+    }
+    return const0;
+  };
+
+  // ---- instantiate BLEs ----
+  for (const auto& clb : bs.clbs) {
+    for (std::size_t slot = 0; slot < clb.bles.size(); ++slot) {
+      const BleConfig& b = clb.bles[slot];
+      if (!b.used) continue;
+      SignalId out = ble_out.at({clb.x, clb.y, static_cast<int>(slot)});
+
+      std::vector<SignalId> ins;
+      TruthTable tt(bs.k);
+      for (std::uint64_t row = 0; row < tt.n_rows(); ++row) {
+        tt.set(row, (b.lut_bits >> row) & 1);
+      }
+      for (int i = 0; i < bs.k; ++i) {
+        const int sel = b.input_sel[static_cast<std::size_t>(i)];
+        if (sel < 0) {
+          ins.push_back(get_const0());
+        } else if (sel < bs.cluster_inputs) {
+          auto it = at_ipin.find({clb.x, clb.y, sel});
+          AMDREL_CHECK_MSG(it != at_ipin.end(),
+                           "LUT input selects an unrouted cluster pin");
+          ins.push_back(it->second);
+        } else {
+          const int fb = sel - bs.cluster_inputs;
+          auto it = ble_out.find({clb.x, clb.y, fb});
+          AMDREL_CHECK_MSG(it != ble_out.end(),
+                           "LUT input selects an unused BLE feedback");
+          ins.push_back(it->second);
+        }
+      }
+
+      const std::string base = net.signal_name(out);
+      if (b.use_ff) {
+        SignalId d = net.add_signal(base + "_d");
+        net.add_gate(base + "_lut", tt, std::move(ins), d);
+        net.add_latch(base + "_ff", d, out, clock,
+                      b.ff_init ? LatchInit::kOne : LatchInit::kZero);
+      } else {
+        net.add_gate(base + "_lut", tt, std::move(ins), out);
+      }
+    }
+  }
+
+  // ---- primary outputs from output pads ----
+  for (const auto& pad : bs.pads) {
+    if (pad.is_input) continue;
+    auto it = at_ipin.find({pad.x, pad.y, pad.sub});
+    AMDREL_CHECK_MSG(it != at_ipin.end(),
+                     "output pad not reached by routing: " + pad.signal);
+    SignalId po = net.add_signal(pad.signal);
+    net.add_gate(pad.signal + "_obuf", TruthTable::identity(), {it->second},
+                 po);
+    net.add_output(po);
+  }
+
+  net.validate();
+  return net;
+}
+
+}  // namespace amdrel::bitgen

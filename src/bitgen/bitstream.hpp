@@ -1,0 +1,101 @@
+#pragma once
+// DAGGER — FPGA configuration bitstream generation and verification.
+//
+// The bitstream captures everything the fabric needs: per-CLB frames (LUT
+// contents, FF usage/init, BLE clock enables, local crossbar selects), IO
+// pad assignments, and the enabled routing switches identified by their
+// structural coordinates (track/tile), so a decoder needs only the
+// architecture — not the CAD database — to reconstruct the configuration.
+//
+// `decode_to_network` rebuilds a gate-level netlist from a bitstream; the
+// flow uses it for bit-exact sequential equivalence against the mapped
+// netlist (a ground-truth check on packing, placement, routing and
+// bitstream generation together).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "route/pathfinder.hpp"
+
+namespace amdrel::bitgen {
+
+/// A wire segment in structural coordinates.
+struct WireRef {
+  bool horizontal = true;  ///< chanx vs chany
+  int x = 0, y = 0, track = 0;
+  auto key() const { return std::tuple(horizontal, x, y, track); }
+  bool operator<(const WireRef& o) const { return key() < o.key(); }
+  bool operator==(const WireRef& o) const { return key() == o.key(); }
+};
+
+/// Routing switch kinds (what a configuration bit turns on).
+struct WireWireSwitch {  // switch-box pass transistor
+  WireRef a, b;
+};
+struct OpinSwitch {  // output pin / input pad onto a track
+  int x = 0, y = 0, pin = 0;
+  WireRef wire;
+};
+struct IpinSwitch {  // track into an input pin / output pad
+  WireRef wire;
+  int x = 0, y = 0, pin = 0;
+};
+
+struct BleConfig {
+  bool used = false;
+  std::uint32_t lut_bits = 0;    ///< 2^K truth-table bits
+  bool use_ff = false;
+  bool ff_init = false;          ///< state after global clear
+  bool clock_enable = false;     ///< BLE-level gated clock
+  std::vector<int> input_sel;    ///< K entries: 0..I-1 = cluster input pin,
+                                 ///< I..I+N-1 = BLE feedback, -1 = unused
+};
+
+struct ClbConfig {
+  int x = 0, y = 0;
+  std::vector<BleConfig> bles;   ///< N entries
+  bool clb_clock_enable = false;
+};
+
+struct PadConfig {
+  int x = 0, y = 0, sub = 0;
+  bool is_input = false;
+  std::string signal;            ///< user signal name (pad constraints)
+};
+
+struct Bitstream {
+  std::string design;
+  int nx = 0, ny = 0;
+  int channel_width = 0;
+  int k = 4, n = 5, cluster_inputs = 12;
+  std::string clock_name;        ///< global clock net ("" if none)
+
+  std::vector<PadConfig> pads;
+  std::vector<ClbConfig> clbs;
+  std::vector<WireWireSwitch> wire_switches;
+  std::vector<OpinSwitch> opin_switches;
+  std::vector<IpinSwitch> ipin_switches;
+
+  /// Total configuration bits (frame accounting for reports).
+  long long config_bits() const;
+};
+
+/// Generates the bitstream from a routed design.
+Bitstream generate_bitstream(const pack::PackedNetlist& packed,
+                             const place::Placement& placement,
+                             const route::RrGraph& graph,
+                             const route::RouteResult& routing,
+                             const arch::ArchSpec& spec);
+
+/// Binary serialization (the actual .bit artifact).
+std::vector<std::uint8_t> serialize(const Bitstream& bitstream);
+Bitstream deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// Reconstructs a gate-level netlist from the bitstream alone (fabric
+/// interpretation). PI/PO names come from the pad table + clock name.
+netlist::Network decode_to_network(const Bitstream& bitstream);
+
+}  // namespace amdrel::bitgen

@@ -1,0 +1,68 @@
+#pragma once
+// Measurement harnesses for the paper's circuit experiments.
+//
+// Each function builds a self-contained testbench, runs the transient
+// simulator and extracts the quantities the paper reports.
+
+#include <vector>
+
+#include "cells/detff.hpp"
+#include "process/tech018.hpp"
+
+namespace amdrel::cells {
+
+/// Table-1 row: total energy over the Fig-4 input sequence, worst-case
+/// clock-edge→Q delay over all edge/data combinations, and their product.
+struct DetffMetrics {
+  DetffKind kind;
+  double energy_j;       ///< total supply energy over the stimulus [J]
+  double delay_s;        ///< worst-case CLK→Q [s]
+  double edp;            ///< energy·delay [J·s]
+  int transistors;       ///< device count
+  double area_um2;       ///< layout-area estimate
+  bool functional;       ///< Q tracked D at every clock edge
+};
+
+struct DetffBenchOptions {
+  double clock_period = 2e-9;  ///< [s]
+  int n_cycles = 4;            ///< clock cycles in the stimulus
+  double load_fF = 20.0;       ///< capacitive load on Q (BLE mux + feedback)
+  double dt = 2e-12;           ///< simulator step
+};
+
+DetffMetrics characterize_detff(
+    DetffKind kind, const DetffBenchOptions& options = {},
+    const process::Tech018& tech = process::default_tech());
+
+/// Runs all five variants (Table 1).
+std::vector<DetffMetrics> characterize_all_detffs(
+    const DetffBenchOptions& options = {},
+    const process::Tech018& tech = process::default_tech());
+
+/// Table-2 row: average supply energy per clock cycle of one BLE's clock
+/// path + DETFF, for the plain inverter chain (Fig 5a) or the NAND gated
+/// clock (Fig 5b) with the given enable level.
+struct BleClockEnergy {
+  double single_clock_j;     ///< Fig 5a, per cycle
+  double gated_enabled_j;    ///< Fig 5b, EN=1, per cycle
+  double gated_disabled_j;   ///< Fig 5b, EN=0, per cycle
+};
+
+BleClockEnergy measure_ble_clock_gating(
+    const DetffBenchOptions& options = {},
+    const process::Tech018& tech = process::default_tech());
+
+/// Table-3 rows: energy per clock cycle of the CLB local clock network
+/// (root driver + local wire + 5 BLE clock-gating stages + FF clock pins)
+/// for single vs CLB-gated clock, under a given number of enabled FFs.
+struct ClbClockEnergy {
+  int n_ffs_on;
+  double single_clock_j;
+  double gated_clock_j;
+};
+
+std::vector<ClbClockEnergy> measure_clb_clock_gating(
+    const DetffBenchOptions& options = {},
+    const process::Tech018& tech = process::default_tech());
+
+}  // namespace amdrel::cells

@@ -1,0 +1,156 @@
+#include "cells/detff.hpp"
+
+#include "cells/primitives.hpp"
+#include "util/error.hpp"
+
+namespace amdrel::cells {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+const char* detff_name(DetffKind kind) {
+  switch (kind) {
+    case DetffKind::kChung1: return "Chung 1";
+    case DetffKind::kChung2: return "Chung 2";
+    case DetffKind::kLlopis1: return "Llopis 1";
+    case DetffKind::kLlopis2: return "Llopis 2";
+    case DetffKind::kStrollo: return "Strollo";
+  }
+  return "?";
+}
+
+namespace {
+
+/// C²MOS latch-mux DETFF skeleton shared by Llopis 1/2 and Strollo.
+///
+/// Path A: tsinv(D→mA, en=clk) then tsinv(mA→q, en=clkb)  — samples clk=1.
+/// Path B: tsinv(D→mB, en=clkb) then tsinv(mB→q, en=clk)  — samples clk=0.
+/// Storage nodes are held by *clocked* feedback tri-states (active only
+/// while the forward stage is off), so stored values are never disputed —
+/// the structure the published C²MOS DETFFs use. Q itself is driven by
+/// exactly one output stage at all times and needs no keeper.
+/// `heavy` adds the extra output keeper + buffer stage and wider feedback
+/// of the Strollo-style design (its higher-power structure).
+DetffPorts build_c2mos(Circuit& c, const std::string& p, NodeId vdd, NodeId d,
+                       NodeId clk, NodeId q, TriStateType type, bool heavy,
+                       double wn, double wclk = 0.28) {
+  NodeId clkb = c.node(p + ".clkb");
+  add_inverter(c, p + ".iclk", vdd, clk, clkb, wclk);
+
+  NodeId ma = c.node(p + ".ma");
+  NodeId mb = c.node(p + ".mb");
+  // In the heavy variant the output stages drive an internal node that is
+  // then buffered to q.
+  NodeId qi = heavy ? c.node(p + ".qi") : q;
+
+  add_tristate_inverter(c, p + ".tA1", vdd, d, ma, clk, clkb, type, wn);
+  add_tristate_inverter(c, p + ".tA2", vdd, ma, qi, clkb, clk, type, wn);
+  add_tristate_inverter(c, p + ".tB1", vdd, d, mb, clkb, clk, type, wn);
+  add_tristate_inverter(c, p + ".tB2", vdd, mb, qi, clk, clkb, type, wn);
+
+  const double wf = heavy ? 0.42 : 0.28;
+  NodeId ma_b = c.node(p + ".ma_b");
+  NodeId mb_b = c.node(p + ".mb_b");
+  add_inverter(c, p + ".fAi", vdd, ma, ma_b, wf);
+  add_tristate_inverter(c, p + ".fA", vdd, ma_b, ma, clkb, clk, type, wf);
+  add_inverter(c, p + ".fBi", vdd, mb, mb_b, wf);
+  add_tristate_inverter(c, p + ".fB", vdd, mb_b, mb, clk, clkb, type, wf);
+
+  if (heavy) {
+    add_keeper(c, p + ".kq", vdd, qi);
+    NodeId qb = c.node(p + ".qb");
+    add_inverter(c, p + ".obuf1", vdd, qi, qb, 0.42);
+    add_inverter(c, p + ".obuf2", vdd, qb, q, 0.56);
+  }
+  return {d, clk, q};
+}
+
+/// Transmission-gate latch-mux DETFF skeleton shared by Chung 1/2 (the two
+/// versions differ only in the tri-state inverter type, per the paper's
+/// Fig. 3 — exactly like the Llopis pair).
+///
+/// Latch A: TG(D→aA, on clk=1), inv(aA→mA); latch B mirrored on clk=0.
+/// Both latches are made static with clocked tri-state feedback (active
+/// when the input TG is off, so storage is never disputed). The output
+/// multiplexer is a pair of C²MOS tri-state inverters driving Q directly —
+/// the performance-oriented design of the Lo–Chung–Sachdev comparison
+/// (bigger devices, faster clock path than the Llopis pair).
+DetffPorts build_tg(Circuit& c, const std::string& p, NodeId vdd, NodeId d,
+                    NodeId clk, NodeId q, TriStateType type, double wn,
+                    double wout, double wclk) {
+  NodeId clkb = c.node(p + ".clkb");
+  add_inverter(c, p + ".iclk", vdd, clk, clkb, wclk);
+
+  NodeId aa = c.node(p + ".aA");
+  NodeId ab = c.node(p + ".aB");
+  NodeId ma = c.node(p + ".mA");
+  NodeId mb = c.node(p + ".mB");
+
+  add_tgate(c, p + ".tgA", d, aa, clk, clkb, wn);
+  add_inverter(c, p + ".invA", vdd, aa, ma, wn);
+  add_tgate(c, p + ".tgB", d, ab, clkb, clk, wn);
+  add_inverter(c, p + ".invB", vdd, ab, mb, wn);
+
+  add_tristate_inverter(c, p + ".fA", vdd, ma, aa, clkb, clk, type, 0.28);
+  add_tristate_inverter(c, p + ".fB", vdd, mb, ab, clk, clkb, type, 0.28);
+
+  // ma/mb are ~D; the C²MOS stage inverts once more → Q = D.
+  add_tristate_inverter(c, p + ".muxA", vdd, ma, q, clkb, clk, type, wout);
+  add_tristate_inverter(c, p + ".muxB", vdd, mb, q, clk, clkb, type, wout);
+  return {d, clk, q};
+}
+
+}  // namespace
+
+DetffPorts add_detff(Circuit& c, const std::string& prefix, NodeId vdd,
+                     DetffKind kind, NodeId d, NodeId clk, NodeId q) {
+  switch (kind) {
+    case DetffKind::kChung1:
+      // Chung design, first tri-state flavour (clocked devices at the
+      // rails).
+      return build_tg(c, prefix, vdd, d, clk, q,
+                      TriStateType::kClockedAtRails,
+                      /*wn=*/0.42, /*wout=*/1.12, /*wclk=*/1.12);
+    case DetffKind::kChung2:
+      // Chung design, second tri-state flavour (clocked devices at the
+      // output; internal nodes precharge while disabled): the fastest
+      // variant — lowest E·D product.
+      return build_tg(c, prefix, vdd, d, clk, q,
+                      TriStateType::kClockedAtOutput,
+                      /*wn=*/0.42, /*wout=*/1.12, /*wclk=*/1.12);
+    case DetffKind::kLlopis1:
+      // Minimum-size C²MOS with clocked devices at the output: the smallest
+      // switched capacitance → lowest total energy.
+      return build_c2mos(c, prefix, vdd, d, clk, q,
+                         TriStateType::kClockedAtOutput,
+                         /*heavy=*/false, /*wn=*/0.28);
+    case DetffKind::kLlopis2:
+      // Same structure, clocked devices at the rails: internal series nodes
+      // keep charging/discharging every cycle → slightly more energy.
+      return build_c2mos(c, prefix, vdd, d, clk, q,
+                         TriStateType::kClockedAtRails,
+                         /*heavy=*/false, /*wn=*/0.28);
+    case DetffKind::kStrollo:
+      return build_c2mos(c, prefix, vdd, d, clk, q,
+                         TriStateType::kClockedAtOutput,
+                         /*heavy=*/true, /*wn=*/0.28);
+  }
+  AMDREL_CHECK_MSG(false, "unknown DETFF kind");
+  return {};
+}
+
+double detff_clock_pin_cap(const Circuit& c, const std::string& prefix,
+                           spice::NodeId clk) {
+  const auto& tech = c.tech();
+  double cap = 0.0;
+  for (const auto& m : c.mosfets()) {
+    if (m.name.rfind(prefix, 0) != 0) continue;
+    if (m.gate != clk) continue;
+    const auto& p = (m.type == spice::MosType::kNmos) ? tech.nmos : tech.pmos;
+    cap += tech.gate_cap(p, m.w_um);
+  }
+  return cap;
+}
+
+}  // namespace amdrel::cells

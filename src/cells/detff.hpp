@@ -1,0 +1,43 @@
+#pragma once
+// The five double-edge-triggered flip-flop topologies compared in the
+// paper's Table 1 (Chung 1/2 after Lo–Chung–Sachdev'02, Llopis 1/2 after
+// Peset-Llopis–Sachdev'96, Strollo after Strollo–Napoli–Cimino'00).
+//
+// All are static latch-mux DETFFs: two level-sensitive paths sample D on
+// opposite clock phases, and the output stage always selects the path that
+// just became opaque, so Q updates on both clock edges. The variants differ
+// in latch style (C²MOS tri-state vs transmission gate), tri-state inverter
+// type (Fig. 3) and how storage nodes are kept static (weak keepers vs
+// clocked feedback) — exactly the dimensions the cited papers explore.
+
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace amdrel::cells {
+
+enum class DetffKind { kChung1, kChung2, kLlopis1, kLlopis2, kStrollo };
+
+const char* detff_name(DetffKind kind);
+constexpr DetffKind kAllDetffs[] = {DetffKind::kChung1, DetffKind::kChung2,
+                                    DetffKind::kLlopis1, DetffKind::kLlopis2,
+                                    DetffKind::kStrollo};
+
+struct DetffPorts {
+  spice::NodeId d;
+  spice::NodeId clk;
+  spice::NodeId q;
+};
+
+/// Instantiates a DETFF. The clock received at `clk` is the external pin;
+/// complement generation is internal (and charged to the FF's energy).
+DetffPorts add_detff(spice::Circuit& c, const std::string& prefix,
+                     spice::NodeId vdd, DetffKind kind, spice::NodeId d,
+                     spice::NodeId clk, spice::NodeId q);
+
+/// Approximate clock-pin input capacitance [F] (gate caps tied to clk),
+/// used by the CLB clock-network experiments and the power model.
+double detff_clock_pin_cap(const spice::Circuit& c, const std::string& prefix,
+                           spice::NodeId clk);
+
+}  // namespace amdrel::cells

@@ -1,0 +1,39 @@
+#pragma once
+// The paper's Fig-2 LUT: a K-input look-up table implemented as an NMOS
+// pass-transistor multiplexer tree whose select lines are the LUT inputs
+// and whose leaves are the configuration memory cells (S0..S_{2^K-1}).
+// Minimum-size devices throughout, per the paper's energy exploration.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "process/tech018.hpp"
+#include "spice/circuit.hpp"
+
+namespace amdrel::cells {
+
+struct LutPorts {
+  std::vector<spice::NodeId> inputs;      ///< IN1..INK
+  std::vector<spice::NodeId> inputs_b;    ///< complements (internally buffered)
+  spice::NodeId out;                      ///< buffered output
+};
+
+/// Instantiates a K-input LUT configured with `truth_table` (bit i = output
+/// for input pattern i, input 0 = LSB selector). Memory cells are modelled
+/// as rail ties (an SRAM cell holds a static level). Includes the output
+/// level-restorer and buffer.
+LutPorts add_lut(spice::Circuit& c, const std::string& prefix,
+                 spice::NodeId vdd, int k, std::uint32_t truth_table);
+
+/// Characterized LUT figures used by the FPGA power model.
+struct LutMetrics {
+  double delay_s;          ///< worst input→output delay
+  double energy_per_toggle_j;  ///< average supply energy per output toggle
+  double input_cap_f;      ///< capacitance of one select input
+};
+
+LutMetrics characterize_lut4(
+    const process::Tech018& tech = process::default_tech());
+
+}  // namespace amdrel::cells

@@ -1,0 +1,48 @@
+#pragma once
+// The paper's Fig-7 routing interconnection experiment.
+//
+// Four logic blocks are connected through a chain of routing wire
+// segments joined by routing switches (pass transistors, or pairs of
+// tri-state buffers for the §3.3.2 variant), as in the paper's Fig. 7:
+// the segment COUNT is fixed by the four CLBs while each segment spans
+// `wire_length` tiles, so longer logical wires mean more capacitance per
+// switch — which is why the optimal switch width grows with L.
+// Each tile loads the wire with the worst-case Fc=1 connection-box switch
+// and the CLB-output-pin pass transistor the paper describes; each disjoint
+// switch box (Fs=3) adds two off-state switch stubs. The receiver is the
+// CLB input buffer.
+//
+// Reported metrics: propagation delay (driver input → receiver output),
+// supply energy for one full output cycle, layout area of the switches and
+// wire, and their E·D·A product (the paper's figure-of-merit).
+
+#include "process/tech018.hpp"
+#include "spice/circuit.hpp"
+
+namespace amdrel::cells {
+
+enum class SwitchStyle { kPassTransistor, kTriStateBuffer };
+
+struct RoutingExptOptions {
+  int n_segments = 4;             ///< segments in the chain (Fig 7: 4 CLBs)
+  int wire_length = 1;            ///< logical segment length L (1,2,4,8)
+  double switch_width_x = 10.0;   ///< routing switch width / minimum width
+  process::WireWidth wire_width = process::WireWidth::kMinimum;
+  process::WireSpacing wire_spacing = process::WireSpacing::kMinimum;
+  SwitchStyle style = SwitchStyle::kPassTransistor;
+  double dt = 2e-12;
+  double period = 8e-9;           ///< stimulus period [s]
+};
+
+struct RoutingExptResult {
+  double delay_s;    ///< worst of rising/falling propagation [s]
+  double energy_j;   ///< supply energy per full signal cycle [J]
+  double area_um2;   ///< switches (incl. config cells) + wire area
+  double eda;        ///< energy · delay · area [J·s·µm²]
+};
+
+RoutingExptResult run_routing_experiment(
+    const RoutingExptOptions& options,
+    const process::Tech018& tech = process::default_tech());
+
+}  // namespace amdrel::cells

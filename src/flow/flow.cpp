@@ -1,0 +1,168 @@
+#include "flow/flow.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/blif.hpp"
+#include "netlist/edif.hpp"
+#include "netlist/simulate.hpp"
+#include "route/route_files.hpp"
+#include "synth/lutmap.hpp"
+#include "synth/opt.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "vhdl/synth.hpp"
+
+namespace amdrel::flow {
+
+namespace {
+
+void write_artifact(const std::string& dir, const std::string& name,
+                    const std::string& content) {
+  if (dir.empty()) return;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir + "/" + name);
+  if (!out) throw Error("cannot write artifact: " + dir + "/" + name);
+  out << content;
+}
+
+void check_equiv(const netlist::Network& a, const netlist::Network& b,
+                 const std::string& stage) {
+  auto r = netlist::check_equivalence(a, b, 4, 48);
+  AMDREL_CHECK_MSG(r.equivalent,
+                   "equivalence lost at stage '" + stage + "': " + r.message);
+}
+
+}  // namespace
+
+std::string FlowResult::report() const {
+  std::ostringstream os;
+  os << "=== AMDREL design flow report ===\n";
+  os << "[2] synthesis   : " << synthesized.stats() << "\n";
+  os << "[3] mapping     : " << mapped->stats() << " — " << map_stats.luts
+     << " LUTs, depth " << map_stats.depth << "\n";
+  if (packed) os << "[5a] packing    : " << packed->stats() << "\n";
+  if (placement) {
+    os << strprintf("[5b] placement  : %dx%d grid, cost %.1f → %.1f\n",
+                    placement->nx(), placement->ny(),
+                    place_stats.initial_cost, place_stats.final_cost);
+  }
+  os << strprintf("[5c] routing    : W=%d, %d iterations, %d wire segments\n",
+                  channel_width, routing.iterations,
+                  routing.total_wire_nodes);
+  os << "[4] power       : " << power.summary() << "\n";
+  os << strprintf("    timing      : critical path %.2f ns (fmax %.1f MHz)\n",
+                  timing.critical_path_s * 1e9, timing.fmax_hz / 1e6);
+  os << strprintf("[6] bitstream   : %lld config bits (%zu bytes serialized)\n",
+                  bitstream.config_bits(), bitstream_bytes.size());
+  return os.str();
+}
+
+FlowResult run_flow_from_vhdl(const std::string& vhdl_source,
+                              const std::string& top,
+                              const FlowOptions& options) {
+  // Stage 1-2: parse + synthesize (VHDL Parser + DIVINER).
+  netlist::Network synthesized = vhdl::synthesize_vhdl(vhdl_source, top);
+  // DIVINER emits EDIF; DRUID/E2FMT normalize it to BLIF. Exercise the
+  // actual format conversions so the file formats stay honest.
+  std::string edif = netlist::write_edif_string(synthesized);
+  write_artifact(options.artifact_dir, top + ".edif", edif);
+  netlist::Network from_edif = netlist::read_edif_string(edif);
+  if (options.verify_each_stage) {
+    check_equiv(synthesized, from_edif, "EDIF round-trip (DRUID/E2FMT)");
+  }
+  return run_flow_from_network(from_edif, options);
+}
+
+FlowResult run_flow_from_network(const netlist::Network& network,
+                                 const FlowOptions& options) {
+  FlowResult result;
+  result.arch = std::make_unique<arch::ArchSpec>(options.arch);
+  const arch::ArchSpec& aspec = *result.arch;
+  result.synthesized = network;
+
+  // SIS role: sweep + constant propagation, then LUT mapping.
+  netlist::Network opt = synth::propagate_constants(network);
+  synth::sweep_dead_logic(opt);
+  result.mapped = std::make_unique<netlist::Network>(synth::map_to_luts(
+      opt, synth::LutMapOptions{aspec.k, 8}, &result.map_stats));
+  if (options.verify_each_stage) {
+    check_equiv(network, *result.mapped, "LUT mapping (SIS)");
+  }
+  write_artifact(options.artifact_dir, network.name() + ".blif",
+                 netlist::write_blif_string(*result.mapped));
+
+  // T-VPack.
+  result.packed =
+      std::make_unique<pack::PackedNetlist>(*result.mapped, aspec);
+  write_artifact(options.artifact_dir, network.name() + ".net",
+                 pack::write_net_string(*result.packed));
+  // DUTYS architecture file.
+  write_artifact(options.artifact_dir, network.name() + ".arch",
+                 arch::write_arch_string(aspec));
+
+  // VPR role: place.
+  result.placement =
+      std::make_unique<place::Placement>(*result.packed, aspec);
+  place::Placement::AnnealOptions popt;
+  popt.seed = options.seed;
+  result.place_stats = result.placement->anneal(popt);
+
+  // VPR role: route.
+  if (options.search_min_channel_width) {
+    result.channel_width = route::minimum_channel_width(
+        *result.placement, aspec, &result.routing);
+    AMDREL_CHECK_MSG(result.channel_width > 0, "design is unroutable");
+    result.rr_graph = std::make_unique<route::RrGraph>(
+        *result.placement, aspec, result.channel_width);
+  } else {
+    result.channel_width = aspec.channel_width;
+    result.rr_graph = std::make_unique<route::RrGraph>(
+        *result.placement, aspec, result.channel_width);
+    result.routing = route::route_all(*result.rr_graph, *result.placement);
+    AMDREL_CHECK_MSG(result.routing.success,
+                     "unroutable at W=" + std::to_string(result.channel_width) +
+                         ": " + result.routing.message);
+  }
+  route::verify_routing(*result.rr_graph, *result.placement, result.routing);
+  write_artifact(options.artifact_dir, network.name() + ".place",
+                 route::write_place_string(*result.placement));
+  write_artifact(options.artifact_dir, network.name() + ".route",
+                 route::write_route_string(*result.rr_graph,
+                                           *result.placement,
+                                           result.routing));
+
+  // PowerModel + timing.
+  result.power =
+      power::estimate_power(*result.packed, *result.placement,
+                            *result.rr_graph, result.routing, aspec,
+                            options.power);
+  result.timing =
+      timing::analyze_timing(*result.packed, *result.placement,
+                             *result.rr_graph, result.routing, aspec);
+
+  // DAGGER.
+  result.bitstream =
+      bitgen::generate_bitstream(*result.packed, *result.placement,
+                                 *result.rr_graph, result.routing, aspec);
+  result.bitstream_bytes = bitgen::serialize(result.bitstream);
+  if (!options.artifact_dir.empty()) {
+    std::ofstream out(options.artifact_dir + "/" + network.name() + ".bit",
+                      std::ios::binary);
+    out.write(reinterpret_cast<const char*>(result.bitstream_bytes.data()),
+              static_cast<std::streamsize>(result.bitstream_bytes.size()));
+  }
+  if (options.verify_each_stage) {
+    // The strongest check in the flow: interpret the bitstream back into a
+    // netlist and prove sequential equivalence with the mapped design.
+    bitgen::Bitstream reparsed =
+        bitgen::deserialize(result.bitstream_bytes);
+    netlist::Network fabric = bitgen::decode_to_network(reparsed);
+    check_equiv(*result.mapped, fabric, "bitstream (DAGGER)");
+  }
+  return result;
+}
+
+}  // namespace amdrel::flow

@@ -1,0 +1,77 @@
+#pragma once
+// The complete design flow of the paper's Fig. 11 (and the six GUI stages
+// of Fig. 12), as a library: VHDL → synthesis (DIVINER) → EDIF →
+// DRUID/E2FMT → BLIF → SIS-role optimization + LUT mapping → T-VPack
+// packing → DUTYS architecture → VPR-role place & route → PowerModel →
+// DAGGER bitstream, with equivalence verification at each handoff.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "arch/arch.hpp"
+#include "bitgen/bitstream.hpp"
+#include "netlist/network.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "power/power.hpp"
+#include "route/pathfinder.hpp"
+#include "route/rr_graph.hpp"
+#include "synth/lutmap.hpp"
+#include "timing/timing.hpp"
+
+namespace amdrel::flow {
+
+struct FlowOptions {
+  arch::ArchSpec arch;
+  std::uint64_t seed = 1;
+  bool verify_each_stage = true;   ///< random-vector equivalence checks
+  bool search_min_channel_width = false;
+  power::PowerOptions power;
+  /// Write per-stage artifacts (EDIF/BLIF/net/arch/bitstream) here if set.
+  std::string artifact_dir;
+};
+
+/// Everything the flow produced; stages mirror the GUI's six steps.
+struct FlowResult {
+  /// The architecture the design was implemented on. Heap-held because
+  /// the packed netlist, placement and RR graph reference it — it must
+  /// outlive them and stay at a stable address across moves.
+  std::unique_ptr<arch::ArchSpec> arch;
+  // Stage 2: synthesis.
+  netlist::Network synthesized;     ///< gate-level network (DIVINER)
+  // Stage 3: format translation + LUT mapping. Heap-held: the packed
+  // netlist (and everything downstream) keeps pointers into it, so its
+  // address must survive moves of this result object.
+  std::unique_ptr<netlist::Network> mapped;  ///< K-LUT network
+  synth::LutMapStats map_stats;
+  // Stage 5a: packing.
+  std::unique_ptr<pack::PackedNetlist> packed;
+  // Stage 5b: placement.
+  std::unique_ptr<place::Placement> placement;
+  place::Placement::AnnealStats place_stats;
+  // Stage 5c: routing.
+  std::unique_ptr<route::RrGraph> rr_graph;
+  route::RouteResult routing;
+  int channel_width = 0;
+  // Stage 4 (runs after P&R in practice): power estimation.
+  power::PowerReport power;
+  // Timing.
+  timing::TimingReport timing;
+  // Stage 6: FPGA programming file.
+  bitgen::Bitstream bitstream;
+  std::vector<std::uint8_t> bitstream_bytes;
+
+  std::string report() const;  ///< multi-line human-readable summary
+};
+
+/// Runs the flow from VHDL source (full Fig. 11 pipeline).
+FlowResult run_flow_from_vhdl(const std::string& vhdl_source,
+                              const std::string& top,
+                              const FlowOptions& options = {});
+
+/// Runs the flow from an already-synthesized network (BLIF entry point).
+FlowResult run_flow_from_network(const netlist::Network& network,
+                                 const FlowOptions& options = {});
+
+}  // namespace amdrel::flow

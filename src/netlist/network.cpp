@@ -1,0 +1,155 @@
+#include "netlist/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel::netlist {
+
+Network::Network(std::string name) : name_(std::move(name)) {}
+
+SignalId Network::add_signal(const std::string& name) {
+  AMDREL_CHECK_MSG(signal_ids_.find(name) == signal_ids_.end(),
+                   "duplicate signal: " + name);
+  SignalId id = static_cast<SignalId>(signal_names_.size());
+  signal_names_.push_back(name);
+  signal_ids_.emplace(name, id);
+  return id;
+}
+
+SignalId Network::get_or_add_signal(const std::string& name) {
+  auto it = signal_ids_.find(name);
+  if (it != signal_ids_.end()) return it->second;
+  return add_signal(name);
+}
+
+SignalId Network::find_signal(const std::string& name) const {
+  auto it = signal_ids_.find(name);
+  return it == signal_ids_.end() ? kNoSignal : it->second;
+}
+
+const std::string& Network::signal_name(SignalId s) const {
+  AMDREL_CHECK(s >= 0 && s < num_signals());
+  return signal_names_[static_cast<std::size_t>(s)];
+}
+
+void Network::add_input(SignalId s) {
+  AMDREL_CHECK(s >= 0 && s < num_signals());
+  inputs_.push_back(s);
+}
+
+void Network::add_output(SignalId s) {
+  AMDREL_CHECK(s >= 0 && s < num_signals());
+  outputs_.push_back(s);
+}
+
+int Network::add_gate(const std::string& name, TruthTable table,
+                      std::vector<SignalId> inputs, SignalId output) {
+  AMDREL_CHECK_MSG(static_cast<int>(inputs.size()) == table.n_inputs(),
+                   "gate arity mismatch: " + name);
+  AMDREL_CHECK(output >= 0 && output < num_signals());
+  gates_.push_back(Gate{name, std::move(table), std::move(inputs), output});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Network::add_latch(const std::string& name, SignalId d, SignalId q,
+                       SignalId clock, LatchInit init) {
+  AMDREL_CHECK(d >= 0 && q >= 0);
+  latches_.push_back(Latch{name, d, q, clock, init});
+  return static_cast<int>(latches_.size()) - 1;
+}
+
+bool Network::is_input(SignalId s) const {
+  return std::find(inputs_.begin(), inputs_.end(), s) != inputs_.end();
+}
+
+bool Network::is_output(SignalId s) const {
+  return std::find(outputs_.begin(), outputs_.end(), s) != outputs_.end();
+}
+
+int Network::driver_gate(SignalId s) const {
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].output == s) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Network::driver_latch(SignalId s) const {
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    if (latches_[i].q == s) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> Network::topo_order() const {
+  // Kahn's algorithm over gate→gate dependencies.
+  const int n = static_cast<int>(gates_.size());
+  std::vector<int> gate_of_signal(static_cast<std::size_t>(num_signals()), -1);
+  for (int g = 0; g < n; ++g) {
+    gate_of_signal[static_cast<std::size_t>(
+        gates_[static_cast<std::size_t>(g)].output)] = g;
+  }
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> fanout(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g) {
+    for (SignalId in : gates_[static_cast<std::size_t>(g)].inputs) {
+      int src = gate_of_signal[static_cast<std::size_t>(in)];
+      if (src >= 0) {
+        fanout[static_cast<std::size_t>(src)].push_back(g);
+        ++indegree[static_cast<std::size_t>(g)];
+      }
+    }
+  }
+  std::vector<int> ready;
+  for (int g = 0; g < n; ++g) {
+    if (indegree[static_cast<std::size_t>(g)] == 0) ready.push_back(g);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    int g = ready.back();
+    ready.pop_back();
+    order.push_back(g);
+    for (int next : fanout[static_cast<std::size_t>(g)]) {
+      if (--indegree[static_cast<std::size_t>(next)] == 0) ready.push_back(next);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw InfeasibleError("combinational cycle in network '" + name_ + "'");
+  }
+  return order;
+}
+
+void Network::validate() const {
+  std::vector<int> drivers(static_cast<std::size_t>(num_signals()), 0);
+  for (SignalId s : inputs_) ++drivers[static_cast<std::size_t>(s)];
+  for (const auto& g : gates_) ++drivers[static_cast<std::size_t>(g.output)];
+  for (const auto& l : latches_) ++drivers[static_cast<std::size_t>(l.q)];
+  for (SignalId s = 0; s < num_signals(); ++s) {
+    AMDREL_CHECK_MSG(drivers[static_cast<std::size_t>(s)] <= 1,
+                     "signal driven multiple times: " + signal_name(s));
+  }
+  auto check_driven = [&](SignalId s, const std::string& ctx) {
+    AMDREL_CHECK_MSG(drivers[static_cast<std::size_t>(s)] == 1,
+                     "undriven signal " + signal_name(s) + " used by " + ctx);
+  };
+  for (const auto& g : gates_) {
+    AMDREL_CHECK_MSG(static_cast<int>(g.inputs.size()) == g.table.n_inputs(),
+                     "gate arity mismatch: " + g.name);
+    for (SignalId in : g.inputs) check_driven(in, "gate " + g.name);
+  }
+  for (const auto& l : latches_) check_driven(l.d, "latch " + l.name);
+  for (SignalId s : outputs_) check_driven(s, "primary output");
+  topo_order();  // throws on combinational cycles
+}
+
+std::string Network::stats() const {
+  return strprintf("%s: %d PI, %d PO, %d gates, %d latches, %d signals",
+                   name_.c_str(), static_cast<int>(inputs_.size()),
+                   static_cast<int>(outputs_.size()),
+                   static_cast<int>(gates_.size()),
+                   static_cast<int>(latches_.size()), num_signals());
+}
+
+}  // namespace amdrel::netlist

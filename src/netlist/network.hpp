@@ -1,0 +1,98 @@
+#pragma once
+// Generic gate-level logic network — the common currency of the CAD flow.
+//
+// Combinational nodes are gates with explicit truth tables (so the same
+// structure represents synthesized logic, SIS-optimized logic and mapped
+// K-LUTs). Sequential elements are D-latches clocked on a named clock
+// (the paper's FPGA registers everything in DETFFs; at the netlist level
+// that is a plain edge-triggered register).
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/truth_table.hpp"
+
+namespace amdrel::netlist {
+
+using SignalId = int;
+constexpr SignalId kNoSignal = -1;
+
+enum class LatchInit { kZero, kOne, kDontCare };
+
+struct Gate {
+  std::string name;
+  TruthTable table;
+  std::vector<SignalId> inputs;  ///< table input i = inputs[i]
+  SignalId output = kNoSignal;
+};
+
+struct Latch {
+  std::string name;
+  SignalId d = kNoSignal;
+  SignalId q = kNoSignal;
+  SignalId clock = kNoSignal;   ///< kNoSignal = single implicit clock
+  LatchInit init = LatchInit::kZero;
+};
+
+class Network {
+ public:
+  explicit Network(std::string name = "top");
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- signals ---
+  SignalId add_signal(const std::string& name);   ///< unique name enforced
+  SignalId get_or_add_signal(const std::string& name);
+  SignalId find_signal(const std::string& name) const;  ///< kNoSignal if none
+  const std::string& signal_name(SignalId s) const;
+  int num_signals() const { return static_cast<int>(signal_names_.size()); }
+
+  // --- structure ---
+  void add_input(SignalId s);
+  void add_output(SignalId s);
+  /// Adds a gate; `inputs.size()` must equal `table.n_inputs()`.
+  int add_gate(const std::string& name, TruthTable table,
+               std::vector<SignalId> inputs, SignalId output);
+  int add_latch(const std::string& name, SignalId d, SignalId q,
+                SignalId clock = kNoSignal, LatchInit init = LatchInit::kZero);
+
+  const std::vector<SignalId>& inputs() const { return inputs_; }
+  const std::vector<SignalId>& outputs() const { return outputs_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<Latch>& latches() const { return latches_; }
+  Gate& gate(int i) { return gates_[static_cast<std::size_t>(i)]; }
+  Latch& latch(int i) { return latches_[static_cast<std::size_t>(i)]; }
+
+  bool is_input(SignalId s) const;
+  bool is_output(SignalId s) const;
+
+  /// Index of the gate driving `s`, -1 if none.
+  int driver_gate(SignalId s) const;
+  /// Index of the latch whose q is `s`, -1 if none.
+  int driver_latch(SignalId s) const;
+
+  /// Gate indices in topological order (inputs/latch outputs first).
+  /// Throws InfeasibleError on a combinational cycle.
+  std::vector<int> topo_order() const;
+
+  /// Structural sanity: every gate input driven (by PI, latch or gate),
+  /// no signal driven twice, arities consistent. Throws on violation.
+  void validate() const;
+
+  /// Basic statistics line for reports.
+  std::string stats() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> signal_names_;
+  std::unordered_map<std::string, SignalId> signal_ids_;
+  std::vector<SignalId> inputs_;
+  std::vector<SignalId> outputs_;
+  std::vector<Gate> gates_;
+  std::vector<Latch> latches_;
+};
+
+}  // namespace amdrel::netlist

@@ -1,0 +1,132 @@
+#include "netlist/simulate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel::netlist {
+
+Simulator::Simulator(const Network& network) : net_(&network) {
+  topo_ = network.topo_order();
+  values_.assign(static_cast<std::size_t>(network.num_signals()), 0);
+  prev_values_ = values_;
+  toggles_.assign(values_.size(), 0);
+  reset();
+}
+
+void Simulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  for (const auto& l : net_->latches()) {
+    values_[static_cast<std::size_t>(l.q)] = (l.init == LatchInit::kOne);
+  }
+  first_propagate_ = true;
+}
+
+void Simulator::set_input(SignalId s, bool value) {
+  AMDREL_CHECK_MSG(net_->is_input(s), "not a primary input");
+  values_[static_cast<std::size_t>(s)] = value;
+}
+
+void Simulator::set_input_by_name(const std::string& name, bool value) {
+  SignalId s = net_->find_signal(name);
+  AMDREL_CHECK_MSG(s != kNoSignal, "unknown input: " + name);
+  set_input(s, value);
+}
+
+void Simulator::propagate() {
+  for (int gi : topo_) {
+    const Gate& g = net_->gates()[static_cast<std::size_t>(gi)];
+    std::uint64_t row = 0;
+    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+      if (values_[static_cast<std::size_t>(g.inputs[i])]) row |= 1ull << i;
+    }
+    values_[static_cast<std::size_t>(g.output)] = g.table.get(row);
+  }
+  if (!first_propagate_) {
+    for (std::size_t s = 0; s < values_.size(); ++s) {
+      if (values_[s] != prev_values_[s]) ++toggles_[s];
+    }
+  }
+  prev_values_ = values_;
+  first_propagate_ = false;
+}
+
+void Simulator::step_clock() {
+  // Capture all D values first (simultaneous update).
+  std::vector<char> captured;
+  captured.reserve(net_->latches().size());
+  for (const auto& l : net_->latches()) {
+    captured.push_back(values_[static_cast<std::size_t>(l.d)]);
+  }
+  for (std::size_t i = 0; i < net_->latches().size(); ++i) {
+    values_[static_cast<std::size_t>(net_->latches()[i].q)] = captured[i];
+  }
+}
+
+bool Simulator::value(SignalId s) const {
+  AMDREL_CHECK(s >= 0 && s < net_->num_signals());
+  return values_[static_cast<std::size_t>(s)];
+}
+
+bool Simulator::output(std::size_t index) const {
+  AMDREL_CHECK(index < net_->outputs().size());
+  return value(net_->outputs()[index]);
+}
+
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    int n_runs, int n_cycles,
+                                    std::uint64_t seed) {
+  EquivalenceResult r;
+
+  // Match I/O by name.
+  auto names_of = [](const Network& n, const std::vector<SignalId>& sigs) {
+    std::set<std::string> out;
+    for (SignalId s : sigs) out.insert(n.signal_name(s));
+    return out;
+  };
+  auto in_a = names_of(a, a.inputs()), in_b = names_of(b, b.inputs());
+  auto out_a = names_of(a, a.outputs()), out_b = names_of(b, b.outputs());
+  if (in_a != in_b) {
+    r.message = "primary input name sets differ";
+    return r;
+  }
+  if (out_a != out_b) {
+    r.message = "primary output name sets differ";
+    return r;
+  }
+
+  Simulator sim_a(a), sim_b(b);
+  Rng rng(seed);
+  for (int run = 0; run < n_runs; ++run) {
+    sim_a.reset();
+    sim_b.reset();
+    for (int cycle = 0; cycle < n_cycles; ++cycle) {
+      for (const auto& name : in_a) {
+        bool v = rng.next_bool();
+        sim_a.set_input_by_name(name, v);
+        sim_b.set_input_by_name(name, v);
+      }
+      sim_a.propagate();
+      sim_b.propagate();
+      for (const auto& name : out_a) {
+        bool va = sim_a.value(a.find_signal(name));
+        bool vb = sim_b.value(b.find_signal(name));
+        if (va != vb) {
+          r.message = strprintf("output '%s' differs at run %d cycle %d (%d vs %d)",
+                                name.c_str(), run, cycle, va ? 1 : 0,
+                                vb ? 1 : 0);
+          return r;
+        }
+      }
+      sim_a.step_clock();
+      sim_b.step_clock();
+    }
+  }
+  r.equivalent = true;
+  return r;
+}
+
+}  // namespace amdrel::netlist

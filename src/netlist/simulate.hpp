@@ -1,0 +1,63 @@
+#pragma once
+// Cycle-accurate two-valued simulation of a Network, plus random-vector
+// (sequential) equivalence checking between two networks with matching
+// primary input/output names. Used to verify every transformation in the
+// CAD flow (synthesis, mapping, packing, bitstream).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "util/rng.hpp"
+
+namespace amdrel::netlist {
+
+class Simulator {
+ public:
+  explicit Simulator(const Network& network);
+
+  /// Resets latches to their init values (don't-care → 0).
+  void reset();
+
+  /// Sets primary input `s` for the current cycle.
+  void set_input(SignalId s, bool value);
+  void set_input_by_name(const std::string& name, bool value);
+
+  /// Recomputes all combinational logic from current inputs + latch state.
+  void propagate();
+
+  /// Clock edge: latches capture D (call after propagate()).
+  void step_clock();
+
+  bool value(SignalId s) const;
+  bool output(std::size_t index) const;
+
+  /// Per-signal toggle counters (for activity estimation): number of value
+  /// changes observed across propagate() calls.
+  const std::vector<std::uint64_t>& toggle_counts() const { return toggles_; }
+
+ private:
+  const Network* net_;
+  std::vector<int> topo_;
+  std::vector<char> values_;
+  std::vector<char> prev_values_;
+  std::vector<std::uint64_t> toggles_;
+  bool first_propagate_ = true;
+};
+
+/// Result of an equivalence check.
+struct EquivalenceResult {
+  bool equivalent = false;
+  std::string message;  ///< failure description (first mismatch)
+};
+
+/// Compares two networks over `n_cycles` cycles × `n_runs` random stimulus
+/// sequences. Inputs/outputs are matched by NAME (order-independent);
+/// both must expose the same input and output name sets.
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    int n_runs = 8, int n_cycles = 64,
+                                    std::uint64_t seed = 1);
+
+}  // namespace amdrel::netlist

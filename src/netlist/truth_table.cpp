@@ -1,0 +1,179 @@
+#include "netlist/truth_table.hpp"
+
+#include "util/error.hpp"
+
+namespace amdrel::netlist {
+namespace {
+
+std::size_t words_for(int n_inputs) {
+  const std::uint64_t rows = 1ull << n_inputs;
+  return static_cast<std::size_t>((rows + 63) / 64);
+}
+
+}  // namespace
+
+TruthTable::TruthTable(int n_inputs) : n_inputs_(n_inputs) {
+  AMDREL_CHECK(n_inputs >= 0 && n_inputs <= 16);
+  words_.assign(words_for(n_inputs), 0);
+}
+
+TruthTable TruthTable::from_bits(int n_inputs, std::uint64_t bits) {
+  AMDREL_CHECK(n_inputs >= 0 && n_inputs <= 6);
+  TruthTable t(n_inputs);
+  const std::uint64_t mask =
+      (n_inputs == 6) ? ~0ull : ((1ull << (1 << n_inputs)) - 1);
+  t.words_[0] = bits & mask;
+  return t;
+}
+
+TruthTable TruthTable::constant(bool value) {
+  TruthTable t(0);
+  t.words_[0] = value ? 1 : 0;
+  return t;
+}
+
+TruthTable TruthTable::identity() { return from_bits(1, 0b10); }
+TruthTable TruthTable::inverter() { return from_bits(1, 0b01); }
+
+TruthTable TruthTable::and_n(int n, bool negate_out) {
+  AMDREL_CHECK(n >= 1);
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.n_rows(); ++row) {
+    bool v = (row == t.n_rows() - 1);
+    t.set(row, v != negate_out);
+  }
+  return t;
+}
+
+TruthTable TruthTable::or_n(int n, bool negate_out) {
+  AMDREL_CHECK(n >= 1);
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.n_rows(); ++row) {
+    bool v = (row != 0);
+    t.set(row, v != negate_out);
+  }
+  return t;
+}
+
+TruthTable TruthTable::xor_n(int n, bool negate_out) {
+  AMDREL_CHECK(n >= 1);
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.n_rows(); ++row) {
+    bool v = (__builtin_popcountll(row) & 1) != 0;
+    t.set(row, v != negate_out);
+  }
+  return t;
+}
+
+TruthTable TruthTable::mux2() {
+  // Inputs (0=sel, 1=a, 2=b): out = sel ? b : a.
+  TruthTable t(3);
+  for (std::uint64_t row = 0; row < 8; ++row) {
+    bool sel = row & 1, a = row & 2, b = row & 4;
+    t.set(row, sel ? b : a);
+  }
+  return t;
+}
+
+bool TruthTable::get(std::uint64_t row) const {
+  AMDREL_CHECK(row < n_rows());
+  return (words_[static_cast<std::size_t>(row >> 6)] >> (row & 63)) & 1;
+}
+
+void TruthTable::set(std::uint64_t row, bool value) {
+  AMDREL_CHECK(row < n_rows());
+  std::uint64_t& w = words_[static_cast<std::size_t>(row >> 6)];
+  const std::uint64_t bit = 1ull << (row & 63);
+  if (value) {
+    w |= bit;
+  } else {
+    w &= ~bit;
+  }
+}
+
+bool TruthTable::is_constant() const {
+  const bool first = get(0);
+  for (std::uint64_t row = 1; row < n_rows(); ++row) {
+    if (get(row) != first) return false;
+  }
+  return true;
+}
+
+bool TruthTable::constant_value() const { return get(0); }
+
+bool TruthTable::depends_on(int input) const {
+  AMDREL_CHECK(input >= 0 && input < n_inputs_);
+  const std::uint64_t stride = 1ull << input;
+  for (std::uint64_t row = 0; row < n_rows(); ++row) {
+    if (row & stride) continue;
+    if (get(row) != get(row | stride)) return true;
+  }
+  return false;
+}
+
+TruthTable TruthTable::cofactor(int input, bool value) const {
+  AMDREL_CHECK(input >= 0 && input < n_inputs_);
+  TruthTable t(n_inputs_ - 1);
+  for (std::uint64_t row = 0; row < t.n_rows(); ++row) {
+    // Insert `value` at position `input`.
+    const std::uint64_t lo = row & ((1ull << input) - 1);
+    const std::uint64_t hi = (row >> input) << (input + 1);
+    const std::uint64_t full =
+        hi | (static_cast<std::uint64_t>(value) << input) | lo;
+    t.set(row, get(full));
+  }
+  return t;
+}
+
+TruthTable TruthTable::permute(const std::vector<int>& perm) const {
+  AMDREL_CHECK(static_cast<int>(perm.size()) == n_inputs_);
+  TruthTable t(n_inputs_);
+  for (std::uint64_t row = 0; row < n_rows(); ++row) {
+    std::uint64_t old_row = 0;
+    for (int j = 0; j < n_inputs_; ++j) {
+      if ((row >> j) & 1) old_row |= 1ull << perm[static_cast<std::size_t>(j)];
+    }
+    t.set(row, get(old_row));
+  }
+  return t;
+}
+
+TruthTable TruthTable::extend(int n) const {
+  AMDREL_CHECK(n >= n_inputs_ && n <= 16);
+  TruthTable t(n);
+  const std::uint64_t base = 1ull << n_inputs_;
+  for (std::uint64_t row = 0; row < t.n_rows(); ++row) {
+    t.set(row, get(row % base));
+  }
+  return t;
+}
+
+TruthTable TruthTable::invert() const {
+  TruthTable t(n_inputs_);
+  for (std::uint64_t row = 0; row < n_rows(); ++row) t.set(row, !get(row));
+  return t;
+}
+
+bool TruthTable::operator==(const TruthTable& other) const {
+  if (n_inputs_ != other.n_inputs_) return false;
+  for (std::uint64_t row = 0; row < n_rows(); ++row) {
+    if (get(row) != other.get(row)) return false;
+  }
+  return true;
+}
+
+std::string TruthTable::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  const std::uint64_t rows = n_rows();
+  for (std::uint64_t start = 0; start < rows; start += 4) {
+    int nibble = 0;
+    for (int b = 0; b < 4 && start + b < rows; ++b) {
+      if (get(start + b)) nibble |= 1 << b;
+    }
+    out.insert(out.begin(), digits[nibble]);
+  }
+  return out;
+}
+
+}  // namespace amdrel::netlist

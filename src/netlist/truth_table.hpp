@@ -1,0 +1,66 @@
+#pragma once
+// Truth tables for logic gates / LUTs, up to 16 inputs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amdrel::netlist {
+
+/// Dense truth table: bit `i` is the output for input pattern `i`
+/// (input 0 is the least significant selector bit).
+class TruthTable {
+ public:
+  TruthTable() : n_inputs_(0), words_(1, 0) {}
+  explicit TruthTable(int n_inputs);
+  /// Builds from the low 2^n bits of `bits` (n_inputs <= 6).
+  static TruthTable from_bits(int n_inputs, std::uint64_t bits);
+
+  static TruthTable constant(bool value);
+  static TruthTable identity();                 ///< 1-input buffer
+  static TruthTable inverter();
+  static TruthTable and_n(int n, bool negate_out = false);
+  static TruthTable or_n(int n, bool negate_out = false);
+  static TruthTable xor_n(int n, bool negate_out = false);
+  /// 2:1 mux: inputs (sel, a, b) → sel ? b : a.
+  static TruthTable mux2();
+
+  int n_inputs() const { return n_inputs_; }
+  std::uint64_t n_rows() const { return 1ull << n_inputs_; }
+
+  bool get(std::uint64_t row) const;
+  void set(std::uint64_t row, bool value);
+
+  /// Evaluates with the given input bits (bit i of `inputs` = input i).
+  bool eval(std::uint64_t inputs) const { return get(inputs); }
+
+  bool is_constant() const;
+  bool constant_value() const;  ///< valid when is_constant()
+
+  /// True if the function actually depends on input `i`.
+  bool depends_on(int input) const;
+
+  /// Returns the table with input `i` fixed to `value` (one fewer input).
+  TruthTable cofactor(int input, bool value) const;
+
+  /// Returns the table with inputs permuted: new input j = old input
+  /// `perm[j]`. perm.size() == n_inputs().
+  TruthTable permute(const std::vector<int>& perm) const;
+
+  /// Extends to `n` inputs (new inputs are don't-cares appended at the top).
+  TruthTable extend(int n) const;
+
+  /// Inverts the output.
+  TruthTable invert() const;
+
+  bool operator==(const TruthTable& other) const;
+
+  /// Hex string, LSB nibble first row group (for dumps/tests).
+  std::string to_hex() const;
+
+ private:
+  int n_inputs_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace amdrel::netlist

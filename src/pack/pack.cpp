@@ -1,0 +1,315 @@
+#include "pack/pack.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel::pack {
+
+using netlist::kNoSignal;
+using netlist::Network;
+using netlist::SignalId;
+
+PackedNetlist::PackedNetlist(const Network& network,
+                             const arch::ArchSpec& spec)
+    : network_(&network), spec_(&spec) {
+  for (const auto& g : network.gates()) {
+    AMDREL_CHECK_MSG(g.table.n_inputs() <= spec.k,
+                     "gate wider than K; run the LUT mapper first: " + g.name);
+  }
+  form_bles();
+  pack_clusters();
+  validate();
+}
+
+void PackedNetlist::form_bles() {
+  const Network& net = *network_;
+  // Fanout count per signal (gates + latches + POs).
+  std::vector<int> fanout(static_cast<std::size_t>(net.num_signals()), 0);
+  for (const auto& g : net.gates()) {
+    for (SignalId in : g.inputs) ++fanout[static_cast<std::size_t>(in)];
+  }
+  for (const auto& l : net.latches()) {
+    ++fanout[static_cast<std::size_t>(l.d)];
+  }
+  for (SignalId s : net.outputs()) ++fanout[static_cast<std::size_t>(s)];
+
+  std::vector<int> gate_of(static_cast<std::size_t>(net.num_signals()), -1);
+  for (std::size_t gi = 0; gi < net.gates().size(); ++gi) {
+    gate_of[static_cast<std::size_t>(net.gates()[gi].output)] =
+        static_cast<int>(gi);
+  }
+
+  std::vector<char> gate_used(net.gates().size(), 0);
+
+  // FF+LUT pairing: latch D driven by a LUT whose only fanout is this FF,
+  // and the LUT output is not itself a primary output.
+  for (std::size_t li = 0; li < net.latches().size(); ++li) {
+    const auto& l = net.latches()[li];
+    Ble ble;
+    ble.latch = static_cast<int>(li);
+    ble.output = l.q;
+    ble.clock = l.clock;
+    int src = gate_of[static_cast<std::size_t>(l.d)];
+    if (src >= 0 && fanout[static_cast<std::size_t>(l.d)] == 1 &&
+        !net.is_output(l.d)) {
+      ble.lut_gate = src;
+      gate_used[static_cast<std::size_t>(src)] = 1;
+      ble.inputs = net.gates()[static_cast<std::size_t>(src)].inputs;
+    } else {
+      // FF alone: the BLE's LUT is a route-through; D is the single input.
+      ble.inputs = {l.d};
+    }
+    bles_.push_back(std::move(ble));
+  }
+  // Remaining LUTs occupy BLEs without a FF.
+  for (std::size_t gi = 0; gi < net.gates().size(); ++gi) {
+    if (gate_used[gi]) continue;
+    const auto& g = net.gates()[gi];
+    Ble ble;
+    ble.lut_gate = static_cast<int>(gi);
+    ble.output = g.output;
+    ble.inputs = g.inputs;
+    bles_.push_back(std::move(ble));
+  }
+}
+
+void PackedNetlist::pack_clusters() {
+  const Network& net = *network_;
+  const int capacity = spec_->n;
+  const int max_inputs = spec_->cluster_inputs();
+
+  // Signal → producing BLE (if any).
+  std::vector<int> producer(static_cast<std::size_t>(net.num_signals()), -1);
+  for (std::size_t bi = 0; bi < bles_.size(); ++bi) {
+    producer[static_cast<std::size_t>(bles_[bi].output)] =
+        static_cast<int>(bi);
+  }
+  // Signal → consuming BLEs.
+  std::vector<std::vector<int>> consumers(
+      static_cast<std::size_t>(net.num_signals()));
+  for (std::size_t bi = 0; bi < bles_.size(); ++bi) {
+    for (SignalId in : bles_[bi].inputs) {
+      consumers[static_cast<std::size_t>(in)].push_back(static_cast<int>(bi));
+    }
+  }
+
+  ble_cluster_.assign(bles_.size(), -1);
+  std::vector<char> clustered(bles_.size(), 0);
+
+  // Working cluster state.
+  struct Work {
+    std::vector<int> members;
+    std::set<SignalId> internal_outputs;
+    std::set<SignalId> external_inputs;
+    SignalId clock = kNoSignal;
+  };
+
+  auto can_add = [&](const Work& w, int bi) {
+    const Ble& b = bles_[static_cast<std::size_t>(bi)];
+    if (static_cast<int>(w.members.size()) >= capacity) return false;
+    if (b.clock != kNoSignal && w.clock != kNoSignal && b.clock != w.clock) {
+      return false;
+    }
+    // Recompute external inputs with b added.
+    std::set<SignalId> ext = w.external_inputs;
+    ext.erase(b.output);  // b's output becomes internal
+    for (SignalId in : b.inputs) {
+      if (w.internal_outputs.count(in) || in == b.output) continue;
+      ext.insert(in);
+    }
+    return static_cast<int>(ext.size()) <= max_inputs;
+  };
+
+  auto add_to = [&](Work& w, int bi) {
+    const Ble& b = bles_[static_cast<std::size_t>(bi)];
+    w.members.push_back(bi);
+    w.internal_outputs.insert(b.output);
+    w.external_inputs.erase(b.output);
+    for (SignalId in : b.inputs) {
+      if (!w.internal_outputs.count(in)) w.external_inputs.insert(in);
+    }
+    if (b.clock != kNoSignal) w.clock = b.clock;
+    clustered[static_cast<std::size_t>(bi)] = 1;
+  };
+
+  // Attraction: nets shared with the cluster.
+  auto attraction = [&](const Work& w, int bi) {
+    const Ble& b = bles_[static_cast<std::size_t>(bi)];
+    int score = 0;
+    for (SignalId in : b.inputs) {
+      if (w.internal_outputs.count(in)) score += 2;  // absorbs a net
+      if (w.external_inputs.count(in)) score += 1;   // shares an input
+    }
+    if (w.external_inputs.count(b.output)) score += 2;
+    return score;
+  };
+
+  // Seed order: most inputs first (T-VPack's unconnected-seed heuristic).
+  std::vector<int> seeds(bles_.size());
+  for (std::size_t i = 0; i < bles_.size(); ++i) seeds[i] = static_cast<int>(i);
+  std::sort(seeds.begin(), seeds.end(), [&](int a, int b) {
+    return bles_[static_cast<std::size_t>(a)].inputs.size() >
+           bles_[static_cast<std::size_t>(b)].inputs.size();
+  });
+
+  for (int seed : seeds) {
+    if (clustered[static_cast<std::size_t>(seed)]) continue;
+    Work w;
+    add_to(w, seed);
+    // Grow greedily by attraction.
+    while (static_cast<int>(w.members.size()) < capacity) {
+      int best = -1;
+      int best_score = -1;
+      // Candidates: BLEs touching the cluster's nets, else any unclustered.
+      std::set<int> cand;
+      for (SignalId s : w.internal_outputs) {
+        for (int c : consumers[static_cast<std::size_t>(s)]) cand.insert(c);
+      }
+      for (SignalId s : w.external_inputs) {
+        int p = producer[static_cast<std::size_t>(s)];
+        if (p >= 0) cand.insert(p);
+        for (int c : consumers[static_cast<std::size_t>(s)]) cand.insert(c);
+      }
+      for (int c : cand) {
+        if (clustered[static_cast<std::size_t>(c)]) continue;
+        if (!can_add(w, c)) continue;
+        int score = attraction(w, c);
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+      if (best < 0) {
+        // Fill with any packable unclustered BLE (T-VPack fills clusters).
+        for (std::size_t c = 0; c < bles_.size(); ++c) {
+          if (clustered[c]) continue;
+          if (can_add(w, static_cast<int>(c))) {
+            best = static_cast<int>(c);
+            break;
+          }
+        }
+      }
+      if (best < 0) break;
+      add_to(w, best);
+    }
+
+    Cluster cluster;
+    cluster.bles = w.members;
+    cluster.clock = w.clock;
+    cluster.input_signals.assign(w.external_inputs.begin(),
+                                 w.external_inputs.end());
+    for (int bi : w.members) {
+      ble_cluster_[static_cast<std::size_t>(bi)] =
+          static_cast<int>(clusters_.size());
+    }
+    clusters_.push_back(std::move(cluster));
+  }
+
+  // Output signals: BLE outputs consumed outside the cluster or by POs.
+  std::vector<std::set<SignalId>> outs(clusters_.size());
+  for (std::size_t ci = 0; ci < clusters_.size(); ++ci) {
+    for (int bi : clusters_[ci].bles) {
+      const Ble& b = bles_[static_cast<std::size_t>(bi)];
+      bool leaves = net.is_output(b.output);
+      for (int consumer : consumers[static_cast<std::size_t>(b.output)]) {
+        if (ble_cluster_[static_cast<std::size_t>(consumer)] !=
+            static_cast<int>(ci)) {
+          leaves = true;
+          break;
+        }
+      }
+      if (leaves) outs[ci].insert(b.output);
+    }
+    clusters_[ci].output_signals.assign(outs[ci].begin(), outs[ci].end());
+  }
+}
+
+void PackedNetlist::validate() const {
+  const Network& net = *network_;
+  std::vector<int> gate_seen(net.gates().size(), 0);
+  std::vector<int> latch_seen(net.latches().size(), 0);
+  for (const Ble& b : bles_) {
+    if (b.lut_gate >= 0) ++gate_seen[static_cast<std::size_t>(b.lut_gate)];
+    if (b.latch >= 0) ++latch_seen[static_cast<std::size_t>(b.latch)];
+    AMDREL_CHECK_MSG(b.lut_gate >= 0 || b.latch >= 0, "empty BLE");
+    AMDREL_CHECK_MSG(static_cast<int>(b.inputs.size()) <= spec_->k,
+                     "BLE with more inputs than K");
+  }
+  for (int c : gate_seen) AMDREL_CHECK_MSG(c == 1, "LUT not packed exactly once");
+  for (int c : latch_seen) AMDREL_CHECK_MSG(c == 1, "FF not packed exactly once");
+
+  std::vector<int> ble_seen(bles_.size(), 0);
+  for (const Cluster& c : clusters_) {
+    AMDREL_CHECK_MSG(static_cast<int>(c.bles.size()) <= spec_->n,
+                     "cluster exceeds N BLEs");
+    AMDREL_CHECK_MSG(
+        static_cast<int>(c.input_signals.size()) <= spec_->cluster_inputs(),
+        "cluster exceeds I inputs");
+    std::set<SignalId> clocks;
+    for (int bi : c.bles) {
+      ++ble_seen[static_cast<std::size_t>(bi)];
+      const Ble& b = bles_[static_cast<std::size_t>(bi)];
+      if (b.clock != kNoSignal) clocks.insert(b.clock);
+    }
+    AMDREL_CHECK_MSG(clocks.size() <= 1, "cluster with multiple clocks");
+  }
+  for (int c : ble_seen) AMDREL_CHECK_MSG(c == 1, "BLE not clustered exactly once");
+}
+
+std::string PackedNetlist::stats() const {
+  int used_bles = static_cast<int>(bles_.size());
+  int cap = static_cast<int>(clusters_.size()) * spec_->n;
+  return strprintf("%d BLEs in %d clusters (N=%d, K=%d, I=%d, %.0f%% full)",
+                   used_bles, static_cast<int>(clusters_.size()), spec_->n,
+                   spec_->k, spec_->cluster_inputs(),
+                   cap ? 100.0 * used_bles / cap : 0.0);
+}
+
+void write_net_file(const PackedNetlist& packed, std::ostream& out) {
+  const Network& net = packed.network();
+  out << "# T-VPack style clustered netlist\n";
+  out << ".model " << net.name() << "\n";
+  for (SignalId s : net.inputs()) {
+    out << ".input " << net.signal_name(s) << "\n";
+  }
+  for (SignalId s : net.outputs()) {
+    out << ".output " << net.signal_name(s) << "\n";
+  }
+  for (std::size_t ci = 0; ci < packed.clusters().size(); ++ci) {
+    const Cluster& c = packed.clusters()[ci];
+    out << ".clb cluster" << ci << "\n";
+    out << " pins:";
+    for (SignalId s : c.input_signals) out << " " << net.signal_name(s);
+    out << "\n outputs:";
+    for (SignalId s : c.output_signals) out << " " << net.signal_name(s);
+    out << "\n";
+    if (c.clock != kNoSignal) {
+      out << " clock: " << net.signal_name(c.clock) << "\n";
+    }
+    for (int bi : c.bles) {
+      const Ble& b = packed.bles()[static_cast<std::size_t>(bi)];
+      out << " ble " << net.signal_name(b.output) << " lut="
+          << (b.lut_gate >= 0 ? net.gates()[static_cast<std::size_t>(b.lut_gate)].name
+                              : std::string("-"))
+          << " ff="
+          << (b.latch >= 0 ? net.latches()[static_cast<std::size_t>(b.latch)].name
+                           : std::string("-"))
+          << "\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_net_string(const PackedNetlist& packed) {
+  std::ostringstream out;
+  write_net_file(packed, out);
+  return out.str();
+}
+
+}  // namespace amdrel::pack

@@ -1,0 +1,69 @@
+#pragma once
+// T-VPack — BLE formation and greedy cluster packing.
+//
+// Takes a K-LUT network (from the mapper) and groups LUT/FF pairs into
+// Basic Logic Elements, then packs BLEs into clusters of N respecting the
+// paper's CLB: at most I = (K/2)(N+1) distinct external inputs and one
+// clock per cluster. Attraction = number of shared nets (the classic
+// T-VPack criterion).
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "netlist/network.hpp"
+
+namespace amdrel::pack {
+
+/// One BLE: an optional LUT and an optional FF (at least one present).
+struct Ble {
+  int lut_gate = -1;    ///< index into network.gates(), -1 if none
+  int latch = -1;       ///< index into network.latches(), -1 if none
+  netlist::SignalId output = netlist::kNoSignal;  ///< BLE output signal
+  std::vector<netlist::SignalId> inputs;          ///< LUT inputs (or FF D)
+  netlist::SignalId clock = netlist::kNoSignal;
+};
+
+/// One packed cluster (CLB).
+struct Cluster {
+  std::vector<int> bles;                          ///< indices into bles()
+  std::vector<netlist::SignalId> input_signals;   ///< external inputs used
+  std::vector<netlist::SignalId> output_signals;  ///< signals leaving
+  netlist::SignalId clock = netlist::kNoSignal;
+};
+
+class PackedNetlist {
+ public:
+  PackedNetlist(const netlist::Network& network, const arch::ArchSpec& spec);
+
+  const netlist::Network& network() const { return *network_; }
+  const arch::ArchSpec& spec() const { return *spec_; }
+  const std::vector<Ble>& bles() const { return bles_; }
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  /// Cluster index containing each BLE.
+  int cluster_of_ble(int ble) const { return ble_cluster_[static_cast<std::size_t>(ble)]; }
+
+  /// Statistics line for reports.
+  std::string stats() const;
+
+  /// Verifies every cluster obeys N/I/clock constraints and that every
+  /// LUT and FF of the network is packed exactly once. Throws on failure.
+  void validate() const;
+
+ private:
+  void form_bles();
+  void pack_clusters();
+
+  const netlist::Network* network_;
+  const arch::ArchSpec* spec_;
+  std::vector<Ble> bles_;
+  std::vector<Cluster> clusters_;
+  std::vector<int> ble_cluster_;
+};
+
+/// Writes the packed netlist in a T-VPack-style .net text format.
+void write_net_file(const PackedNetlist& packed, std::ostream& out);
+std::string write_net_string(const PackedNetlist& packed);
+
+}  // namespace amdrel::pack

@@ -1,0 +1,51 @@
+#include "place/multiseed.hpp"
+
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amdrel::place {
+
+MultiSeedResult place_multi_seed(const pack::PackedNetlist& packed,
+                                 const arch::ArchSpec& spec,
+                                 const MultiSeedOptions& options) {
+  AMDREL_CHECK(options.n_seeds >= 1);
+
+  struct Attempt {
+    std::unique_ptr<Placement> placement;
+    Placement::AnnealStats stats;
+    std::uint64_t seed;
+  };
+  std::vector<Attempt> attempts(static_cast<std::size_t>(options.n_seeds));
+
+  ThreadPool pool(options.n_threads);
+  pool.parallel_for(static_cast<std::size_t>(options.n_seeds),
+                    [&](std::size_t i) {
+                      Attempt& a = attempts[i];
+                      a.seed = options.base_seed + i;
+                      a.placement = std::make_unique<Placement>(packed, spec);
+                      Placement::AnnealOptions aopt = options.anneal;
+                      aopt.seed = a.seed;
+                      a.stats = a.placement->anneal(aopt);
+                    });
+
+  MultiSeedResult result;
+  for (auto& a : attempts) {
+    if (result.best == nullptr ||
+        a.stats.final_cost < result.best_stats.final_cost) {
+      if (result.best != nullptr) {
+        result.worst_cost =
+            std::max(result.worst_cost, result.best_stats.final_cost);
+      }
+      result.best = std::move(a.placement);
+      result.best_stats = a.stats;
+      result.best_seed = a.seed;
+    } else {
+      result.worst_cost = std::max(result.worst_cost, a.stats.final_cost);
+    }
+  }
+  return result;
+}
+
+}  // namespace amdrel::place

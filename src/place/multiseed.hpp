@@ -1,0 +1,30 @@
+#pragma once
+// Multi-seed parallel placement: anneal several independently-seeded
+// placements on a thread pool and keep the best (a standard way to spend
+// cores for QoR; each seed is deterministic, the winner selection too).
+
+#include <memory>
+
+#include "place/place.hpp"
+
+namespace amdrel::place {
+
+struct MultiSeedOptions {
+  int n_seeds = 4;
+  std::uint64_t base_seed = 1;
+  std::size_t n_threads = 0;  ///< 0 = hardware concurrency
+  Placement::AnnealOptions anneal;
+};
+
+struct MultiSeedResult {
+  std::unique_ptr<Placement> best;
+  Placement::AnnealStats best_stats;
+  std::uint64_t best_seed = 0;
+  double worst_cost = 0.0;  ///< cost of the losing seed (spread indicator)
+};
+
+MultiSeedResult place_multi_seed(const pack::PackedNetlist& packed,
+                                 const arch::ArchSpec& spec,
+                                 const MultiSeedOptions& options = {});
+
+}  // namespace amdrel::place

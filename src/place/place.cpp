@@ -1,0 +1,375 @@
+#include "place/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace amdrel::place {
+
+using netlist::kNoSignal;
+using netlist::Network;
+using netlist::SignalId;
+
+namespace {
+
+/// VPR's net-fanout correction factor q(n) (Cheng's RISA table, as used
+/// by VPR's bounding-box cost).
+double fanout_q(int n_pins) {
+  static const double kQ[] = {1.0,    1.0,    1.0,    1.0828, 1.1536, 1.2206,
+                              1.2823, 1.3385, 1.3991, 1.4493, 1.4974};
+  if (n_pins <= 10) return kQ[n_pins >= 1 ? n_pins : 1];
+  // Linear extrapolation beyond 10 pins, as VPR does.
+  return 1.4974 + 0.02616 * (n_pins - 10);
+}
+
+}  // namespace
+
+Placement::Placement(const pack::PackedNetlist& packed,
+                     const arch::ArchSpec& spec)
+    : packed_(&packed), spec_(&spec) {
+  build_blocks_and_nets();
+  initial_place(1);
+}
+
+void Placement::build_blocks_and_nets() {
+  const Network& net = packed_->network();
+
+  // Identify clock signals: latch clocks are global.
+  std::set<SignalId> clocks;
+  for (const auto& l : net.latches()) {
+    if (l.clock != kNoSignal) clocks.insert(l.clock);
+  }
+
+  cluster_block_.clear();
+  for (std::size_t ci = 0; ci < packed_->clusters().size(); ++ci) {
+    cluster_block_.push_back(static_cast<int>(blocks_.size()));
+    blocks_.push_back(Block{BlockKind::kClb, static_cast<int>(ci), kNoSignal,
+                            "clb" + std::to_string(ci)});
+  }
+  for (SignalId s : net.inputs()) {
+    if (clocks.count(s)) continue;  // global clock needs no routed pad net
+    pad_block_.emplace(s, static_cast<int>(blocks_.size()));
+    blocks_.push_back(Block{BlockKind::kInputPad,
+                            static_cast<int>(pad_block_.size()) - 1, s,
+                            net.signal_name(s)});
+  }
+  for (SignalId s : net.outputs()) {
+    if (pad_block_.count(s)) continue;  // signal both PI and PO: one pad
+    pad_block_.emplace(s, static_cast<int>(blocks_.size()));
+    blocks_.push_back(Block{BlockKind::kOutputPad,
+                            static_cast<int>(pad_block_.size()) - 1, s,
+                            net.signal_name(s) + "_pad"});
+  }
+
+  // Grid size.
+  auto grid = arch::size_grid(*spec_, static_cast<int>(packed_->clusters().size()),
+                              static_cast<int>(pad_block_.size()));
+  nx_ = grid.nx;
+  ny_ = grid.ny;
+
+  // Nets: signal → source block + sink blocks.
+  // Source: producing cluster or input pad. Sinks: consuming clusters
+  // (via cluster input lists) and output pads.
+  std::map<SignalId, Net> by_signal;
+  auto net_for = [&](SignalId s) -> Net& {
+    auto it = by_signal.find(s);
+    if (it == by_signal.end()) {
+      it = by_signal.emplace(s, Net{s, -1, {}}).first;
+    }
+    return it->second;
+  };
+  for (std::size_t ci = 0; ci < packed_->clusters().size(); ++ci) {
+    const auto& c = packed_->clusters()[ci];
+    for (SignalId s : c.output_signals) {
+      net_for(s).source = cluster_block_[ci];
+    }
+    for (SignalId s : c.input_signals) {
+      if (clocks.count(s)) continue;
+      net_for(s).sinks.push_back(cluster_block_[ci]);
+    }
+  }
+  for (const auto& [s, b] : pad_block_) {
+    if (blocks_[static_cast<std::size_t>(b)].kind == BlockKind::kInputPad) {
+      net_for(s).source = b;
+    } else {
+      net_for(s).sinks.push_back(b);
+    }
+    // A PI that is also a PO: pad is both; handled by the source above.
+    if (net.is_output(s) &&
+        blocks_[static_cast<std::size_t>(b)].kind == BlockKind::kInputPad) {
+      net_for(s).sinks.push_back(b);
+    }
+  }
+  for (auto& [s, n] : by_signal) {
+    if (n.source < 0 || n.sinks.empty()) continue;  // internal-only signal
+    nets_.push_back(std::move(n));
+  }
+
+  block_nets_.assign(blocks_.size(), {});
+  for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+    std::set<int> members(nets_[ni].sinks.begin(), nets_[ni].sinks.end());
+    members.insert(nets_[ni].source);
+    for (int b : members) {
+      block_nets_[static_cast<std::size_t>(b)].push_back(static_cast<int>(ni));
+    }
+  }
+}
+
+std::vector<Loc> Placement::legal_clb_locs() const {
+  std::vector<Loc> out;
+  for (int x = 1; x <= nx_; ++x) {
+    for (int y = 1; y <= ny_; ++y) out.push_back(Loc{x, y, 0});
+  }
+  return out;
+}
+
+std::vector<Loc> Placement::legal_io_locs() const {
+  std::vector<Loc> out;
+  for (int sub = 0; sub < spec_->io_per_tile; ++sub) {
+    for (int x = 1; x <= nx_; ++x) {
+      out.push_back(Loc{x, 0, sub});
+      out.push_back(Loc{x, ny_ + 1, sub});
+    }
+    for (int y = 1; y <= ny_; ++y) {
+      out.push_back(Loc{0, y, sub});
+      out.push_back(Loc{nx_ + 1, y, sub});
+    }
+  }
+  return out;
+}
+
+void Placement::initial_place(std::uint64_t seed) {
+  Rng rng(seed);
+  auto clb_locs = legal_clb_locs();
+  auto io_locs = legal_io_locs();
+  rng.shuffle(clb_locs);
+  rng.shuffle(io_locs);
+  locs_.assign(blocks_.size(), Loc{});
+  std::size_t ci = 0, ii = 0;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].kind == BlockKind::kClb) {
+      AMDREL_CHECK(ci < clb_locs.size());
+      locs_[b] = clb_locs[ci++];
+    } else {
+      AMDREL_CHECK(ii < io_locs.size());
+      locs_[b] = io_locs[ii++];
+    }
+  }
+}
+
+int Placement::block_of_cluster(int cluster) const {
+  return cluster_block_[static_cast<std::size_t>(cluster)];
+}
+
+int Placement::block_of_pad(SignalId s) const {
+  auto it = pad_block_.find(s);
+  AMDREL_CHECK_MSG(it != pad_block_.end(), "signal has no pad");
+  return it->second;
+}
+
+int Placement::block_by_name(const std::string& name) const {
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].name == name) return static_cast<int>(b);
+  }
+  return -1;
+}
+
+void Placement::set_location(int block, const Loc& loc) {
+  AMDREL_CHECK(block >= 0 && block < static_cast<int>(blocks_.size()));
+  locs_[static_cast<std::size_t>(block)] = loc;
+}
+
+double Placement::net_cost(const Net& net) const {
+  int xmin = 1 << 30, xmax = -1, ymin = 1 << 30, ymax = -1;
+  auto touch = [&](int b) {
+    const Loc& l = locs_[static_cast<std::size_t>(b)];
+    xmin = std::min(xmin, l.x);
+    xmax = std::max(xmax, l.x);
+    ymin = std::min(ymin, l.y);
+    ymax = std::max(ymax, l.y);
+  };
+  touch(net.source);
+  for (int b : net.sinks) touch(b);
+  const int pins = 1 + static_cast<int>(net.sinks.size());
+  return fanout_q(pins) * ((xmax - xmin) + (ymax - ymin));
+}
+
+double Placement::total_cost() const {
+  double c = 0;
+  for (const auto& n : nets_) c += net_cost(n);
+  return c;
+}
+
+Placement::AnnealStats Placement::anneal(const AnnealOptions& options) {
+  Rng rng(options.seed);
+  AnnealStats stats;
+  stats.initial_cost = total_cost();
+
+  // Block lists by type for move selection.
+  std::vector<int> clbs, ios;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    (blocks_[b].kind == BlockKind::kClb ? clbs : ios).push_back(
+        static_cast<int>(b));
+  }
+
+  // Occupancy map: location → block (or -1).
+  auto loc_key = [&](const Loc& l) {
+    return (l.x * (ny_ + 2) + l.y) * spec_->io_per_tile + l.sub;
+  };
+  std::vector<int> occupant(
+      static_cast<std::size_t>((nx_ + 2) * (ny_ + 2) * spec_->io_per_tile),
+      -1);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    occupant[static_cast<std::size_t>(loc_key(locs_[b]))] = static_cast<int>(b);
+  }
+
+  auto clb_locs = legal_clb_locs();
+  auto io_locs = legal_io_locs();
+
+  const int n_blocks = static_cast<int>(blocks_.size());
+  const long long moves_per_t = std::max<long long>(
+      32, static_cast<long long>(options.inner_num *
+                                 std::pow(n_blocks, 4.0 / 3.0)));
+
+  // Initial temperature: 20 × stddev of random-move deltas (VPR).
+  double cost = stats.initial_cost;
+  double rlim = std::max(nx_, ny_);
+
+  auto cost_of_nets = [&](const std::vector<int>& net_ids) {
+    double c = 0;
+    for (int ni : net_ids) c += net_cost(nets_[static_cast<std::size_t>(ni)]);
+    return c;
+  };
+
+  auto propose_and_apply = [&](double temperature, bool always_accept,
+                               double* delta_out) -> bool {
+    // Pick a random block; find a partner location within rlim.
+    bool move_clb = !clbs.empty() && (ios.empty() || rng.next_bool(0.7));
+    const std::vector<int>& group = move_clb ? clbs : ios;
+    int b = group[static_cast<std::size_t>(rng.next_below(group.size()))];
+    const Loc from = locs_[static_cast<std::size_t>(b)];
+
+    Loc to;
+    if (move_clb) {
+      const int r = std::max(1, static_cast<int>(rlim));
+      to.x = std::clamp(from.x + rng.next_int(-r, r), 1, nx_);
+      to.y = std::clamp(from.y + rng.next_int(-r, r), 1, ny_);
+      to.sub = 0;
+    } else {
+      to = io_locs[static_cast<std::size_t>(rng.next_below(io_locs.size()))];
+    }
+    if (to == from) return false;
+    int other = occupant[static_cast<std::size_t>(loc_key(to))];
+    if (other >= 0 && blocks_[static_cast<std::size_t>(other)].kind !=
+                          blocks_[static_cast<std::size_t>(b)].kind) {
+      // IO↔CLB swaps are illegal; CLB moves only land on CLB tiles by
+      // construction, so this triggers only when pads share coordinates.
+      return false;
+    }
+
+    // Affected nets.
+    std::set<int> affected(block_nets_[static_cast<std::size_t>(b)].begin(),
+                           block_nets_[static_cast<std::size_t>(b)].end());
+    if (other >= 0) {
+      affected.insert(block_nets_[static_cast<std::size_t>(other)].begin(),
+                      block_nets_[static_cast<std::size_t>(other)].end());
+    }
+    std::vector<int> affected_v(affected.begin(), affected.end());
+    const double before = cost_of_nets(affected_v);
+
+    locs_[static_cast<std::size_t>(b)] = to;
+    if (other >= 0) locs_[static_cast<std::size_t>(other)] = from;
+    const double after = cost_of_nets(affected_v);
+    const double delta = after - before;
+    *delta_out = delta;
+
+    bool accept =
+        always_accept || delta <= 0 ||
+        (temperature > 0 && rng.next_double() < std::exp(-delta / temperature));
+    if (accept) {
+      occupant[static_cast<std::size_t>(loc_key(to))] = b;
+      occupant[static_cast<std::size_t>(loc_key(from))] = other;
+      cost += delta;
+      return true;
+    }
+    // Revert.
+    locs_[static_cast<std::size_t>(b)] = from;
+    if (other >= 0) locs_[static_cast<std::size_t>(other)] = to;
+    return false;
+  };
+
+  // Estimate T0.
+  double sum = 0, sum2 = 0;
+  int samples = 0;
+  for (int i = 0; i < std::min(200, 10 * n_blocks); ++i) {
+    double delta = 0;
+    if (propose_and_apply(0, /*always_accept=*/true, &delta)) {
+      sum += delta;
+      sum2 += delta * delta;
+      ++samples;
+    }
+  }
+  double t = 1.0;
+  if (samples > 1) {
+    double var = (sum2 - sum * sum / samples) / (samples - 1);
+    t = 20.0 * std::sqrt(std::max(var, 1e-9));
+  }
+  cost = total_cost();  // re-sync after the shuffling sample moves
+
+  const double exit_t =
+      0.005 * cost / std::max<std::size_t>(1, nets_.size());
+  while (t > exit_t && cost > 1e-9) {
+    long long accepted = 0;
+    for (long long m = 0; m < moves_per_t; ++m) {
+      double delta = 0;
+      if (propose_and_apply(t, false, &delta)) ++accepted;
+      ++stats.moves;
+    }
+    stats.accepted += accepted;
+    ++stats.temperatures;
+    const double alpha_rate =
+        static_cast<double>(accepted) / static_cast<double>(moves_per_t);
+    // VPR's adaptive cooling.
+    double alpha;
+    if (alpha_rate > 0.96) alpha = 0.5;
+    else if (alpha_rate > 0.8) alpha = 0.9;
+    else if (alpha_rate > 0.15) alpha = 0.95;
+    else alpha = 0.8;
+    t *= alpha;
+    // Window adaptation toward 44% acceptance.
+    rlim = std::clamp(rlim * (1.0 - 0.44 + alpha_rate), 1.0,
+                      static_cast<double>(std::max(nx_, ny_)));
+    if (!options.quiet) {
+      log_info() << "T=" << t << " cost=" << cost << " acc=" << alpha_rate
+                 << " rlim=" << rlim;
+    }
+  }
+  stats.final_cost = total_cost();
+  validate();
+  return stats;
+}
+
+void Placement::validate() const {
+  std::set<std::tuple<int, int, int>> used;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const Loc& l = locs_[b];
+    if (blocks_[b].kind == BlockKind::kClb) {
+      AMDREL_CHECK_MSG(l.x >= 1 && l.x <= nx_ && l.y >= 1 && l.y <= ny_,
+                       "CLB off-grid");
+    } else {
+      const bool on_ring = (l.x == 0 || l.x == nx_ + 1) !=
+                           (l.y == 0 || l.y == ny_ + 1);
+      AMDREL_CHECK_MSG(on_ring, "IO pad not on the perimeter ring");
+      AMDREL_CHECK_MSG(l.sub >= 0 && l.sub < spec_->io_per_tile,
+                       "bad pad sub-slot");
+    }
+    auto key = std::make_tuple(l.x, l.y, l.sub);
+    AMDREL_CHECK_MSG(used.insert(key).second, "two blocks share a location");
+  }
+}
+
+}  // namespace amdrel::place

@@ -1,0 +1,110 @@
+#pragma once
+// VPR-style placement: adaptive simulated annealing over an island-style
+// grid, bounding-box wirelength cost (the paper's flow uses VPR 4.30).
+//
+// Coordinates follow VPR's convention: CLBs occupy (1..nx, 1..ny); IO pads
+// live on the perimeter ring (x==0, x==nx+1, y==0 or y==ny+1), several per
+// tile. Clock nets are global (not placed-for / not routed).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "pack/pack.hpp"
+
+namespace amdrel::place {
+
+struct Loc {
+  int x = 0;
+  int y = 0;
+  int sub = 0;  ///< pad slot within an IO tile (0 for CLBs)
+  bool operator==(const Loc& o) const {
+    return x == o.x && y == o.y && sub == o.sub;
+  }
+};
+
+/// A placeable block: one packed cluster, or one IO pad (a primary input
+/// or primary output of the netlist).
+enum class BlockKind { kClb, kInputPad, kOutputPad };
+
+struct Block {
+  BlockKind kind;
+  int index;                  ///< cluster index, or PI/PO position
+  netlist::SignalId signal;   ///< pad signal (pads only)
+  std::string name;
+};
+
+/// A placed design: blocks, their locations, and the inter-block nets.
+class Placement {
+ public:
+  Placement(const pack::PackedNetlist& packed, const arch::ArchSpec& spec);
+
+  const pack::PackedNetlist& packed() const { return *packed_; }
+  const arch::ArchSpec& spec() const { return *spec_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const Loc& location(int block) const {
+    return locs_[static_cast<std::size_t>(block)];
+  }
+  /// Block index of a cluster / of the pad for a PI or PO signal.
+  int block_of_cluster(int cluster) const;
+  int block_of_pad(netlist::SignalId s) const;
+  /// Block index by display name (-1 if absent).
+  int block_by_name(const std::string& name) const;
+  /// Overrides a block's location (validate() afterwards to check).
+  void set_location(int block, const Loc& loc);
+
+  /// Inter-block nets (source block + sink blocks), clocks excluded.
+  struct Net {
+    netlist::SignalId signal;
+    int source = -1;
+    std::vector<int> sinks;
+  };
+  const std::vector<Net>& nets() const { return nets_; }
+
+  /// Half-perimeter wirelength of one net / of the whole placement,
+  /// with VPR's fanout correction factor q(n).
+  double net_cost(const Net& net) const;
+  double total_cost() const;
+
+  /// Runs the annealer (called by `place`); also used by tests directly.
+  struct AnnealOptions {
+    std::uint64_t seed = 1;
+    double inner_num = 10.0;   ///< moves per block per temperature
+    bool quiet = true;
+  };
+  struct AnnealStats {
+    double initial_cost = 0;
+    double final_cost = 0;
+    int temperatures = 0;
+    long long moves = 0;
+    long long accepted = 0;
+  };
+  AnnealStats anneal(const AnnealOptions& options);
+
+  /// Checks no two blocks share a location and all locations are legal.
+  void validate() const;
+
+ private:
+  void build_blocks_and_nets();
+  void initial_place(std::uint64_t seed);
+  std::vector<Loc> legal_clb_locs() const;
+  std::vector<Loc> legal_io_locs() const;
+
+  const pack::PackedNetlist* packed_;
+  const arch::ArchSpec* spec_;
+  int nx_ = 1, ny_ = 1;
+  std::vector<Block> blocks_;
+  std::vector<Loc> locs_;
+  std::vector<Net> nets_;
+  std::map<netlist::SignalId, int> pad_block_;
+  std::vector<int> cluster_block_;
+  // net membership per block for incremental cost updates
+  std::vector<std::vector<int>> block_nets_;
+};
+
+}  // namespace amdrel::place

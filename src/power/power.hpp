@@ -1,0 +1,47 @@
+#pragma once
+// PowerModel — dynamic / short-circuit / leakage power estimation for the
+// placed-and-routed design (after Poon–Yan–Wilton's flexible FPGA power
+// model, the tool the paper's flow integrates).
+//
+// Switching activities come from random-vector simulation of the mapped
+// netlist; capacitances from the routing usage and the 0.18 µm process
+// substitute; CLB-internal energies from the transistor-level cell
+// characterization (src/cells). The clock network term models the paper's
+// BLE- and CLB-level clock gating, which is what Tables 2–3 motivate.
+
+#include <string>
+
+#include "route/pathfinder.hpp"
+
+namespace amdrel::power {
+
+struct PowerOptions {
+  double clock_hz = 100e6;
+  int sim_cycles = 256;     ///< random-vector simulation length
+  std::uint64_t seed = 1;
+  double input_activity = 0.5;  ///< PI toggle probability per cycle
+};
+
+struct PowerReport {
+  // Averages in watts at the given clock.
+  double logic_w = 0.0;      ///< LUTs + local interconnect
+  double routing_w = 0.0;    ///< global wires + switches
+  double clock_w = 0.0;      ///< clock network incl. gating
+  double short_circuit_w = 0.0;
+  double leakage_w = 0.0;
+  double total_w = 0.0;
+
+  /// Same design without clock gating (for gating-benefit reports).
+  double clock_ungated_w = 0.0;
+
+  std::string summary() const;
+};
+
+PowerReport estimate_power(const pack::PackedNetlist& packed,
+                           const place::Placement& placement,
+                           const route::RrGraph& graph,
+                           const route::RouteResult& routing,
+                           const arch::ArchSpec& spec,
+                           const PowerOptions& options = {});
+
+}  // namespace amdrel::power

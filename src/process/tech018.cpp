@@ -1,0 +1,46 @@
+#include "process/tech018.hpp"
+
+#include "util/error.hpp"
+
+namespace amdrel::process {
+
+double Tech018::transistor_area_um2(double w_um) const {
+  AMDREL_CHECK(w_um > 0);
+  // Gate area plus two diffusion regions of length ~0.48 µm (contacted),
+  // matching the VPR "minimum-width transistor area" style of accounting.
+  const double diff_len = 0.48;
+  return w_um * (l_min_um + 2.0 * diff_len);
+}
+
+WireModel Tech018::wire(WireWidth w, WireSpacing s) const {
+  const double width =
+      (w == WireWidth::kMinimum) ? m3_width_min_um : 2.0 * m3_width_min_um;
+  const double spacing =
+      (s == WireSpacing::kMinimum) ? m3_spacing_min_um : 2.0 * m3_spacing_min_um;
+
+  WireModel m{};
+  m.r_per_um = m3_sheet_ohm / width;
+  // Lateral coupling falls off roughly inversely with spacing; two neighbours.
+  const double couple =
+      2.0 * m3_c_couple_min * (m3_spacing_min_um / spacing);
+  m.c_per_um = m3_c_area * width + 2.0 * m3_c_fringe + couple;
+  m.pitch_um = width + spacing;
+  return m;
+}
+
+double Tech018::gate_cap(const MosfetParams& p, double w_um) const {
+  const double w_m = w_um * 1e-6;
+  const double l_m = l_min_um * 1e-6;
+  return p.cox_area * w_m * l_m + 2.0 * p.c_overlap * w_m;
+}
+
+double Tech018::junction_cap(const MosfetParams& p, double w_um) const {
+  return p.c_junction * (w_um * 1e-6);
+}
+
+const Tech018& default_tech() {
+  static const Tech018 tech{};
+  return tech;
+}
+
+}  // namespace amdrel::process

@@ -1,0 +1,78 @@
+#pragma once
+// Generic 0.18 µm CMOS process description.
+//
+// Substitutes for the STM 0.18 µm 6-metal PDK the paper used (DESIGN.md §1).
+// Values are public-knowledge "generic 0.18 µm" numbers: they reproduce the
+// relative energy/delay/area behaviour the paper's explorations depend on,
+// not STM-confidential absolutes.
+
+namespace amdrel::process {
+
+/// MOSFET level-1 (Shichman–Hodges) parameters for one device polarity.
+struct MosfetParams {
+  double vth;        ///< threshold voltage [V] (negative for PMOS)
+  double kp;         ///< transconductance µCox [A/V^2]
+  double lambda;     ///< channel-length modulation [1/V]
+  double cox_area;   ///< gate-oxide capacitance [F/m^2]
+  double c_overlap;  ///< gate-source/drain overlap cap [F/m of width]
+  double c_junction; ///< source/drain junction cap [F/m of width]
+  double i_leak;     ///< subthreshold leakage at W=Wmin [A]
+};
+
+/// Interconnect wire geometry options explored in the paper (Figs 8–10).
+enum class WireWidth { kMinimum, kDouble };
+enum class WireSpacing { kMinimum, kDouble };
+
+/// Per-unit-length electricals of a metal-3 route.
+struct WireModel {
+  double r_per_um;  ///< resistance [ohm/µm]
+  double c_per_um;  ///< total capacitance to neighbours+ground [F/µm]
+  double pitch_um;  ///< width + spacing [µm] (area model)
+};
+
+/// The process container; defaults model a generic 6-metal 0.18 µm node.
+struct Tech018 {
+  double vdd = 1.8;              ///< supply [V]
+  double l_min_um = 0.18;        ///< minimum drawn channel length [µm]
+  double w_min_um = 0.28;        ///< minimum contacted width [µm] (paper §3.3.2)
+  double temp_c = 25.0;
+
+  MosfetParams nmos{
+      /*vth=*/0.45, /*kp=*/170e-6, /*lambda=*/0.08,
+      /*cox_area=*/8.4e-3, /*c_overlap=*/3.6e-10, /*c_junction=*/4.5e-10,
+      /*i_leak=*/20e-12};
+  MosfetParams pmos{
+      /*vth=*/-0.45, /*kp=*/58e-6, /*lambda=*/0.10,
+      /*cox_area=*/8.4e-3, /*c_overlap=*/3.6e-10, /*c_junction=*/5.0e-10,
+      /*i_leak=*/10e-12};
+
+  // Metal-3 baseline geometry (chosen by the paper for its low capacitance).
+  double m3_width_min_um = 0.28;
+  double m3_spacing_min_um = 0.28;
+  double m3_sheet_ohm = 0.075;     ///< sheet resistance [ohm/sq]
+  double m3_c_area = 0.040e-15;    ///< area cap [F/µm^2] (to layers above/below)
+  double m3_c_fringe = 0.020e-15;  ///< fringe cap [F/µm per edge]
+  double m3_c_couple_min = 0.080e-15;  ///< coupling at min spacing [F/µm per side]
+
+  /// Physical span of one CLB tile (logical length 1 wire) [µm].
+  /// Sized for the paper's N=5, K=4 cluster in 0.18 µm.
+  double clb_tile_span_um = 120.0;
+
+  /// Layout area of a transistor of width w (µm), VPR minimum-width-area
+  /// style metric [µm^2]. Includes diffusion contacts.
+  double transistor_area_um2(double w_um) const;
+
+  /// Wire electricals for a geometry option.
+  WireModel wire(WireWidth w, WireSpacing s) const;
+
+  /// Gate capacitance of a device of width w_um, length l_min [F].
+  double gate_cap(const MosfetParams& p, double w_um) const;
+
+  /// Junction (drain or source) capacitance of a device of width w_um [F].
+  double junction_cap(const MosfetParams& p, double w_um) const;
+};
+
+/// The framework-wide default process instance.
+const Tech018& default_tech();
+
+}  // namespace amdrel::process

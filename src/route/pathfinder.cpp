@@ -1,0 +1,322 @@
+#include "route/pathfinder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel::route {
+
+namespace {
+
+struct HeapEntry {
+  double cost;        // path cost + A* estimate
+  double path_cost;   // actual accumulated cost
+  int node;
+  int from;           // predecessor node id (-1 for tree nodes)
+  bool operator>(const HeapEntry& o) const { return cost > o.cost; }
+};
+
+/// Manhattan-distance lower bound from node to the target sink tile.
+double expected_cost(const RrNode& n, const RrNode& sink) {
+  return std::abs(n.x - sink.x) + std::abs(n.y - sink.y);
+}
+
+}  // namespace
+
+RouteResult route_all(const RrGraph& graph, const place::Placement& placement,
+                      const RouteOptions& options) {
+  const auto& nodes = graph.nodes();
+  const int n_nodes = static_cast<int>(nodes.size());
+  const int n_nets = static_cast<int>(placement.nets().size());
+
+  RouteResult result;
+  result.routes.assign(static_cast<std::size_t>(n_nets), NetRoute{});
+
+  std::vector<int> occupancy(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<double> history(static_cast<std::size_t>(n_nodes), 0.0);
+  // Per-net set of used nodes (for rip-up).
+  std::vector<std::vector<int>> net_nodes(static_cast<std::size_t>(n_nets));
+
+  double pres_fac = options.first_iter_pres_fac;
+
+  auto node_cost = [&](int id, double pres) {
+    const RrNode& n = nodes[static_cast<std::size_t>(id)];
+    double cost = n.base_cost + history[static_cast<std::size_t>(id)];
+    const int over = occupancy[static_cast<std::size_t>(id)] + 1 - n.capacity;
+    if (over > 0) cost *= (1.0 + over * pres);
+    return cost;
+  };
+
+  // Scratch buffers for Dijkstra.
+  std::vector<double> best_cost(static_cast<std::size_t>(n_nodes), 0.0);
+  std::vector<int> visit_mark(static_cast<std::size_t>(n_nodes), -1);
+  std::vector<int> pred(static_cast<std::size_t>(n_nodes), -1);
+  int visit_token = 0;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    bool any_overuse = false;
+
+    for (int ni = 0; ni < n_nets; ++ni) {
+      const auto& sinks = graph.sinks_of_net(ni);
+      if (sinks.empty()) continue;
+      const int source = graph.opin_of_net(ni);
+
+      // Rip up this net.
+      for (int id : net_nodes[static_cast<std::size_t>(ni)]) {
+        --occupancy[static_cast<std::size_t>(id)];
+      }
+      net_nodes[static_cast<std::size_t>(ni)].clear();
+
+      // Route tree: start with the source.
+      std::vector<int> tree_nodes{source};
+      std::map<int, int> tree_parent;  // node id → parent node id (-1 root)
+      tree_parent[source] = -1;
+
+      std::set<int> remaining(sinks.begin(), sinks.end());
+      bool net_ok = true;
+      while (!remaining.empty()) {
+        // Dijkstra from the whole tree to the nearest remaining sink.
+        ++visit_token;
+        std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                            std::greater<HeapEntry>>
+            heap;
+        // Pick one target for the A* estimate (nearest by Manhattan).
+        const RrNode& probe = nodes[static_cast<std::size_t>(*remaining.begin())];
+        (void)probe;
+        int target_for_astar = *remaining.begin();
+        {
+          // choose the closest remaining sink to the tree root for the
+          // heuristic; any admissible target works since we accept any sink.
+          target_for_astar = *remaining.begin();
+        }
+        const RrNode& tgt = nodes[static_cast<std::size_t>(target_for_astar)];
+
+        for (int id : tree_nodes) {
+          const double est = options.astar_fac *
+                             expected_cost(nodes[static_cast<std::size_t>(id)], tgt);
+          heap.push(HeapEntry{est, 0.0, id, -1});
+        }
+
+        int found_sink = -1;
+        while (!heap.empty()) {
+          HeapEntry e = heap.top();
+          heap.pop();
+          if (visit_mark[static_cast<std::size_t>(e.node)] == visit_token &&
+              best_cost[static_cast<std::size_t>(e.node)] <= e.path_cost) {
+            continue;
+          }
+          visit_mark[static_cast<std::size_t>(e.node)] = visit_token;
+          best_cost[static_cast<std::size_t>(e.node)] = e.path_cost;
+          pred[static_cast<std::size_t>(e.node)] = e.from;
+
+          const RrNode& n = nodes[static_cast<std::size_t>(e.node)];
+          if (n.type == RrType::kSink) {
+            if (remaining.count(e.node)) {
+              found_sink = e.node;
+              break;
+            }
+            continue;  // someone else's sink: don't expand through it
+          }
+          for (int next : n.out_edges) {
+            if (visit_mark[static_cast<std::size_t>(next)] == visit_token &&
+                best_cost[static_cast<std::size_t>(next)] <= e.path_cost) {
+              continue;
+            }
+            // Never route through another block's IPIN chain: an IPIN only
+            // leads to its sink, so expanding it is harmless but wasteful;
+            // skip IPINs whose sink is not wanted.
+            const RrNode& nn = nodes[static_cast<std::size_t>(next)];
+            if (nn.type == RrType::kIpin) {
+              bool wanted = false;
+              for (int oe : nn.out_edges) {
+                if (remaining.count(oe)) {
+                  wanted = true;
+                  break;
+                }
+              }
+              if (!wanted) continue;
+            }
+            const double c = e.path_cost + node_cost(next, pres_fac);
+            const double est =
+                c + options.astar_fac *
+                        expected_cost(nn, tgt);
+            heap.push(HeapEntry{est, c, next, e.node});
+          }
+        }
+        if (found_sink < 0) {
+          net_ok = false;
+          break;
+        }
+        // Trace back; add path to tree.
+        remaining.erase(found_sink);
+        int cur = found_sink;
+        std::vector<int> path;
+        while (cur != -1 && tree_parent.find(cur) == tree_parent.end()) {
+          path.push_back(cur);
+          cur = pred[static_cast<std::size_t>(cur)];
+        }
+        AMDREL_CHECK_MSG(cur != -1, "trace-back lost the route tree");
+        int attach = cur;
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+          tree_parent[*it] = attach;
+          tree_nodes.push_back(*it);
+          attach = *it;
+        }
+      }
+
+      if (!net_ok) {
+        // Leave the net unrouted this iteration; it stays overused next
+        // round. Record nothing.
+        result.routes[static_cast<std::size_t>(ni)] = NetRoute{};
+        // Routing failed even with congestion pricing: fatal only if the
+        // graph simply has no path (first iteration, no congestion).
+        if (iter == 1) {
+          result.success = false;
+          result.message =
+              strprintf("net %d has no path in the RR graph", ni);
+          return result;
+        }
+        any_overuse = true;
+        continue;
+      }
+
+      // Commit occupancy.
+      NetRoute route;
+      std::map<int, int> index_of;
+      for (int id : tree_nodes) {
+        index_of[id] = static_cast<int>(route.nodes.size());
+        route.nodes.push_back(id);
+        ++occupancy[static_cast<std::size_t>(id)];
+      }
+      route.parent.assign(route.nodes.size(), -1);
+      for (std::size_t k = 0; k < route.nodes.size(); ++k) {
+        int p = tree_parent[route.nodes[k]];
+        route.parent[k] = (p < 0) ? -1 : index_of[p];
+      }
+      net_nodes[static_cast<std::size_t>(ni)] = route.nodes;
+      result.routes[static_cast<std::size_t>(ni)] = std::move(route);
+    }
+
+    // Check for overuse; update history.
+    int overused = 0;
+    for (int id = 0; id < n_nodes; ++id) {
+      const int over = occupancy[static_cast<std::size_t>(id)] -
+                       nodes[static_cast<std::size_t>(id)].capacity;
+      if (over > 0) {
+        ++overused;
+        history[static_cast<std::size_t>(id)] += options.acc_fac * over;
+      }
+    }
+    if (!options.quiet) {
+      log_info() << "pathfinder iter " << iter << ": " << overused
+                 << " overused nodes";
+    }
+    if (overused == 0 && !any_overuse) {
+      result.success = true;
+      result.iterations = iter;
+      for (const auto& r : result.routes) {
+        for (int id : r.nodes) {
+          const auto t = nodes[static_cast<std::size_t>(id)].type;
+          if (t == RrType::kChanX || t == RrType::kChanY) {
+            ++result.total_wire_nodes;
+          }
+        }
+      }
+      return result;
+    }
+    pres_fac *= options.pres_fac_mult;
+  }
+  result.success = false;
+  result.iterations = options.max_iterations;
+  result.message = "congestion did not resolve";
+  return result;
+}
+
+int minimum_channel_width(const place::Placement& placement,
+                          const arch::ArchSpec& spec, RouteResult* result,
+                          const RouteOptions& options, int w_min, int w_max) {
+  // Find an upper bound that routes.
+  int lo = w_min, hi = w_max;
+  RouteResult best;
+  int best_w = -1;
+  {
+    int w = std::max(w_min, spec.channel_width);
+    for (;; w *= 2) {
+      if (w > w_max) break;
+      RrGraph graph(placement, spec, w);
+      RouteResult r = route_all(graph, placement, options);
+      if (r.success) {
+        best = std::move(r);
+        best_w = w;
+        hi = w;
+        break;
+      }
+      lo = w + 1;
+    }
+  }
+  if (best_w < 0) {
+    // Nothing routed up to w_max.
+    if (result != nullptr) *result = RouteResult{};
+    return -1;
+  }
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    RrGraph graph(placement, spec, mid);
+    RouteResult r = route_all(graph, placement, options);
+    if (r.success) {
+      best = std::move(r);
+      best_w = mid;
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (result != nullptr) *result = std::move(best);
+  return best_w;
+}
+
+void verify_routing(const RrGraph& graph, const place::Placement& placement,
+                    const RouteResult& result) {
+  AMDREL_CHECK_MSG(result.success, "verify_routing on a failed result");
+  const auto& nodes = graph.nodes();
+  std::vector<int> occupancy(nodes.size(), 0);
+  for (std::size_t ni = 0; ni < result.routes.size(); ++ni) {
+    const NetRoute& r = result.routes[ni];
+    const auto& sinks = graph.sinks_of_net(static_cast<int>(ni));
+    if (sinks.empty()) continue;
+    AMDREL_CHECK_MSG(!r.nodes.empty(), "net has no route");
+    // Tree structure: parent[0] == -1; all others valid.
+    AMDREL_CHECK(r.parent.size() == r.nodes.size());
+    AMDREL_CHECK_MSG(r.parent[0] == -1, "route tree root has a parent");
+    AMDREL_CHECK_MSG(r.nodes[0] == graph.opin_of_net(static_cast<int>(ni)),
+                     "route tree does not start at the net's OPIN");
+    std::set<int> in_tree(r.nodes.begin(), r.nodes.end());
+    for (std::size_t k = 1; k < r.nodes.size(); ++k) {
+      const int p = r.parent[k];
+      AMDREL_CHECK_MSG(p >= 0 && p < static_cast<int>(k + 1), "bad parent");
+      // Parent must actually be adjacent in the RR graph.
+      const auto& pn = nodes[static_cast<std::size_t>(r.nodes[static_cast<std::size_t>(p)])];
+      bool adjacent =
+          std::find(pn.out_edges.begin(), pn.out_edges.end(), r.nodes[k]) !=
+          pn.out_edges.end();
+      AMDREL_CHECK_MSG(adjacent, "route uses a non-existent RR edge");
+    }
+    for (int s : sinks) {
+      AMDREL_CHECK_MSG(in_tree.count(s), "route misses a sink");
+    }
+    for (int id : r.nodes) ++occupancy[static_cast<std::size_t>(id)];
+  }
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    AMDREL_CHECK_MSG(occupancy[id] <= nodes[id].capacity,
+                     "RR node over capacity after routing");
+  }
+  (void)placement;
+}
+
+}  // namespace amdrel::route

@@ -1,0 +1,51 @@
+#pragma once
+// PathFinder negotiated-congestion routing (VPR's router) plus the
+// channel-width binary search used for minimum-W experiments.
+
+#include <string>
+#include <vector>
+
+#include "route/rr_graph.hpp"
+
+namespace amdrel::route {
+
+struct RouteOptions {
+  int max_iterations = 40;
+  double first_iter_pres_fac = 0.5;
+  double pres_fac_mult = 1.6;
+  double acc_fac = 1.0;          ///< history cost increment
+  double astar_fac = 1.2;        ///< expected-cost weight (A*)
+  bool quiet = true;
+};
+
+/// The routing of one net: a tree of RR nodes (parent edges).
+struct NetRoute {
+  std::vector<int> nodes;              ///< all nodes used (tree order)
+  std::vector<int> parent;             ///< parent[i] index into `nodes`, -1=root
+};
+
+struct RouteResult {
+  bool success = false;
+  int iterations = 0;
+  std::vector<NetRoute> routes;        ///< per placement-net
+  int total_wire_nodes = 0;            ///< wire segments used
+  std::string message;
+};
+
+/// Routes all placement nets on the given RR graph.
+RouteResult route_all(const RrGraph& graph, const place::Placement& placement,
+                      const RouteOptions& options = {});
+
+/// Binary-searches the minimum channel width that routes successfully.
+/// Returns the width and fills `result` with the routing at that width.
+int minimum_channel_width(const place::Placement& placement,
+                          const arch::ArchSpec& spec, RouteResult* result,
+                          const RouteOptions& options = {}, int w_min = 4,
+                          int w_max = 128);
+
+/// Verifies a successful result: every net's tree is connected, reaches
+/// all its sinks, and no RR node exceeds its capacity. Throws on failure.
+void verify_routing(const RrGraph& graph, const place::Placement& placement,
+                    const RouteResult& result);
+
+}  // namespace amdrel::route

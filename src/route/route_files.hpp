@@ -1,0 +1,34 @@
+#pragma once
+// VPR-style .place and .route text artifacts — the "Placement and routing
+// file" the paper lists as DAGGER's input. Writers emit the classic
+// formats; the .place reader allows re-loading a placement (e.g. for
+// re-routing with a different channel width).
+
+#include <iosfwd>
+#include <string>
+
+#include "route/pathfinder.hpp"
+
+namespace amdrel::route {
+
+/// Writes the placement in VPR 4.30 .place style:
+///   netlist grid WxH
+///   block_name  x  y  subblk  #index
+void write_place_file(const place::Placement& placement, std::ostream& out);
+std::string write_place_string(const place::Placement& placement);
+
+/// Applies locations from a .place file onto a freshly built Placement
+/// (matched by block name). Throws on unknown blocks or illegal spots.
+void read_place_file(std::istream& in, place::Placement* placement,
+                     const std::string& filename = "<place>");
+void read_place_string(const std::string& text, place::Placement* placement);
+
+/// Writes the routing in VPR .route style: one block per net with the
+/// sequence of RR nodes (OPIN/CHANX/CHANY/IPIN/SINK with coordinates).
+void write_route_file(const RrGraph& graph, const place::Placement& placement,
+                      const RouteResult& routing, std::ostream& out);
+std::string write_route_string(const RrGraph& graph,
+                               const place::Placement& placement,
+                               const RouteResult& routing);
+
+}  // namespace amdrel::route

@@ -1,0 +1,297 @@
+#include "route/rr_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel::route {
+
+using place::BlockKind;
+using place::Loc;
+using place::Placement;
+
+RrGraph::RrGraph(const Placement& placement, const arch::ArchSpec& spec,
+                 int channel_width)
+    : placement_(&placement),
+      spec_(&spec),
+      width_(channel_width),
+      nx_(placement.nx()),
+      ny_(placement.ny()) {
+  AMDREL_CHECK(width_ >= 1);
+  build();
+}
+
+int RrGraph::add_node(RrNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+// chanx segments: x in 1..nx, y in 0..ny (channel between rows y and y+1).
+int RrGraph::chanx_id(int x, int y, int t) const {
+  AMDREL_CHECK(x >= 1 && x <= nx_ && y >= 0 && y <= ny_ && t >= 0 &&
+               t < width_);
+  return chanx_base_[static_cast<std::size_t>(y * nx_ + (x - 1))] + t;
+}
+
+// chany segments: x in 0..nx, y in 1..ny.
+int RrGraph::chany_id(int x, int y, int t) const {
+  AMDREL_CHECK(x >= 0 && x <= nx_ && y >= 1 && y <= ny_ && t >= 0 &&
+               t < width_);
+  return chany_base_[static_cast<std::size_t>(x * ny_ + (y - 1))] + t;
+}
+
+void RrGraph::build() {
+  const Placement& pl = *placement_;
+  const arch::ArchSpec& spec = *spec_;
+
+  // ---- wire nodes ----
+  chanx_base_.assign(static_cast<std::size_t>((ny_ + 1) * nx_), -1);
+  for (int y = 0; y <= ny_; ++y) {
+    for (int x = 1; x <= nx_; ++x) {
+      chanx_base_[static_cast<std::size_t>(y * nx_ + (x - 1))] =
+          static_cast<int>(nodes_.size());
+      for (int t = 0; t < width_; ++t) {
+        RrNode n;
+        n.type = RrType::kChanX;
+        n.x = x;
+        n.y = y;
+        n.track = t;
+        n.base_cost = 1.0;
+        add_node(std::move(n));
+      }
+    }
+  }
+  chany_base_.assign(static_cast<std::size_t>((nx_ + 1) * ny_), -1);
+  for (int x = 0; x <= nx_; ++x) {
+    for (int y = 1; y <= ny_; ++y) {
+      chany_base_[static_cast<std::size_t>(x * ny_ + (y - 1))] =
+          static_cast<int>(nodes_.size());
+      for (int t = 0; t < width_; ++t) {
+        RrNode n;
+        n.type = RrType::kChanY;
+        n.x = x;
+        n.y = y;
+        n.track = t;
+        n.base_cost = 1.0;
+        add_node(std::move(n));
+      }
+    }
+  }
+
+  auto connect2 = [&](int a, int b) {
+    nodes_[static_cast<std::size_t>(a)].out_edges.push_back(b);
+    nodes_[static_cast<std::size_t>(b)].out_edges.push_back(a);
+  };
+
+  // ---- disjoint switch boxes (Fs = 3): same-track connections ----
+  for (int x = 0; x <= nx_; ++x) {
+    for (int y = 0; y <= ny_; ++y) {
+      for (int t = 0; t < width_; ++t) {
+        const int left = (x >= 1) ? chanx_id(x, y, t) : -1;
+        const int right = (x + 1 <= nx_) ? chanx_id(x + 1, y, t) : -1;
+        const int below = (y >= 1) ? chany_id(x, y, t) : -1;
+        const int above = (y + 1 <= ny_) ? chany_id(x, y + 1, t) : -1;
+        if (left >= 0 && right >= 0) connect2(left, right);
+        if (below >= 0 && above >= 0) connect2(below, above);
+        if (left >= 0 && below >= 0) connect2(left, below);
+        if (left >= 0 && above >= 0) connect2(left, above);
+        if (right >= 0 && below >= 0) connect2(right, below);
+        if (right >= 0 && above >= 0) connect2(right, above);
+      }
+    }
+  }
+
+  // Track selection for a pin: a staggered Fc window.
+  const int fc_in_tracks =
+      std::max(1, static_cast<int>(std::lround(spec.fc_in * width_)));
+  const int fc_out_tracks =
+      std::max(1, static_cast<int>(std::lround(spec.fc_out * width_)));
+  auto pin_tracks = [&](int pin, int n_tracks) {
+    std::vector<int> tracks;
+    for (int k = 0; k < n_tracks; ++k) {
+      tracks.push_back((pin + k) % width_);
+    }
+    std::sort(tracks.begin(), tracks.end());
+    tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+    return tracks;
+  };
+
+  // Channel segments adjacent to tile (x, y): {chanx below, chanx above,
+  // chany left, chany right}; side = pin % 4 picks one.
+  auto adjacent_wire = [&](int x, int y, int side, int t) -> int {
+    switch (side) {
+      case 0: return chanx_id(x, y - 1, t);  // below
+      case 1: return chanx_id(x, y, t);      // above
+      case 2: return chany_id(x - 1, y, t);  // left
+      default: return chany_id(x, y, t);     // right
+    }
+  };
+
+  // ---- per-block pins ----
+  const auto& blocks = pl.blocks();
+  std::vector<int> block_sink(blocks.size(), -1);
+  std::vector<std::vector<int>> block_opins(blocks.size());
+
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const auto& blk = blocks[bi];
+    const Loc& loc = pl.location(static_cast<int>(bi));
+    if (blk.kind == BlockKind::kClb) {
+      const int n_in = spec.cluster_inputs();
+      const int n_out = spec.n;
+      // SINK (capacity I).
+      RrNode sink;
+      sink.type = RrType::kSink;
+      sink.x = loc.x;
+      sink.y = loc.y;
+      sink.block = static_cast<int>(bi);
+      sink.capacity = n_in;
+      sink.base_cost = 0.0;
+      const int sink_id = add_node(std::move(sink));
+      block_sink[bi] = sink_id;
+      // IPINs.
+      for (int p = 0; p < n_in; ++p) {
+        RrNode ipin;
+        ipin.type = RrType::kIpin;
+        ipin.x = loc.x;
+        ipin.y = loc.y;
+        ipin.pin = p;
+        ipin.block = static_cast<int>(bi);
+        ipin.base_cost = 0.95;
+        const int ipin_id = add_node(std::move(ipin));
+        nodes_[static_cast<std::size_t>(ipin_id)].out_edges.push_back(sink_id);
+        const int side = p % 4;
+        for (int t : pin_tracks(p, fc_in_tracks)) {
+          const int wire = adjacent_wire(loc.x, loc.y, side, t);
+          nodes_[static_cast<std::size_t>(wire)].out_edges.push_back(ipin_id);
+        }
+      }
+      // OPINs.
+      for (int p = 0; p < n_out; ++p) {
+        RrNode opin;
+        opin.type = RrType::kOpin;
+        opin.x = loc.x;
+        opin.y = loc.y;
+        opin.pin = p;
+        opin.block = static_cast<int>(bi);
+        opin.base_cost = 1.0;
+        const int opin_id = add_node(std::move(opin));
+        block_opins[bi].push_back(opin_id);
+        const int side = (p + 1) % 4;
+        for (int t : pin_tracks(p + n_in, fc_out_tracks)) {
+          const int wire = adjacent_wire(loc.x, loc.y, side, t);
+          nodes_[static_cast<std::size_t>(opin_id)].out_edges.push_back(wire);
+        }
+      }
+    } else {
+      // IO pad: the channel bordering the core.
+      auto pad_wire = [&](int t) -> int {
+        if (loc.y == 0) return chanx_id(loc.x, 0, t);
+        if (loc.y == ny_ + 1) return chanx_id(loc.x, ny_, t);
+        if (loc.x == 0) return chany_id(0, loc.y, t);
+        return chany_id(nx_, loc.y, t);
+      };
+      if (blk.kind == BlockKind::kInputPad) {
+        RrNode opin;
+        opin.type = RrType::kOpin;
+        opin.x = loc.x;
+        opin.y = loc.y;
+        opin.pin = loc.sub;
+        opin.block = static_cast<int>(bi);
+        const int opin_id = add_node(std::move(opin));
+        block_opins[bi].push_back(opin_id);
+        for (int t : pin_tracks(loc.sub, fc_out_tracks)) {
+          nodes_[static_cast<std::size_t>(opin_id)].out_edges.push_back(
+              pad_wire(t));
+        }
+      } else {
+        RrNode sink;
+        sink.type = RrType::kSink;
+        sink.x = loc.x;
+        sink.y = loc.y;
+        sink.block = static_cast<int>(bi);
+        sink.capacity = 1;
+        sink.base_cost = 0.0;
+        const int sink_id = add_node(std::move(sink));
+        block_sink[bi] = sink_id;
+        RrNode ipin;
+        ipin.type = RrType::kIpin;
+        ipin.x = loc.x;
+        ipin.y = loc.y;
+        ipin.pin = loc.sub;
+        ipin.block = static_cast<int>(bi);
+        ipin.base_cost = 0.95;
+        const int ipin_id = add_node(std::move(ipin));
+        nodes_[static_cast<std::size_t>(ipin_id)].out_edges.push_back(sink_id);
+        for (int t : pin_tracks(loc.sub, fc_in_tracks)) {
+          nodes_[static_cast<std::size_t>(pad_wire(t))].out_edges.push_back(
+              ipin_id);
+        }
+      }
+    }
+  }
+
+  // ---- net terminals ----
+  const auto& nets = pl.nets();
+  net_opin_.assign(nets.size(), -1);
+  net_sinks_.assign(nets.size(), {});
+
+  // Cluster output pin slot per signal: index within output_signals.
+  for (std::size_t ni = 0; ni < nets.size(); ++ni) {
+    const auto& net = nets[ni];
+    const auto& src_blk = blocks[static_cast<std::size_t>(net.source)];
+    if (src_blk.kind == BlockKind::kClb) {
+      const auto& cluster =
+          pl.packed().clusters()[static_cast<std::size_t>(src_blk.index)];
+      // OPIN p is hard-wired to BLE slot p's output (matches the CLB
+      // structure and the bitstream decoder's interpretation).
+      int slot = -1;
+      for (std::size_t k = 0; k < cluster.bles.size(); ++k) {
+        const auto& ble =
+            pl.packed().bles()[static_cast<std::size_t>(cluster.bles[k])];
+        if (ble.output == net.signal) {
+          slot = static_cast<int>(k);
+          break;
+        }
+      }
+      AMDREL_CHECK_MSG(slot >= 0, "net source not among cluster outputs");
+      AMDREL_CHECK(slot < static_cast<int>(block_opins[static_cast<std::size_t>(net.source)].size()));
+      net_opin_[ni] =
+          block_opins[static_cast<std::size_t>(net.source)][static_cast<std::size_t>(slot)];
+    } else {
+      net_opin_[ni] =
+          block_opins[static_cast<std::size_t>(net.source)][0];
+    }
+    for (int sink_blk : net.sinks) {
+      if (sink_blk == net.source) continue;  // PI==PO degenerate
+      const int sid = block_sink[static_cast<std::size_t>(sink_blk)];
+      AMDREL_CHECK_MSG(sid >= 0, "sink block has no sink node");
+      net_sinks_[ni].push_back(sid);
+    }
+  }
+}
+
+int RrGraph::opin_of_net(int net_index) const {
+  return net_opin_[static_cast<std::size_t>(net_index)];
+}
+
+const std::vector<int>& RrGraph::sinks_of_net(int net_index) const {
+  return net_sinks_[static_cast<std::size_t>(net_index)];
+}
+
+std::string RrGraph::stats() const {
+  int wires = 0, pins = 0, sinks = 0;
+  std::size_t edges = 0;
+  for (const auto& n : nodes_) {
+    if (n.type == RrType::kChanX || n.type == RrType::kChanY) ++wires;
+    else if (n.type == RrType::kSink) ++sinks;
+    else ++pins;
+    edges += n.out_edges.size();
+  }
+  return strprintf("%d nodes (%d wires, %d pins, %d sinks), %zu edges, W=%d",
+                   static_cast<int>(nodes_.size()), wires, pins, sinks, edges,
+                   width_);
+}
+
+}  // namespace amdrel::route

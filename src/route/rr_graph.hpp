@@ -1,0 +1,58 @@
+#pragma once
+// Routing-resource graph for the island-style architecture: channel wire
+// segments (length = segment_length), disjoint switch boxes (Fs=3),
+// connection boxes with Fc_in/Fc_out, CLB pins and IO pads.
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "place/place.hpp"
+
+namespace amdrel::route {
+
+enum class RrType { kOpin, kIpin, kSink, kChanX, kChanY };
+
+struct RrNode {
+  RrType type;
+  int x = 0, y = 0;      ///< tile (tracks: the low corner of the segment)
+  int track = -1;        ///< channel track index (wires only)
+  int pin = -1;          ///< pin index (pins only)
+  int block = -1;        ///< placement block (pins/sinks only)
+  int capacity = 1;
+  double base_cost = 1.0;
+  std::vector<int> out_edges;  ///< adjacent node ids
+};
+
+/// Builds the RR graph for a placed design; node ids are stable.
+class RrGraph {
+ public:
+  RrGraph(const place::Placement& placement, const arch::ArchSpec& spec,
+          int channel_width);
+
+  const std::vector<RrNode>& nodes() const { return nodes_; }
+  int channel_width() const { return width_; }
+
+  /// Source node (an OPIN) of each placement net / its sink nodes.
+  int opin_of_net(int net_index) const;
+  const std::vector<int>& sinks_of_net(int net_index) const;
+
+  std::string stats() const;
+
+ private:
+  void build();
+  int add_node(RrNode node);
+  int chanx_id(int x, int y, int t) const;
+  int chany_id(int x, int y, int t) const;
+
+  const place::Placement* placement_;
+  const arch::ArchSpec* spec_;
+  int width_;
+  int nx_, ny_;
+  std::vector<RrNode> nodes_;
+  std::vector<int> chanx_base_, chany_base_;
+  std::vector<int> net_opin_;
+  std::vector<std::vector<int>> net_sinks_;
+};
+
+}  // namespace amdrel::route

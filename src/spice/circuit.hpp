@@ -1,0 +1,116 @@
+#pragma once
+// Transistor-level circuit netlist for the analog transient simulator.
+//
+// Supported devices cover everything the paper's experiments need: level-1
+// MOSFETs, linear R and C, and independent voltage sources with DC / pulse /
+// piecewise-linear waveforms. Node 0 is ground.
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "process/tech018.hpp"
+
+namespace amdrel::spice {
+
+using NodeId = int;
+constexpr NodeId kGround = 0;
+
+/// Piecewise-linear voltage waveform; flat before first / after last point.
+class Waveform {
+ public:
+  static Waveform dc(double volts);
+  /// Periodic pulse: v0 → v1 with given delay, rise/fall, width, period.
+  static Waveform pulse(double v0, double v1, double delay, double rise,
+                        double fall, double width, double period);
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  double at(double t) const;
+
+ private:
+  // For pulses we keep parameters (exact periodicity); for PWL the points.
+  enum class Kind { kDc, kPulse, kPwl } kind_ = Kind::kDc;
+  double dc_ = 0.0;
+  double v0_ = 0, v1_ = 0, delay_ = 0, rise_ = 0, fall_ = 0, width_ = 0,
+         period_ = 0;
+  std::vector<std::pair<double, double>> points_;
+};
+
+enum class MosType { kNmos, kPmos };
+
+struct Mosfet {
+  std::string name;
+  MosType type;
+  NodeId drain, gate, source;
+  double w_um;  ///< drawn width [µm]
+  double l_um;  ///< drawn length [µm]
+};
+
+struct Resistor {
+  std::string name;
+  NodeId a, b;
+  double ohms;
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId a, b;
+  double farads;
+};
+
+struct VSource {
+  std::string name;
+  NodeId pos, neg;
+  Waveform wave;
+};
+
+/// A flat transistor-level circuit plus its process binding.
+class Circuit {
+ public:
+  explicit Circuit(const process::Tech018& tech = process::default_tech());
+
+  const process::Tech018& tech() const { return *tech_; }
+
+  /// Returns the node id for `name`, creating it on first use.
+  NodeId node(const std::string& name);
+  /// Anonymous internal node.
+  NodeId new_node();
+  bool has_node(const std::string& name) const;
+  NodeId find_node(const std::string& name) const;  // throws if absent
+  int num_nodes() const { return next_node_; }
+  std::string node_name(NodeId n) const;
+
+  void add_mosfet(const std::string& name, MosType type, NodeId d, NodeId g,
+                  NodeId s, double w_um, double l_um = 0.0);
+  void add_resistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  void add_capacitor(const std::string& name, NodeId a, NodeId b,
+                     double farads);
+  /// Adds to an existing cap between the same ordered pair if present.
+  void add_cap_to_ground(NodeId n, double farads);
+  void add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                   Waveform wave);
+
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+
+  /// Total drawn transistor width [µm] (area proxy) and device count.
+  double total_transistor_width_um() const;
+
+  /// Layout-area estimate of all devices [µm^2] (see Tech018).
+  double device_area_um2() const;
+
+ private:
+  const process::Tech018* tech_;
+  int next_node_ = 1;  // 0 is ground
+  std::unordered_map<std::string, NodeId> node_names_;
+  std::vector<std::string> names_by_id_;
+  std::vector<Mosfet> mosfets_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+};
+
+}  // namespace amdrel::spice

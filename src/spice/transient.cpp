@@ -1,0 +1,412 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace amdrel::spice {
+namespace {
+
+/// Level-1 drain current of an NMOS-normalized device (vgs/vds already
+/// polarity-adjusted, vds >= 0 after source/drain swap). Returns ids and
+/// derivatives w.r.t. vgs and vds.
+struct MosEval {
+  double ids, gm, gds;
+};
+
+MosEval level1(double vgs, double vds, double vth, double beta,
+               double lambda) {
+  MosEval e{0.0, 0.0, 0.0};
+  const double vov = vgs - vth;
+  if (vov <= 0) {
+    // Cut off. A tiny slope keeps NR matrices non-singular.
+    return e;
+  }
+  const double clm = 1.0 + lambda * vds;
+  if (vds < vov) {
+    // Triode.
+    e.ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    e.gm = beta * vds * clm;
+    e.gds = beta * (vov - vds) * clm +
+            beta * (vov * vds - 0.5 * vds * vds) * lambda;
+  } else {
+    // Saturation.
+    e.ids = 0.5 * beta * vov * vov * clm;
+    e.gm = beta * vov * clm;
+    e.gds = 0.5 * beta * vov * vov * lambda;
+  }
+  return e;
+}
+
+}  // namespace
+
+double TransientResult::energy_from(const std::string& prefix) const {
+  double total = 0;
+  for (std::size_t i = 0; i < source_names.size(); ++i) {
+    if (source_names[i].rfind(prefix, 0) == 0) total += source_energy[i];
+  }
+  return total;
+}
+
+std::vector<double> TransientResult::crossings(NodeId n, double level,
+                                               bool rising) const {
+  std::vector<double> out;
+  const auto& v = voltage[static_cast<std::size_t>(n)];
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const bool up = v[i - 1] < level && v[i] >= level;
+    const bool down = v[i - 1] > level && v[i] <= level;
+    if ((rising && up) || (!rising && down)) {
+      const double frac = (level - v[i - 1]) / (v[i] - v[i - 1]);
+      out.push_back(time[i - 1] + frac * (time[i] - time[i - 1]));
+    }
+  }
+  return out;
+}
+
+double TransientResult::delay_from(double t_from, NodeId out, double level,
+                                   bool rising) const {
+  for (double t : crossings(out, level, rising)) {
+    if (t >= t_from) return t - t_from;
+  }
+  return -1.0;
+}
+
+TransientSim::TransientSim(const Circuit& circuit) : circuit_(&circuit) {
+  n_nodes_ = circuit.num_nodes();
+  n_vsrc_ = static_cast<int>(circuit.vsources().size());
+  n_unknowns_ = (n_nodes_ - 1) + n_vsrc_;
+  AMDREL_CHECK_MSG(n_vsrc_ > 0, "circuit has no sources");
+  build_static_structure();
+  x_.assign(static_cast<std::size_t>(n_unknowns_), 0.0);
+  mat_.assign(static_cast<std::size_t>(n_unknowns_) * n_unknowns_, 0.0);
+  rhs_.assign(static_cast<std::size_t>(n_unknowns_), 0.0);
+  perm_.assign(static_cast<std::size_t>(n_unknowns_), 0);
+}
+
+void TransientSim::build_static_structure() {
+  const auto& tech = circuit_->tech();
+  mos_caps_.clear();
+  mos_caps_.reserve(circuit_->mosfets().size());
+  for (const auto& m : circuit_->mosfets()) {
+    const auto& p = (m.type == MosType::kNmos) ? tech.nmos : tech.pmos;
+    const double w_m = m.w_um * 1e-6;
+    const double l_m = m.l_um * 1e-6;
+    const double c_ox = p.cox_area * w_m * l_m;
+    const double c_ov = p.c_overlap * w_m;
+    DeviceCaps c{};
+    c.cgs = 0.5 * c_ox + c_ov;
+    c.cgd = 0.5 * c_ox + c_ov;
+    c.cdb = p.c_junction * w_m;
+    c.csb = p.c_junction * w_m;
+    mos_caps_.push_back(c);
+  }
+}
+
+namespace {
+
+// Dense LU with partial pivoting; solves in place. Returns false if singular.
+bool lu_solve(std::vector<double>& a, std::vector<double>& b,
+              std::vector<int>& perm, int n) {
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  auto at = [&](int r, int c) -> double& {
+    return a[static_cast<std::size_t>(r) * n + c];
+  };
+  for (int k = 0; k < n; ++k) {
+    int piv = k;
+    double best = std::fabs(at(k, k));
+    for (int r = k + 1; r < n; ++r) {
+      const double v = std::fabs(at(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (piv != k) {
+      for (int c = 0; c < n; ++c) std::swap(at(k, c), at(piv, c));
+      std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(piv)]);
+    }
+    const double inv = 1.0 / at(k, k);
+    for (int r = k + 1; r < n; ++r) {
+      const double f = at(r, k) * inv;
+      if (f == 0.0) continue;
+      at(r, k) = 0.0;
+      for (int c = k + 1; c < n; ++c) at(r, c) -= f * at(k, c);
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(k)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double s = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c)
+      s -= at(r, c) * b[static_cast<std::size_t>(c)];
+    b[static_cast<std::size_t>(r)] = s / at(r, r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TransientSim::newton_solve(double t, double dt,
+                                const std::vector<double>& x_prev,
+                                double source_scale,
+                                const TransientOptions& options) {
+  const int n = n_unknowns_;
+  const auto& tech = circuit_->tech();
+  const int nv = n_nodes_ - 1;  // voltage unknowns (node i -> index i-1)
+
+  auto vnode = [&](const std::vector<double>& x, NodeId node) -> double {
+    return node == kGround ? 0.0 : x[static_cast<std::size_t>(node - 1)];
+  };
+
+  std::vector<double> x = x_;
+  for (int iter = 0; iter < options.nr_max_iters; ++iter) {
+    std::fill(mat_.begin(), mat_.end(), 0.0);
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    auto A = [&](int r, int c) -> double& {
+      return mat_[static_cast<std::size_t>(r) * n + c];
+    };
+    auto stamp_g = [&](NodeId a, NodeId b, double g) {
+      if (a != kGround) A(a - 1, a - 1) += g;
+      if (b != kGround) A(b - 1, b - 1) += g;
+      if (a != kGround && b != kGround) {
+        A(a - 1, b - 1) -= g;
+        A(b - 1, a - 1) -= g;
+      }
+    };
+    auto stamp_i = [&](NodeId from, NodeId to, double i) {
+      // Current i flowing from `from` to `to` through the device.
+      if (from != kGround) rhs_[static_cast<std::size_t>(from - 1)] -= i;
+      if (to != kGround) rhs_[static_cast<std::size_t>(to - 1)] += i;
+    };
+
+    // gmin to ground at every node.
+    for (int node = 1; node < n_nodes_; ++node)
+      A(node - 1, node - 1) += options.gmin;
+
+    // Resistors.
+    for (const auto& r : circuit_->resistors())
+      stamp_g(r.a, r.b, 1.0 / r.ohms);
+
+    // Capacitors (backward Euler companion); dt<=0 means DC: open circuit.
+    if (dt > 0) {
+      auto stamp_cap = [&](NodeId a, NodeId b, double c) {
+        const double geq = c / dt;
+        const double vp = vnode(x_prev, a) - vnode(x_prev, b);
+        stamp_g(a, b, geq);
+        // i_C = geq*(v - vp): companion current source geq*vp from b to a.
+        stamp_i(b, a, geq * vp);
+      };
+      for (const auto& c : circuit_->capacitors()) stamp_cap(c.a, c.b, c.farads);
+      const auto& mosfets = circuit_->mosfets();
+      for (std::size_t i = 0; i < mosfets.size(); ++i) {
+        const auto& m = mosfets[i];
+        const auto& dc = mos_caps_[i];
+        stamp_cap(m.gate, m.source, dc.cgs);
+        stamp_cap(m.gate, m.drain, dc.cgd);
+        stamp_cap(m.drain, kGround, dc.cdb);
+        stamp_cap(m.source, kGround, dc.csb);
+      }
+    }
+
+    // MOSFETs (linearized level-1).
+    //
+    // We evaluate every device as a "normalized NMOS": voltages are
+    // multiplied by `sign` (+1 NMOS, −1 PMOS) and source/drain are swapped
+    // so the normalized Vds >= 0. Substituting physical voltages back into
+    // the normalized linearization shows the conductance stamps are
+    // identical to the NMOS case while the equivalent current source picks
+    // up a factor `sign`.
+    for (const auto& m : circuit_->mosfets()) {
+      const auto& p = (m.type == MosType::kNmos) ? tech.nmos : tech.pmos;
+      const double beta = p.kp * (m.w_um / m.l_um);
+      const double vd = vnode(x, m.drain);
+      const double vg = vnode(x, m.gate);
+      const double vs = vnode(x, m.source);
+
+      const double sign = (m.type == MosType::kNmos) ? 1.0 : -1.0;
+      const bool swapped = (sign * vd) < (sign * vs);
+      const NodeId nd = swapped ? m.source : m.drain;
+      const NodeId ns = swapped ? m.drain : m.source;
+      const double vns = std::min(sign * vd, sign * vs);
+      const double vnd = std::max(sign * vd, sign * vs);
+      const double vng = sign * vg;
+
+      const double vth = (m.type == MosType::kNmos) ? p.vth : -p.vth;
+      const MosEval e = level1(vng - vns, vnd - vns, vth, beta, p.lambda);
+      const double ieq = e.ids - e.gm * (vng - vns) - e.gds * (vnd - vns);
+
+      // Physical-voltage linear model: i(nd→ns) = gm·(vg−v(ns)) +
+      // gds·(v(nd)−v(ns)) + sign·ieq.
+      if (nd != kGround) {
+        A(nd - 1, nd - 1) += e.gds;
+        if (ns != kGround) A(nd - 1, ns - 1) -= (e.gds + e.gm);
+        if (m.gate != kGround) A(nd - 1, m.gate - 1) += e.gm;
+      }
+      if (ns != kGround) {
+        A(ns - 1, ns - 1) += (e.gds + e.gm);
+        if (nd != kGround) A(ns - 1, nd - 1) -= e.gds;
+        if (m.gate != kGround) A(ns - 1, m.gate - 1) -= e.gm;
+      }
+      stamp_i(nd, ns, sign * ieq);
+    }
+
+    // Voltage sources.
+    const auto& vsources = circuit_->vsources();
+    for (int k = 0; k < n_vsrc_; ++k) {
+      const auto& src = vsources[static_cast<std::size_t>(k)];
+      const int row = nv + k;
+      const double value = source_scale * src.wave.at(t);
+      if (src.pos != kGround) {
+        A(row, src.pos - 1) += 1.0;
+        A(src.pos - 1, row) += 1.0;
+      }
+      if (src.neg != kGround) {
+        A(row, src.neg - 1) -= 1.0;
+        A(src.neg - 1, row) -= 1.0;
+      }
+      rhs_[static_cast<std::size_t>(row)] = value;
+    }
+
+    std::vector<double> sol = rhs_;
+    std::vector<double> a = mat_;
+    if (!lu_solve(a, sol, perm_, n)) return false;
+
+    // Damped update and convergence check on node voltages. The damping
+    // limit tightens as iterations accumulate, which breaks the limit
+    // cycles positive-feedback structures (keepers, level restorers) can
+    // otherwise fall into.
+    const double limit = iter < 40 ? 0.6 : (iter < 80 ? 0.15 : 0.04);
+    double max_dv = 0.0;
+    for (int i = 0; i < nv; ++i) {
+      double dv = sol[static_cast<std::size_t>(i)] - x[static_cast<std::size_t>(i)];
+      max_dv = std::max(max_dv, std::fabs(dv));
+      if (dv > limit) dv = limit;
+      if (dv < -limit) dv = -limit;
+      x[static_cast<std::size_t>(i)] += dv;
+    }
+    for (int i = nv; i < n; ++i)
+      x[static_cast<std::size_t>(i)] = sol[static_cast<std::size_t>(i)];
+
+    if (max_dv < options.nr_tol) {
+      x_ = x;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TransientSim::solve_dc() {
+  TransientOptions options;
+  options.nr_max_iters = 400;
+  std::vector<double> x_prev = x_;
+  // gmin stepping wrapped around source stepping: solve heavily damped
+  // first (large conductance to ground everywhere), then relax. Handles
+  // floating pass-transistor nodes and ratioed feedback loops.
+  options.gmin = 1e-3;
+  bool ok = true;
+  for (double scale : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    ok = newton_solve(0.0, /*dt=*/-1.0, x_prev, scale, options) && ok;
+  }
+  for (double gmin : {1e-5, 1e-7, 1e-9, 1e-12}) {
+    options.gmin = gmin;
+    ok = newton_solve(0.0, /*dt=*/-1.0, x_prev, 1.0, options);
+  }
+  if (!ok) {
+    // Pseudo-transient continuation: positive-feedback structures (keepers,
+    // level restorers) can defeat plain NR. Ramp the sources with the real
+    // capacitors in place — the circuit then settles physically.
+    options.gmin = 1e-9;
+    std::fill(x_.begin(), x_.end(), 0.0);
+    const double dt = 10e-12;
+    const int n_ramp = 200, n_hold = 200;
+    ok = true;
+    for (int k = 1; k <= n_ramp + n_hold && ok; ++k) {
+      const double scale = std::min(1.0, static_cast<double>(k) / n_ramp);
+      std::vector<double> xp = x_;
+      ok = newton_solve(0.0, dt, xp, scale, options);
+    }
+    if (ok) {
+      // Polish to the true operating point; keep the settled state even if
+      // the polish fails (run() continues smoothly from it).
+      options.gmin = 1e-12;
+      std::vector<double> xp = x_;
+      newton_solve(0.0, /*dt=*/-1.0, xp, 1.0, options);
+      ok = true;
+    }
+  }
+  AMDREL_CHECK_MSG(ok, "DC operating point failed to converge");
+  have_dc_ = true;
+}
+
+TransientResult TransientSim::run(const TransientOptions& options) {
+  if (!have_dc_) solve_dc();
+
+  TransientResult result;
+  const auto& vsources = circuit_->vsources();
+  for (const auto& s : vsources) result.source_names.push_back(s.name);
+  result.source_energy.assign(vsources.size(), 0.0);
+  result.source_charge.assign(vsources.size(), 0.0);
+  if (options.record) {
+    result.voltage.assign(static_cast<std::size_t>(n_nodes_), {});
+  }
+
+  const int nv = n_nodes_ - 1;
+  auto record_sample = [&](double t) {
+    if (!options.record) return;
+    result.time.push_back(t);
+    result.voltage[0].push_back(0.0);
+    for (int node = 1; node < n_nodes_; ++node) {
+      result.voltage[static_cast<std::size_t>(node)].push_back(
+          x_[static_cast<std::size_t>(node - 1)]);
+    }
+  };
+
+  record_sample(0.0);
+
+  const double dt0 = options.dt;
+  double t = 0.0;
+  while (t < options.t_stop - 0.5 * dt0) {
+    const double t_next = t + dt0;
+    std::vector<double> x_prev = x_;
+    if (!newton_solve(t_next, dt0, x_prev, 1.0, options)) {
+      // Retry the step with 8 sub-steps.
+      bool ok = true;
+      const int sub = 8;
+      x_ = x_prev;
+      for (int k = 1; k <= sub; ++k) {
+        std::vector<double> xp = x_;
+        if (!newton_solve(t + dt0 * k / sub, dt0 / sub, xp, 1.0, options)) {
+          ok = false;
+          break;
+        }
+        // Accumulate energy for sub-steps.
+        for (int s = 0; s < n_vsrc_; ++s) {
+          const double i = x_[static_cast<std::size_t>(nv + s)];
+          const double v = vsources[static_cast<std::size_t>(s)].wave.at(
+              t + dt0 * k / sub);
+          result.source_energy[static_cast<std::size_t>(s)] +=
+              -v * i * (dt0 / sub);
+          result.source_charge[static_cast<std::size_t>(s)] += -i * (dt0 / sub);
+        }
+      }
+      AMDREL_CHECK_MSG(ok, "transient step failed to converge");
+      t = t_next;
+      record_sample(t);
+      continue;
+    }
+    // MNA convention: branch current flows + → − inside the source, so the
+    // current delivered to the circuit from the + terminal is −I.
+    for (int s = 0; s < n_vsrc_; ++s) {
+      const double i = x_[static_cast<std::size_t>(nv + s)];
+      const double v = vsources[static_cast<std::size_t>(s)].wave.at(t_next);
+      result.source_energy[static_cast<std::size_t>(s)] += -v * i * dt0;
+      result.source_charge[static_cast<std::size_t>(s)] += -i * dt0;
+    }
+    t = t_next;
+    record_sample(t);
+  }
+  return result;
+}
+
+}  // namespace amdrel::spice

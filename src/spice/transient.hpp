@@ -1,0 +1,86 @@
+#pragma once
+// Transient (and DC operating point) analysis.
+//
+// Modified nodal analysis with Newton–Raphson per timestep and backward-Euler
+// companion models. Accurate enough for relative energy/delay comparisons of
+// small digital cells (the paper's use case); see DESIGN.md §1.
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace amdrel::spice {
+
+/// Sampled node-voltage traces plus per-source energy bookkeeping.
+struct TransientResult {
+  std::vector<double> time;                        ///< [s], one per sample
+  std::vector<std::vector<double>> voltage;        ///< [node][sample]
+  std::vector<std::string> source_names;
+  std::vector<double> source_energy;               ///< energy delivered [J]
+  std::vector<double> source_charge;               ///< charge delivered [C]
+
+  double v(NodeId n, std::size_t sample) const {
+    return voltage[static_cast<std::size_t>(n)][sample];
+  }
+
+  /// Total energy delivered by sources whose name starts with `prefix`
+  /// (e.g. "vdd" to sum all supply rails).
+  double energy_from(const std::string& prefix) const;
+
+  /// Times at which node `n` crosses `level` in the given direction.
+  /// rising=true counts upward crossings.
+  std::vector<double> crossings(NodeId n, double level, bool rising) const;
+
+  /// Propagation delay: first crossing of `out` after time `t_from`.
+  /// Returns -1 if the output never crosses.
+  double delay_from(double t_from, NodeId out, double level,
+                    bool rising) const;
+};
+
+struct TransientOptions {
+  double t_stop = 10e-9;   ///< [s]
+  double dt = 1e-12;       ///< fixed base step [s]
+  double nr_tol = 1e-6;    ///< NR convergence |dV| [V]
+  int nr_max_iters = 100;
+  double gmin = 1e-12;     ///< convergence conductance to ground [S]
+  bool record = true;      ///< keep voltage traces (off for energy-only runs)
+};
+
+class TransientSim {
+ public:
+  explicit TransientSim(const Circuit& circuit);
+
+  /// DC operating point with all sources at t=0 value (source stepping used
+  /// for convergence). Result stored as initial condition for run().
+  void solve_dc();
+
+  /// Runs the transient; implies solve_dc() if not already done.
+  TransientResult run(const TransientOptions& options);
+
+ private:
+  struct DeviceCaps {  // linearized intrinsic caps of one MOSFET
+    double cgs, cgd, cdb, csb;
+  };
+
+  void build_static_structure();
+  /// One NR solve at the given time with BE companion caps (dt<=0: DC).
+  /// Updates x_ in place; returns false on non-convergence.
+  bool newton_solve(double t, double dt, const std::vector<double>& x_prev,
+                    double source_scale, const TransientOptions& options);
+
+  const Circuit* circuit_;
+  int n_nodes_;       // including ground
+  int n_vsrc_;
+  int n_unknowns_;    // (n_nodes_-1) + n_vsrc_
+  std::vector<DeviceCaps> mos_caps_;
+  std::vector<double> x_;  // current solution
+  bool have_dc_ = false;
+
+  // scratch (reused across steps)
+  std::vector<double> mat_;
+  std::vector<double> rhs_;
+  std::vector<int> perm_;
+};
+
+}  // namespace amdrel::spice

@@ -1,0 +1,296 @@
+#include "synth/lutmap.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "synth/opt.hpp"
+#include "util/error.hpp"
+
+namespace amdrel::synth {
+
+using netlist::Gate;
+using netlist::kNoSignal;
+using netlist::Network;
+using netlist::SignalId;
+using netlist::TruthTable;
+
+namespace {
+
+/// A K-feasible cut: sorted leaf signals + costs.
+struct Cut {
+  std::vector<SignalId> leaves;
+  int depth = 0;          // LUT depth if this cut is chosen
+  double area_flow = 0.0;
+
+  bool operator==(const Cut& o) const { return leaves == o.leaves; }
+};
+
+bool cut_better(const Cut& a, const Cut& b) {
+  if (a.depth != b.depth) return a.depth < b.depth;
+  if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+  return a.leaves.size() < b.leaves.size();
+}
+
+/// Merges two sorted leaf sets; returns false if the union exceeds k.
+bool merge_leaves(const std::vector<SignalId>& a,
+                  const std::vector<SignalId>& b, int k,
+                  std::vector<SignalId>* out) {
+  out->clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    SignalId next;
+    if (i < a.size() && (j >= b.size() || a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) ++j;
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    out->push_back(next);
+    if (static_cast<int>(out->size()) > k) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Network map_to_luts(const Network& input, const LutMapOptions& options,
+                    LutMapStats* stats) {
+  AMDREL_CHECK(options.k >= 2 && options.k <= 8);
+  // Gates wider than K cannot be covered by one LUT; decompose first.
+  bool needs_decompose = false;
+  for (const auto& g : input.gates()) {
+    if (g.table.n_inputs() > 2) {
+      needs_decompose = true;
+      break;
+    }
+  }
+  Network base = needs_decompose ? decompose_to_2input(input)
+                                 : propagate_constants(input);
+  const Network& net = base;
+
+  const int n_signals = net.num_signals();
+  std::vector<int> driver(static_cast<std::size_t>(n_signals), -1);
+  std::vector<int> fanout(static_cast<std::size_t>(n_signals), 0);
+  for (std::size_t gi = 0; gi < net.gates().size(); ++gi) {
+    driver[static_cast<std::size_t>(net.gates()[gi].output)] =
+        static_cast<int>(gi);
+    for (SignalId in : net.gates()[gi].inputs) {
+      ++fanout[static_cast<std::size_t>(in)];
+    }
+  }
+  for (SignalId s : net.outputs()) ++fanout[static_cast<std::size_t>(s)];
+  for (const auto& l : net.latches()) ++fanout[static_cast<std::size_t>(l.d)];
+
+  // Cut sets per signal. Leaves (PI, latch Q) have the trivial cut only.
+  std::vector<std::vector<Cut>> cuts(static_cast<std::size_t>(n_signals));
+  std::vector<int> best_depth(static_cast<std::size_t>(n_signals), 0);
+  std::vector<double> best_af(static_cast<std::size_t>(n_signals), 0.0);
+
+  auto leaf_cut = [](SignalId s) {
+    Cut c;
+    c.leaves = {s};
+    c.depth = 0;
+    c.area_flow = 0.0;
+    return c;
+  };
+  for (SignalId s : net.inputs()) {
+    cuts[static_cast<std::size_t>(s)] = {leaf_cut(s)};
+  }
+  for (const auto& l : net.latches()) {
+    cuts[static_cast<std::size_t>(l.q)] = {leaf_cut(l.q)};
+  }
+
+  auto topo = net.topo_order();
+  for (int gi : topo) {
+    const Gate& g = net.gates()[static_cast<std::size_t>(gi)];
+    const SignalId out = g.output;
+    std::vector<Cut> cand;
+
+    auto eval_cut = [&](std::vector<SignalId> leaves) {
+      Cut c;
+      c.leaves = std::move(leaves);
+      c.depth = 1;
+      c.area_flow = 1.0;
+      for (SignalId leaf : c.leaves) {
+        c.depth = std::max(c.depth,
+                           best_depth[static_cast<std::size_t>(leaf)] + 1);
+        c.area_flow += best_af[static_cast<std::size_t>(leaf)];
+      }
+      return c;
+    };
+
+    if (g.inputs.empty()) {
+      // Constant gate: trivially its own LUT.
+      cand.push_back(eval_cut({}));
+    } else if (g.inputs.size() == 1) {
+      for (const Cut& c : cuts[static_cast<std::size_t>(g.inputs[0])]) {
+        cand.push_back(eval_cut(c.leaves));
+      }
+    } else {
+      AMDREL_CHECK_MSG(static_cast<int>(g.inputs.size()) <= options.k,
+                       "gate wider than K after decomposition");
+      // Pairwise merge across all fanins (2-input after decomposition, but
+      // support up to K-input gates by folding left).
+      std::vector<Cut> acc = cuts[static_cast<std::size_t>(g.inputs[0])];
+      for (std::size_t fi = 1; fi < g.inputs.size(); ++fi) {
+        std::vector<Cut> next;
+        std::vector<SignalId> merged;
+        for (const Cut& a : acc) {
+          for (const Cut& b :
+               cuts[static_cast<std::size_t>(g.inputs[fi])]) {
+            if (!merge_leaves(a.leaves, b.leaves, options.k, &merged)) {
+              continue;
+            }
+            Cut c;
+            c.leaves = merged;
+            next.push_back(std::move(c));
+          }
+        }
+        acc = std::move(next);
+      }
+      for (Cut& c : acc) cand.push_back(eval_cut(std::move(c.leaves)));
+    }
+    // Dedup + keep the best few.
+    std::sort(cand.begin(), cand.end(), cut_better);
+    std::vector<Cut> kept;
+    for (Cut& c : cand) {
+      bool dup = false;
+      for (const Cut& k : kept) {
+        if (k == c) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) kept.push_back(std::move(c));
+      if (static_cast<int>(kept.size()) >=
+          options.cuts_per_node - 1) {
+        break;
+      }
+    }
+    AMDREL_CHECK_MSG(!kept.empty(), "no feasible cut for gate " + g.name);
+    best_depth[static_cast<std::size_t>(out)] = kept.front().depth;
+    double flow = kept.front().area_flow /
+                  std::max(1, fanout[static_cast<std::size_t>(out)]);
+    best_af[static_cast<std::size_t>(out)] = flow;
+    // The trivial self-cut lets fanouts treat this node as a leaf.
+    Cut self;
+    self.leaves = {out};
+    self.depth = kept.front().depth;
+    self.area_flow = flow;
+    kept.push_back(std::move(self));
+    cuts[static_cast<std::size_t>(out)] = std::move(kept);
+  }
+
+  // ---- Cover selection: walk back from required signals. ----
+  std::vector<char> mapped(static_cast<std::size_t>(n_signals), 0);
+  std::vector<SignalId> work;
+  auto require_signal = [&](SignalId s) {
+    if (driver[static_cast<std::size_t>(s)] < 0) return;  // PI / latch Q
+    if (!mapped[static_cast<std::size_t>(s)]) {
+      mapped[static_cast<std::size_t>(s)] = 1;
+      work.push_back(s);
+    }
+  };
+  for (SignalId s : net.outputs()) require_signal(s);
+  for (const auto& l : net.latches()) require_signal(l.d);
+
+  // Chosen cut per mapped signal (first = best non-self cut).
+  std::map<SignalId, Cut> chosen;
+  while (!work.empty()) {
+    SignalId s = work.back();
+    work.pop_back();
+    const auto& cset = cuts[static_cast<std::size_t>(s)];
+    // Pick the best cut that is not the self cut.
+    const Cut* pick = nullptr;
+    for (const Cut& c : cset) {
+      if (c.leaves.size() == 1 && c.leaves[0] == s) continue;
+      pick = &c;
+      break;
+    }
+    AMDREL_CHECK_MSG(pick != nullptr, "no cover cut for signal");
+    chosen.emplace(s, *pick);
+    for (SignalId leaf : pick->leaves) require_signal(leaf);
+  }
+
+  // ---- Truth table extraction per chosen cut. ----
+  auto cone_truth = [&](SignalId root, const std::vector<SignalId>& leaves) {
+    const int n = static_cast<int>(leaves.size());
+    TruthTable t(n);
+    // Evaluate the cone for every leaf pattern.
+    std::map<SignalId, bool> val;
+    // Recursive evaluator with memoization per pattern.
+    for (std::uint64_t row = 0; row < t.n_rows(); ++row) {
+      val.clear();
+      for (int i = 0; i < n; ++i) {
+        val[leaves[static_cast<std::size_t>(i)]] = (row >> i) & 1;
+      }
+      // Iterative DFS evaluation.
+      std::vector<SignalId> stack{root};
+      while (!stack.empty()) {
+        SignalId s = stack.back();
+        if (val.count(s)) {
+          stack.pop_back();
+          continue;
+        }
+        int d = driver[static_cast<std::size_t>(s)];
+        AMDREL_CHECK_MSG(d >= 0, "cone leaf not in cut");
+        const Gate& g = net.gates()[static_cast<std::size_t>(d)];
+        bool ready = true;
+        for (SignalId in : g.inputs) {
+          if (!val.count(in)) {
+            stack.push_back(in);
+            ready = false;
+          }
+        }
+        if (!ready) continue;
+        std::uint64_t idx = 0;
+        for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+          if (val[g.inputs[i]]) idx |= 1ull << i;
+        }
+        val[s] = g.table.get(idx);
+        stack.pop_back();
+      }
+      t.set(row, val[root]);
+    }
+    return t;
+  };
+
+  // ---- Build the output network. ----
+  Network out(net.name());
+  std::map<std::string, SignalId> name_map;
+  auto xfer = [&](SignalId s) {
+    const std::string& n = net.signal_name(s);
+    auto it = name_map.find(n);
+    if (it != name_map.end()) return it->second;
+    SignalId ns = out.add_signal(n);
+    name_map.emplace(n, ns);
+    return ns;
+  };
+  for (SignalId s : net.inputs()) out.add_input(xfer(s));
+
+  int max_depth = 0;
+  for (const auto& [s, cut] : chosen) {
+    TruthTable t = cone_truth(s, cut.leaves);
+    std::vector<SignalId> ins;
+    for (SignalId leaf : cut.leaves) ins.push_back(xfer(leaf));
+    out.add_gate("lut_" + net.signal_name(s), std::move(t), std::move(ins),
+                 xfer(s));
+    max_depth = std::max(max_depth, cut.depth);
+  }
+  for (const auto& l : net.latches()) {
+    out.add_latch(l.name, xfer(l.d), xfer(l.q),
+                  l.clock == kNoSignal ? kNoSignal : xfer(l.clock), l.init);
+  }
+  for (SignalId s : net.outputs()) out.add_output(xfer(s));
+
+  if (stats != nullptr) {
+    stats->luts = static_cast<int>(out.gates().size());
+    stats->depth = max_depth;
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace amdrel::synth

@@ -1,0 +1,29 @@
+#pragma once
+// Technology mapping to K-input LUTs via priority K-feasible cuts
+// (depth-minimizing with area-flow tie-breaking — the role SIS's LUT
+// mapping plays in the paper's flow; algorithmically this is the
+// cut-based successor of FlowMap).
+
+#include "netlist/network.hpp"
+
+namespace amdrel::synth {
+
+struct LutMapOptions {
+  int k = 4;           ///< LUT input count (paper: K=4)
+  int cuts_per_node = 8;
+};
+
+struct LutMapStats {
+  int luts = 0;
+  int depth = 0;  ///< LUT levels on the longest PI→PO/FF path
+};
+
+/// Maps `network` (any gate sizes; gates wider than 2 inputs are
+/// decomposed internally) into a network whose every gate is a ≤K-input
+/// LUT. Signal names of PIs, POs and latch outputs are preserved, so the
+/// result is name-equivalent to the input.
+netlist::Network map_to_luts(const netlist::Network& network,
+                             const LutMapOptions& options = {},
+                             LutMapStats* stats = nullptr);
+
+}  // namespace amdrel::synth

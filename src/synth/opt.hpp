@@ -1,0 +1,31 @@
+#pragma once
+// Logic optimization passes (the SIS role in the paper's flow):
+// constant propagation, buffer/inverter absorption, dead-logic sweep and
+// Shannon decomposition into ≤2-input gates (preparation for LUT mapping).
+
+#include "netlist/network.hpp"
+
+namespace amdrel::synth {
+
+/// Removes gates whose outputs reach no primary output or latch input.
+/// Returns the number of gates removed.
+int sweep_dead_logic(netlist::Network& network);
+
+/// Propagates constants, collapses single-input gates (buffers/inverters
+/// absorbed into fanouts where possible) and re-hashes structurally
+/// identical gates. Produces a fresh network with the same I/O names.
+netlist::Network propagate_constants(const netlist::Network& network);
+
+/// Decomposes every gate with more than 2 inputs into 2-input AND/OR/XOR/
+/// MUX-free gates via Shannon expansion (with structural hashing).
+netlist::Network decompose_to_2input(const netlist::Network& network);
+
+/// Counts literals/gates for QoR reporting.
+struct NetworkCost {
+  int gates = 0;
+  int literals = 0;  ///< sum of gate fanins
+  int depth = 0;     ///< logic levels (PI/latch-Q = level 0)
+};
+NetworkCost network_cost(const netlist::Network& network);
+
+}  // namespace amdrel::synth

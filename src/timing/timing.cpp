@@ -1,0 +1,197 @@
+#include "timing/timing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace amdrel::timing {
+
+using netlist::kNoSignal;
+using netlist::SignalId;
+using route::RrNode;
+using route::RrType;
+
+std::vector<NetDelays> compute_net_delays(const route::RrGraph& graph,
+                                          const place::Placement& placement,
+                                          const route::RouteResult& routing,
+                                          const arch::ArchSpec& spec) {
+  const auto& nodes = graph.nodes();
+  std::vector<NetDelays> out(routing.routes.size());
+
+  for (std::size_t ni = 0; ni < routing.routes.size(); ++ni) {
+    const auto& route = routing.routes[ni];
+    if (route.nodes.empty()) continue;
+    const std::size_t n = route.nodes.size();
+
+    // Children lists.
+    std::vector<std::vector<int>> children(n);
+    for (std::size_t k = 1; k < n; ++k) {
+      children[static_cast<std::size_t>(route.parent[k])].push_back(
+          static_cast<int>(k));
+    }
+
+    // Edge R into node k and node capacitance of k.
+    auto edge_r = [&](std::size_t k) {
+      const RrNode& node = nodes[static_cast<std::size_t>(route.nodes[k])];
+      if (node.type == RrType::kChanX || node.type == RrType::kChanY) {
+        // Reached through a routing pass switch + the wire's resistance.
+        return spec.r_switch + spec.r_wire_tile;
+      }
+      if (node.type == RrType::kIpin) return spec.r_switch;
+      return 0.0;
+    };
+    auto node_c = [&](std::size_t k) {
+      const RrNode& node = nodes[static_cast<std::size_t>(route.nodes[k])];
+      if (node.type == RrType::kChanX || node.type == RrType::kChanY) {
+        return spec.c_wire_tile + spec.c_switch;
+      }
+      if (node.type == RrType::kIpin) return spec.c_switch;
+      return 0.0;
+    };
+
+    // Subtree capacitance (post-order via reverse index order: children
+    // always have larger indices than parents by construction).
+    std::vector<double> c_sub(n, 0.0);
+    for (std::size_t k = n; k-- > 0;) {
+      c_sub[k] = node_c(k);
+      for (int c : children[k]) c_sub[k] += c_sub[static_cast<std::size_t>(c)];
+    }
+    // Elmore delay: pre-order accumulation.
+    std::vector<double> delay(n, 0.0);
+    for (std::size_t k = 1; k < n; ++k) {
+      delay[k] = delay[static_cast<std::size_t>(route.parent[k])] +
+                 edge_r(k) * c_sub[k];
+    }
+    // Record per-sink delays.
+    for (std::size_t k = 0; k < n; ++k) {
+      const RrNode& node = nodes[static_cast<std::size_t>(route.nodes[k])];
+      if (node.type == RrType::kSink) {
+        auto& slot = out[ni].to_block[node.block];
+        slot = std::max(slot, delay[k]);
+      }
+    }
+  }
+  return out;
+}
+
+TimingReport analyze_timing(const pack::PackedNetlist& packed,
+                            const place::Placement& placement,
+                            const route::RrGraph& graph,
+                            const route::RouteResult& routing,
+                            const arch::ArchSpec& spec) {
+  const auto& net = packed.network();
+  auto net_delays = compute_net_delays(graph, placement, routing, spec);
+
+  // Map signal → (placement net index) and signal → producing BLE.
+  std::map<SignalId, int> pnet_of_signal;
+  for (std::size_t ni = 0; ni < placement.nets().size(); ++ni) {
+    pnet_of_signal[placement.nets()[ni].signal] = static_cast<int>(ni);
+  }
+  std::map<SignalId, int> ble_of_signal;
+  for (std::size_t bi = 0; bi < packed.bles().size(); ++bi) {
+    ble_of_signal[packed.bles()[bi].output] = static_cast<int>(bi);
+  }
+
+  // Routed delay of signal s to the cluster containing BLE bi (or to a pad
+  // block). Intra-cluster feedback costs only the local mux.
+  auto routed_delay = [&](SignalId s, int to_block) -> double {
+    auto it = pnet_of_signal.find(s);
+    if (it == pnet_of_signal.end()) return 0.0;  // intra-cluster net
+    const auto& d = net_delays[static_cast<std::size_t>(it->second)];
+    auto bit = d.to_block.find(to_block);
+    if (bit == d.to_block.end()) return 0.0;
+    return bit->second;
+  };
+
+  // Arrival time per signal (levelized over BLEs: topological on the
+  // combinational BLE graph; FF outputs and PIs are level 0).
+  std::map<SignalId, double> arrival;
+  std::vector<std::string> crit_name_of;
+  std::map<SignalId, SignalId> crit_pred;
+
+  for (SignalId s : net.inputs()) arrival[s] = spec.t_io;
+  for (const auto& b : packed.bles()) {
+    if (b.latch >= 0) arrival[b.output] = spec.t_ff_clk_q;
+  }
+
+  // Combinational BLEs in topological order of the LUT network.
+  double worst = 0.0;
+  SignalId worst_sig = kNoSignal;
+
+  auto ble_arrival = [&](const pack::Ble& b) -> double {
+    const int cluster = packed.cluster_of_ble(
+        static_cast<int>(&b - packed.bles().data()));
+    const int to_block = placement.block_of_cluster(cluster);
+    double t = 0.0;
+    SignalId pred = kNoSignal;
+    for (SignalId in : b.inputs) {
+      auto it = arrival.find(in);
+      double a = (it != arrival.end()) ? it->second : 0.0;
+      a += routed_delay(in, to_block);
+      a += spec.t_local_mux;
+      if (a > t) {
+        t = a;
+        pred = in;
+      }
+    }
+    if (b.lut_gate >= 0) t += spec.t_lut;
+    if (pred != kNoSignal) crit_pred[b.output] = pred;
+    return t;
+  };
+
+  // Evaluate combinational BLEs in gate topological order; registered BLE
+  // outputs are already fixed at t_ff_clk_q, but their D-input arrival
+  // still constrains the clock period (register-to-register paths).
+  std::map<SignalId, double> d_arrival;  // arrival at FF D inputs
+  for (int gi : net.topo_order()) {
+    SignalId out = net.gates()[static_cast<std::size_t>(gi)].output;
+    auto it = ble_of_signal.find(out);
+    if (it == ble_of_signal.end()) continue;  // LUT inside a registered BLE
+    const pack::Ble& b = packed.bles()[static_cast<std::size_t>(it->second)];
+    if (b.latch >= 0) continue;  // registered BLE output: fixed arrival
+    arrival[out] = ble_arrival(b);
+  }
+  // Register D inputs (the LUT inside a registered BLE, or the route-through).
+  for (const auto& b : packed.bles()) {
+    if (b.latch < 0) continue;
+    double t = ble_arrival(b) + spec.t_ff_setup;
+    d_arrival[b.output] = t;
+    if (t > worst) {
+      worst = t;
+      worst_sig = b.output;
+    }
+  }
+  // Primary outputs.
+  for (SignalId po : net.outputs()) {
+    auto it = arrival.find(po);
+    double a = (it != arrival.end()) ? it->second : 0.0;
+    int pad = placement.block_of_pad(po);
+    a += routed_delay(po, pad) + spec.t_io;
+    if (a > worst) {
+      worst = a;
+      worst_sig = po;
+    }
+  }
+
+  TimingReport report;
+  report.critical_path_s = worst;
+  report.fmax_hz = worst > 0 ? 1.0 / worst : 0.0;
+  for (const auto& nd : net_delays) {
+    for (const auto& [blk, d] : nd.to_block) {
+      report.max_net_delay_s = std::max(report.max_net_delay_s, d);
+    }
+  }
+  // Reconstruct the critical path names.
+  SignalId cur = worst_sig;
+  int guard = 0;
+  while (cur != kNoSignal && guard++ < 10000) {
+    report.critical_path.push_back(net.signal_name(cur));
+    auto it = crit_pred.find(cur);
+    if (it == crit_pred.end()) break;
+    cur = it->second;
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+}  // namespace amdrel::timing

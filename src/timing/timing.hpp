@@ -1,0 +1,44 @@
+#pragma once
+// Static timing analysis over the placed-and-routed design.
+//
+// Net delays come from Elmore analysis of each routed RR tree using the
+// architecture's switch/wire R and C (themselves derived from the paper's
+// 0.18 µm circuit experiments); block delays (LUT, local crossbar, DETFF)
+// come from the architecture file.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "route/pathfinder.hpp"
+
+namespace amdrel::timing {
+
+/// Per-net, per-sink routed delay [s].
+struct NetDelays {
+  /// delay[sink block id] for each sink of the net.
+  std::map<int, double> to_block;
+};
+
+/// Elmore delays of every routed net.
+std::vector<NetDelays> compute_net_delays(const route::RrGraph& graph,
+                                          const place::Placement& placement,
+                                          const route::RouteResult& routing,
+                                          const arch::ArchSpec& spec);
+
+struct TimingReport {
+  double critical_path_s = 0.0;   ///< longest register/PI → register/PO path
+  double fmax_hz = 0.0;
+  std::vector<std::string> critical_path;  ///< signal names along the path
+  double max_net_delay_s = 0.0;
+};
+
+/// Full STA: arrival-time propagation over the packed netlist with routed
+/// net delays.
+TimingReport analyze_timing(const pack::PackedNetlist& packed,
+                            const place::Placement& placement,
+                            const route::RrGraph& graph,
+                            const route::RouteResult& routing,
+                            const arch::ArchSpec& spec);
+
+}  // namespace amdrel::timing

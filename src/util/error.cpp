@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace amdrel::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "internal check failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+}  // namespace amdrel::detail

@@ -1,0 +1,59 @@
+#pragma once
+// Error handling primitives shared by all AMDREL modules.
+//
+// The framework uses exceptions for unrecoverable input errors (bad file,
+// unsynthesizable VHDL, unroutable design) and assertions (CHECK) for
+// internal invariants.
+
+#include <stdexcept>
+#include <string>
+
+namespace amdrel {
+
+/// Base class of all errors raised by the framework.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or unsupported input (file format, VHDL subset violation, ...).
+class ParseError : public Error {
+ public:
+  ParseError(std::string file, int line, const std::string& message)
+      : Error(file + ":" + std::to_string(line) + ": " + message),
+        file_(std::move(file)),
+        line_(line) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+/// A CAD stage could not produce a legal result (e.g. unroutable at the
+/// requested channel width, cluster inputs exceeded).
+class InfeasibleError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+/// Internal invariant check; always enabled (CAD bugs silently corrupt QoR).
+#define AMDREL_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) ::amdrel::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AMDREL_CHECK_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::amdrel::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+}  // namespace amdrel

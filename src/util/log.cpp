@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace amdrel {
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kInfo;
+Log::Sink g_sink;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel Log::level() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_level;
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace amdrel

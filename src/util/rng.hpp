@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic PRNG used throughout the CAD flow.
+//
+// Every stochastic stage (placement annealing, benchmark generation, random
+// vector simulation) takes an explicit Rng so runs are reproducible and
+// independent streams can be split for parallel work.
+
+#include <cstdint>
+#include <vector>
+
+namespace amdrel {
+
+/// xoshiro256** — fast, high-quality, splittable enough for CAD use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+  /// Derives an independent stream (for worker threads / sub-generators).
+  Rng split();
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace amdrel

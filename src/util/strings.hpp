@@ -1,0 +1,35 @@
+#pragma once
+// Small string helpers used by the file-format parsers and report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amdrel {
+
+/// Splits on any run of characters in `delims`; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s,
+                                  std::string_view delims = " \t\r\n");
+
+/// Splits on a single delimiter character, keeping empty fields.
+std::vector<std::string> split_char(std::string_view s, char delim);
+
+std::string trim(std::string_view s);
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive equality (VHDL identifiers are case-insensitive).
+bool iequals(std::string_view a, std::string_view b);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items,
+                 std::string_view sep);
+
+}  // namespace amdrel

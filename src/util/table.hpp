@@ -1,0 +1,26 @@
+#pragma once
+// Plain-text table printer used by the benchmark harnesses to emit the
+// paper's tables/figure series in a uniform format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amdrel {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment; numeric-looking cells right-aligned.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amdrel

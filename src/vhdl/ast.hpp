@@ -1,0 +1,160 @@
+#pragma once
+// AST for the synthesizable VHDL-93 subset (see DESIGN.md §6 for scope).
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace amdrel::vhdl {
+
+// ------------------------------------------------------------ expressions --
+
+enum class ExprKind {
+  kName,        // identifier
+  kIndex,       // name(expr)
+  kSlice,       // name(hi downto lo) / name(lo to hi)
+  kCharLit,     // '0' / '1'
+  kStringLit,   // "0101"
+  kIntLit,      // 42
+  kUnary,       // not / - (op in `name`)
+  kBinary,      // and or xor nand nor xnor = /= < <= > >= + - & * (op in `name`)
+  kCall,        // rising_edge(clk), falling_edge(clk)
+  kAttribute,   // clk'event
+  kOthers,      // (others => '0'/'1'), literal bit in `text`
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  std::string name;            // identifier / operator / function / attribute
+  std::string text;            // char or string literal value
+  long long value = 0;         // integer literal
+  bool downto = true;          // slice direction
+  std::vector<ExprPtr> args;   // operands
+
+  static ExprPtr make(ExprKind kind, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = line;
+    return e;
+  }
+};
+
+// ------------------------------------------------------------- statements --
+
+enum class StmtKind { kAssign, kIf, kCase, kNull };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct IfBranch {
+  ExprPtr condition;            // null for the final else
+  std::vector<StmtPtr> body;
+};
+
+struct CaseArm {
+  std::vector<ExprPtr> choices;  // empty = others
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  // kAssign
+  ExprPtr target;
+  ExprPtr value;
+  // kIf
+  std::vector<IfBranch> branches;  // first has condition; trailing may be else
+  // kCase
+  ExprPtr selector;
+  std::vector<CaseArm> arms;
+};
+
+// ------------------------------------------------------------ declarations --
+
+struct TypeRef {
+  bool is_vector = false;
+  // Bounds are integer literals in the subset.
+  long long left = 0, right = 0;
+  bool downto = true;
+  int width() const {
+    if (!is_vector) return 1;
+    return static_cast<int>(downto ? left - right + 1 : right - left + 1);
+  }
+};
+
+struct Port {
+  std::string name;
+  bool is_input = true;
+  TypeRef type;
+  int line = 0;
+};
+
+struct SignalDecl {
+  std::string name;
+  TypeRef type;
+  int line = 0;
+};
+
+/// One concurrent statement in an architecture body.
+enum class ConcurrentKind { kAssign, kConditional, kSelected, kProcess,
+                            kInstance };
+
+struct ConditionalChoice {
+  ExprPtr value;
+  ExprPtr condition;  // null for the trailing unconditional else
+};
+
+struct SelectedChoice {
+  std::vector<ExprPtr> choices;  // empty = others
+  ExprPtr value;
+};
+
+struct Concurrent {
+  ConcurrentKind kind;
+  int line = 0;
+  std::string label;
+
+  // kAssign / kConditional / kSelected
+  ExprPtr target;
+  ExprPtr value;                               // kAssign
+  std::vector<ConditionalChoice> conditional;  // kConditional
+  ExprPtr selector;                            // kSelected
+  std::vector<SelectedChoice> selected;        // kSelected
+
+  // kProcess
+  std::vector<std::string> sensitivity;
+  std::vector<StmtPtr> body;
+
+  // kInstance
+  std::string entity_name;
+  std::vector<std::pair<std::string, ExprPtr>> port_map;  // formal → actual
+};
+
+struct Entity {
+  std::string name;
+  std::vector<Port> ports;
+  int line = 0;
+};
+
+struct Architecture {
+  std::string name;
+  std::string entity_name;
+  std::vector<SignalDecl> signals;
+  std::vector<Concurrent> body;
+  int line = 0;
+};
+
+struct DesignFile {
+  std::vector<Entity> entities;
+  std::vector<Architecture> architectures;
+
+  const Entity* find_entity(const std::string& name) const;
+  const Architecture* find_architecture(const std::string& entity) const;
+};
+
+}  // namespace amdrel::vhdl

@@ -1,0 +1,118 @@
+#include "vhdl/lexer.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel::vhdl {
+
+std::vector<Token> lex_vhdl(const std::string& source,
+                            const std::string& filename) {
+  std::vector<Token> tokens;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t off = 0) -> char {
+    return (i + off < n) ? source[i + off] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto push = [&](TokenKind kind, std::string text, int l, int c) {
+    tokens.push_back(Token{kind, std::move(text), l, c});
+  };
+
+  while (i < n) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comment: -- to end of line.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    const int tl = line, tc = col;
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::string id;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        id.push_back(peek());
+        advance();
+      }
+      push(TokenKind::kIdentifier, to_lower(id), tl, tc);
+      continue;
+    }
+    // Integer literal.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        if (peek() != '_') num.push_back(peek());
+        advance();
+      }
+      push(TokenKind::kInteger, num, tl, tc);
+      continue;
+    }
+    // Character literal '0' — but also the tick in foo'event. A char
+    // literal is ' <one char> '; otherwise it's the attribute tick.
+    if (c == '\'') {
+      if (i + 2 < n && source[i + 2] == '\'') {
+        std::string text(1, source[i + 1]);
+        advance();
+        advance();
+        advance();
+        push(TokenKind::kCharLit, text, tl, tc);
+        continue;
+      }
+      advance();
+      push(TokenKind::kSymbol, "'", tl, tc);
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      advance();
+      std::string text;
+      while (i < n && peek() != '"') {
+        text.push_back(peek());
+        advance();
+      }
+      if (i >= n) throw ParseError(filename, tl, "unterminated string literal");
+      advance();  // closing quote
+      push(TokenKind::kStringLit, text, tl, tc);
+      continue;
+    }
+    // Multi-char symbols.
+    auto two = std::string(1, c) + peek(1);
+    if (two == "<=" || two == "=>" || two == ":=" || two == "/=" ||
+        two == ">=" || two == "**") {
+      advance();
+      advance();
+      push(TokenKind::kSymbol, two, tl, tc);
+      continue;
+    }
+    // Single-char symbols.
+    static const std::string kSingles = "()+-*/;,:.&=<>|";
+    if (kSingles.find(c) != std::string::npos) {
+      advance();
+      push(TokenKind::kSymbol, std::string(1, c), tl, tc);
+      continue;
+    }
+    throw ParseError(filename, tl,
+                     strprintf("unexpected character '%c'", c));
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", line, col});
+  return tokens;
+}
+
+}  // namespace amdrel::vhdl

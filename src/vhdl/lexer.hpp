@@ -1,0 +1,33 @@
+#pragma once
+// VHDL-93 subset lexer.
+//
+// Produces a token stream with source locations; identifiers are stored
+// lower-cased (VHDL is case-insensitive) with the original spelling kept
+// for error messages.
+
+#include <string>
+#include <vector>
+
+namespace amdrel::vhdl {
+
+enum class TokenKind {
+  kIdentifier,   // foo, rising_edge (keywords are identifiers classified later)
+  kInteger,      // 42
+  kCharLit,      // '0' '1'
+  kStringLit,    // "0101"
+  kSymbol,       // punctuation / operators: ( ) ; , : . & ' <= => := = /= < > >= + - * / |
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< lower-cased for identifiers; raw for others
+  int line;
+  int column;
+};
+
+/// Tokenizes `source`; throws ParseError on malformed input.
+std::vector<Token> lex_vhdl(const std::string& source,
+                            const std::string& filename = "<vhdl>");
+
+}  // namespace amdrel::vhdl

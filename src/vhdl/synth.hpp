@@ -1,0 +1,33 @@
+#pragma once
+// DIVINER — behavioural VHDL synthesis to a gate-level Network.
+//
+// Supported subset (documented in DESIGN.md): entities with std_logic /
+// std_logic_vector ports, architectures with signal declarations,
+// concurrent / conditional / selected assignments, combinational and
+// clocked processes (rising_edge or clk'event and clk='1', optional
+// reset branch), direct entity instantiation (flattened), operators
+// and/or/xor/nand/nor/xnor/not, & (concat), +/- (unsigned ripple),
+// comparisons, static indexing/slicing, (others => ...) aggregates.
+//
+// The reset branch of a clocked process is synthesized synchronously
+// (D-input mux), with the latch initial state taken from constant reset
+// values — the standard academic simplification; the paper's fabric has a
+// global asynchronous clear at the CLB level.
+
+#include <string>
+
+#include "netlist/network.hpp"
+#include "vhdl/ast.hpp"
+
+namespace amdrel::vhdl {
+
+/// Elaborates and synthesizes `top` (entity name; case-insensitive).
+/// Vector ports expand to one netlist signal per bit, named `port_i`.
+netlist::Network synthesize(const DesignFile& design, const std::string& top);
+
+/// Convenience: parse + synthesize in one step.
+netlist::Network synthesize_vhdl(const std::string& source,
+                                 const std::string& top,
+                                 const std::string& filename = "<vhdl>");
+
+}  // namespace amdrel::vhdl

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "cells/characterize.hpp"
+#include "cells/detff.hpp"
+#include "cells/lut.hpp"
+#include "cells/primitives.hpp"
+#include "cells/routing_expt.hpp"
+#include "spice/transient.hpp"
+#include "util/error.hpp"
+
+namespace amdrel::cells {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+using spice::TransientOptions;
+using spice::TransientSim;
+using spice::Waveform;
+
+const process::Tech018& tech() { return process::default_tech(); }
+
+TEST(Primitives, Nand2TruthTable) {
+  // Check all four input combinations at DC-ish settling.
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      Circuit c;
+      NodeId vdd = c.node("vdd");
+      c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+      NodeId na = c.node("a"), nb = c.node("b"), out = c.node("out");
+      c.add_vsource("va", na, kGround, Waveform::dc(a ? 1.8 : 0.0));
+      c.add_vsource("vb", nb, kGround, Waveform::dc(b ? 1.8 : 0.0));
+      add_nand2(c, "g", vdd, na, nb, out, 0.28);
+      c.add_capacitor("cl", out, kGround, 5e-15);
+      TransientSim sim(c);
+      TransientOptions opt;
+      opt.t_stop = 2e-9;
+      opt.dt = 2e-12;
+      auto res = sim.run(opt);
+      double v = res.v(out, res.time.size() - 1);
+      if (a && b) {
+        EXPECT_LT(v, 0.1) << "a=" << a << " b=" << b;
+      } else {
+        EXPECT_GT(v, 1.7) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Primitives, TgatePassesBothLevels) {
+  for (double vin : {0.0, 1.8}) {
+    Circuit c;
+    NodeId vdd = c.node("vdd");
+    c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+    NodeId in = c.node("in"), out = c.node("out");
+    NodeId en = c.node("en"), enb = c.node("enb");
+    c.add_vsource("vin", in, kGround, Waveform::dc(vin));
+    c.add_vsource("ven", en, kGround, Waveform::dc(1.8));
+    c.add_vsource("venb", enb, kGround, Waveform::dc(0.0));
+    add_tgate(c, "tg", in, out, en, enb, 0.28);
+    c.add_capacitor("cl", out, kGround, 5e-15);
+    TransientSim sim(c);
+    TransientOptions opt;
+    opt.t_stop = 4e-9;
+    opt.dt = 2e-12;
+    auto res = sim.run(opt);
+    // Full rail on both levels (unlike an NMOS-only pass transistor).
+    EXPECT_NEAR(res.v(out, res.time.size() - 1), vin, 0.05);
+  }
+}
+
+TEST(Primitives, TriStateFloatsWhenDisabled) {
+  for (auto type :
+       {TriStateType::kClockedAtOutput, TriStateType::kClockedAtRails}) {
+    Circuit c;
+    NodeId vdd = c.node("vdd");
+    c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+    NodeId in = c.node("in"), out = c.node("out");
+    NodeId en = c.node("en"), enb = c.node("enb");
+    c.add_vsource("vin", in, kGround, Waveform::dc(0.0));
+    c.add_vsource("ven", en, kGround, Waveform::dc(0.0));   // disabled
+    c.add_vsource("venb", enb, kGround, Waveform::dc(1.8));
+    add_tristate_inverter(c, "ts", vdd, in, out, en, enb, type, 0.28);
+    // Precharge out low via a resistor to a source, check it stays low even
+    // though in=0 would drive it high if enabled.
+    c.add_capacitor("cl", out, kGround, 5e-15);
+    TransientSim sim(c);
+    TransientOptions opt;
+    opt.t_stop = 4e-9;
+    opt.dt = 2e-12;
+    auto res = sim.run(opt);
+    EXPECT_LT(res.v(out, res.time.size() - 1), 0.3);
+  }
+}
+
+TEST(Primitives, TriStateDrivesWhenEnabled) {
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  NodeId in = c.node("in"), out = c.node("out");
+  NodeId en = c.node("en"), enb = c.node("enb");
+  c.add_vsource("vin", in, kGround, Waveform::dc(0.0));
+  c.add_vsource("ven", en, kGround, Waveform::dc(1.8));
+  c.add_vsource("venb", enb, kGround, Waveform::dc(0.0));
+  add_tristate_inverter(c, "ts", vdd, in, out, en, enb,
+                        TriStateType::kClockedAtOutput, 0.28);
+  c.add_capacitor("cl", out, kGround, 5e-15);
+  TransientSim sim(c);
+  TransientOptions opt;
+  opt.t_stop = 4e-9;
+  opt.dt = 2e-12;
+  auto res = sim.run(opt);
+  EXPECT_GT(res.v(out, res.time.size() - 1), 1.7);  // inverts 0 → 1
+}
+
+TEST(Detff, AllVariantsAreFunctional) {
+  DetffBenchOptions opt;
+  for (DetffKind kind : kAllDetffs) {
+    auto m = characterize_detff(kind, opt);
+    EXPECT_TRUE(m.functional) << detff_name(kind);
+    EXPECT_GT(m.delay_s, 0.0) << detff_name(kind);
+    EXPECT_GT(m.energy_j, 0.0) << detff_name(kind);
+    EXPECT_GT(m.transistors, 10) << detff_name(kind);
+  }
+}
+
+TEST(Detff, ClockPinCapPositive) {
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  NodeId d = c.node("d"), clk = c.node("clk"), q = c.node("q");
+  add_detff(c, "ff", vdd, DetffKind::kLlopis1, d, clk, q);
+  double cap = detff_clock_pin_cap(c, "ff", clk);
+  EXPECT_GT(cap, 0.1e-15);
+  EXPECT_LT(cap, 50e-15);
+}
+
+TEST(Lut, ImplementsTruthTable) {
+  // 2-input AND in a 4-LUT (inputs 2,3 tied low): tt bit pattern for
+  // out = in0 & in1 → bits where (i&3)==3.
+  std::uint32_t tt = 0;
+  for (int i = 0; i < 16; ++i)
+    if ((i & 3) == 3) tt |= 1u << i;
+
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      Circuit c;
+      NodeId vdd = c.node("vdd");
+      c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+      auto lut = add_lut(c, "lut", vdd, 4, tt);
+      c.add_vsource("v0", lut.inputs[0], kGround, Waveform::dc(a ? 1.8 : 0));
+      c.add_vsource("v1", lut.inputs[1], kGround, Waveform::dc(b ? 1.8 : 0));
+      c.add_vsource("v2", lut.inputs[2], kGround, Waveform::dc(0));
+      c.add_vsource("v3", lut.inputs[3], kGround, Waveform::dc(0));
+      c.add_capacitor("cl", lut.out, kGround, 5e-15);
+      TransientSim sim(c);
+      TransientOptions opt;
+      opt.t_stop = 3e-9;
+      opt.dt = 2e-12;
+      auto res = sim.run(opt);
+      double v = res.v(lut.out, res.time.size() - 1);
+      if (a && b) {
+        EXPECT_GT(v, 1.6) << a << b;
+      } else {
+        EXPECT_LT(v, 0.2) << a << b;
+      }
+    }
+  }
+}
+
+TEST(Lut, CharacterizationSane) {
+  auto m = characterize_lut4();
+  EXPECT_GT(m.delay_s, 10e-12);
+  EXPECT_LT(m.delay_s, 2e-9);
+  EXPECT_GT(m.energy_per_toggle_j, 1e-16);
+  EXPECT_LT(m.energy_per_toggle_j, 1e-12);
+  EXPECT_GT(m.input_cap_f, 0.0);
+}
+
+TEST(RoutingExpt, ProducesFiniteMetrics) {
+  RoutingExptOptions opt;
+  opt.wire_length = 1;
+  opt.switch_width_x = 10;
+  auto r = run_routing_experiment(opt);
+  EXPECT_GT(r.delay_s, 0.0);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.area_um2, 0.0);
+  EXPECT_GT(r.eda, 0.0);
+}
+
+TEST(RoutingExpt, AreaGrowsWithSwitchWidth) {
+  RoutingExptOptions a, b;
+  a.switch_width_x = 2;
+  b.switch_width_x = 32;
+  auto ra = run_routing_experiment(a);
+  auto rb = run_routing_experiment(b);
+  EXPECT_GT(rb.area_um2, ra.area_um2);
+}
+
+TEST(RoutingExpt, TinySwitchIsSlow) {
+  // At W=1x the switch resistance dominates: slower than at 10x.
+  RoutingExptOptions small, opt10;
+  small.switch_width_x = 1;
+  opt10.switch_width_x = 10;
+  auto rs = run_routing_experiment(small);
+  auto r10 = run_routing_experiment(opt10);
+  EXPECT_GT(rs.delay_s, r10.delay_s);
+}
+
+TEST(RoutingExpt, DoubleSpacingReducesEnergy) {
+  RoutingExptOptions a, b;
+  a.wire_spacing = process::WireSpacing::kMinimum;
+  b.wire_spacing = process::WireSpacing::kDouble;
+  auto ra = run_routing_experiment(a);
+  auto rb = run_routing_experiment(b);
+  EXPECT_LT(rb.energy_j, ra.energy_j);
+}
+
+TEST(RoutingExpt, TriStateBufferVariantRuns) {
+  RoutingExptOptions opt;
+  opt.style = SwitchStyle::kTriStateBuffer;
+  opt.wire_length = 2;
+  opt.switch_width_x = 4;
+  auto r = run_routing_experiment(opt);
+  EXPECT_GT(r.delay_s, 0.0);
+  EXPECT_GT(r.eda, 0.0);
+}
+
+}  // namespace
+}  // namespace amdrel::cells
+
+namespace amdrel::cells {
+namespace {
+
+// ---- Paper-conclusion regression tests (shapes of Tables 1–3) ----
+
+TEST(PaperShapes, Table1Ordering) {
+  auto rows = characterize_all_detffs();
+  const DetffMetrics* llopis1 = nullptr;
+  const DetffMetrics* chung2 = nullptr;
+  double min_e = 1e9, min_edp = 1e9;
+  for (const auto& r : rows) {
+    ASSERT_TRUE(r.functional) << detff_name(r.kind);
+    min_e = std::min(min_e, r.energy_j);
+    min_edp = std::min(min_edp, r.edp);
+    if (r.kind == DetffKind::kLlopis1) llopis1 = &rows[&r - rows.data()];
+    if (r.kind == DetffKind::kChung2) chung2 = &rows[&r - rows.data()];
+  }
+  ASSERT_NE(llopis1, nullptr);
+  ASSERT_NE(chung2, nullptr);
+  // The paper's selection criteria: Llopis1 has the lowest total energy
+  // (and is chosen); Chung2 has the lowest energy-delay product.
+  EXPECT_DOUBLE_EQ(llopis1->energy_j, min_e);
+  EXPECT_DOUBLE_EQ(chung2->edp, min_edp);
+}
+
+TEST(PaperShapes, Table2BleClockGating) {
+  auto e = measure_ble_clock_gating();
+  // Gating off saves most of the clock-path energy (paper: −77%).
+  EXPECT_LT(e.gated_disabled_j, 0.5 * e.single_clock_j);
+  // Gating enabled costs a small overhead (paper: +6.2%).
+  EXPECT_GT(e.gated_enabled_j, e.single_clock_j);
+  EXPECT_LT(e.gated_enabled_j, 1.5 * e.single_clock_j);
+}
+
+TEST(PaperShapes, Table3ClbClockGating) {
+  auto rows = measure_clb_clock_gating();
+  ASSERT_EQ(rows.size(), 3u);
+  // All FFs off: big saving (paper: −83%).
+  EXPECT_EQ(rows[0].n_ffs_on, 0);
+  EXPECT_LT(rows[0].gated_clock_j, 0.5 * rows[0].single_clock_j);
+  // One or more FFs on: gated costs more (paper: +33% / +29%).
+  EXPECT_GT(rows[1].gated_clock_j, rows[1].single_clock_j);
+  EXPECT_GT(rows[2].gated_clock_j, rows[2].single_clock_j);
+  // Single-clock energy grows with active FFs.
+  EXPECT_GT(rows[2].single_clock_j, rows[0].single_clock_j);
+}
+
+}  // namespace
+}  // namespace amdrel::cells

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "bench_gen/bench_gen.hpp"
+#include "pack/pack.hpp"
+#include "place/multiseed.hpp"
+#include "place/place.hpp"
+#include "route/pathfinder.hpp"
+#include "route/route_files.hpp"
+#include "route/rr_graph.hpp"
+#include "synth/lutmap.hpp"
+#include "util/error.hpp"
+
+namespace amdrel {
+namespace {
+
+using arch::ArchSpec;
+using netlist::Network;
+
+struct Design {
+  Network network;
+  ArchSpec spec;
+  pack::PackedNetlist packed;
+  place::Placement placement;
+
+  Design(int gates, int latches, std::uint64_t seed, ArchSpec s = {})
+      : network(make_net(gates, latches, seed)),
+        spec(s),
+        packed(network, spec),
+        placement(packed, spec) {}
+
+  static Network make_net(int gates, int latches, std::uint64_t seed) {
+    bench_gen::BenchSpec bspec;
+    bspec.n_inputs = 10;
+    bspec.n_outputs = 8;
+    bspec.n_gates = gates;
+    bspec.n_latches = latches;
+    bspec.seed = seed;
+    Network n = bench_gen::generate(bspec);
+    return synth::map_to_luts(n, synth::LutMapOptions{4, 8});
+  }
+};
+
+TEST(Place, InitialPlacementIsLegal) {
+  Design d(200, 16, 31);
+  d.placement.validate();
+  EXPECT_GT(d.placement.nets().size(), 0u);
+  EXPECT_GT(d.placement.total_cost(), 0.0);
+}
+
+TEST(Place, AnnealImprovesCost) {
+  Design d(300, 0, 32);
+  place::Placement::AnnealOptions opt;
+  opt.seed = 3;
+  auto stats = d.placement.anneal(opt);
+  EXPECT_LT(stats.final_cost, stats.initial_cost);
+  EXPECT_GT(stats.temperatures, 3);
+  d.placement.validate();
+}
+
+TEST(Place, DeterministicForSeed) {
+  Design d1(150, 8, 33);
+  Design d2(150, 8, 33);
+  place::Placement::AnnealOptions opt;
+  opt.seed = 9;
+  auto s1 = d1.placement.anneal(opt);
+  auto s2 = d2.placement.anneal(opt);
+  EXPECT_DOUBLE_EQ(s1.final_cost, s2.final_cost);
+}
+
+TEST(Place, ClockNetIsGlobal) {
+  Design d(150, 12, 34);
+  // No placed net may carry the clock signal.
+  netlist::SignalId clk = d.network.find_signal("clk");
+  ASSERT_NE(clk, netlist::kNoSignal);
+  for (const auto& net : d.placement.nets()) {
+    EXPECT_NE(net.signal, clk);
+  }
+}
+
+TEST(RrGraph, WellFormed) {
+  Design d(150, 8, 35);
+  route::RrGraph graph(d.placement, d.spec, 10);
+  const auto& nodes = graph.nodes();
+  EXPECT_GT(nodes.size(), 100u);
+  // Every edge target in range; IPINs feed exactly one sink.
+  for (const auto& n : nodes) {
+    for (int e : n.out_edges) {
+      ASSERT_GE(e, 0);
+      ASSERT_LT(e, static_cast<int>(nodes.size()));
+    }
+    if (n.type == route::RrType::kSink) {
+      EXPECT_TRUE(n.out_edges.empty());
+      EXPECT_GE(n.capacity, 1);
+    }
+  }
+  // Net terminals exist for every net.
+  for (std::size_t ni = 0; ni < d.placement.nets().size(); ++ni) {
+    EXPECT_GE(graph.opin_of_net(static_cast<int>(ni)), 0);
+  }
+}
+
+TEST(Route, SmallDesignRoutes) {
+  Design d(120, 8, 36);
+  place::Placement::AnnealOptions popt;
+  d.placement.anneal(popt);
+  route::RrGraph graph(d.placement, d.spec, d.spec.channel_width);
+  auto result = route::route_all(graph, d.placement);
+  ASSERT_TRUE(result.success) << result.message;
+  route::verify_routing(graph, d.placement, result);
+  EXPECT_GT(result.total_wire_nodes, 0);
+}
+
+TEST(Route, MinimumChannelWidthSearch) {
+  Design d(120, 0, 37);
+  place::Placement::AnnealOptions popt;
+  d.placement.anneal(popt);
+  route::RouteResult result;
+  int w = route::minimum_channel_width(d.placement, d.spec, &result);
+  ASSERT_GT(w, 0);
+  EXPECT_TRUE(result.success);
+  // Must fail at w-1 if w > 4 (otherwise w was not minimal).
+  if (w > 4) {
+    route::RrGraph tight(d.placement, d.spec, w - 1);
+    auto r2 = route::route_all(tight, d.placement);
+    EXPECT_FALSE(r2.success);
+  }
+}
+
+TEST(Route, BetterPlacementRoutesNarrower) {
+  // Property: annealed placement needs no wider a channel than random.
+  Design d(250, 16, 38);
+  route::RouteResult r_random;
+  int w_random =
+      route::minimum_channel_width(d.placement, d.spec, &r_random);
+  place::Placement::AnnealOptions popt;
+  d.placement.anneal(popt);
+  route::RouteResult r_annealed;
+  int w_annealed =
+      route::minimum_channel_width(d.placement, d.spec, &r_annealed);
+  ASSERT_GT(w_random, 0);
+  ASSERT_GT(w_annealed, 0);
+  EXPECT_LE(w_annealed, w_random);
+}
+
+TEST(MultiSeed, PicksBestOfSeeds) {
+  Design d(200, 8, 39);
+  place::MultiSeedOptions opt;
+  opt.n_seeds = 3;
+  opt.n_threads = 3;
+  auto result = place::place_multi_seed(d.packed, d.spec, opt);
+  ASSERT_NE(result.best, nullptr);
+  result.best->validate();
+  // The winner is no worse than the losers.
+  EXPECT_LE(result.best_stats.final_cost, result.worst_cost + 1e-9);
+  // And matches a single-seed run with the winning seed.
+  place::Placement single(d.packed, d.spec);
+  place::Placement::AnnealOptions aopt = opt.anneal;
+  aopt.seed = result.best_seed;
+  auto stats = single.anneal(aopt);
+  EXPECT_DOUBLE_EQ(stats.final_cost, result.best_stats.final_cost);
+}
+
+TEST(RouteFiles, PlaceFileRoundTrip) {
+  Design d(150, 8, 40);
+  place::Placement::AnnealOptions popt;
+  d.placement.anneal(popt);
+  std::string text = route::write_place_string(d.placement);
+  EXPECT_NE(text.find("Array size:"), std::string::npos);
+
+  // Load the locations into a freshly shuffled placement: costs must agree.
+  Design d2(150, 8, 40);
+  route::read_place_string(text, &d2.placement);
+  EXPECT_DOUBLE_EQ(d2.placement.total_cost(), d.placement.total_cost());
+}
+
+TEST(RouteFiles, PlaceFileRejectsGarbage) {
+  Design d(80, 0, 41);
+  EXPECT_THROW(route::read_place_string("nonsense 1 2 3\n", &d.placement),
+               Error);
+  EXPECT_THROW(route::read_place_string("", &d.placement), Error);
+}
+
+TEST(RouteFiles, RouteFileListsEveryNet) {
+  Design d(120, 8, 42);
+  place::Placement::AnnealOptions popt;
+  d.placement.anneal(popt);
+  route::RrGraph graph(d.placement, d.spec, d.spec.channel_width);
+  auto result = route::route_all(graph, d.placement);
+  ASSERT_TRUE(result.success);
+  std::string text = route::write_route_string(graph, d.placement, result);
+  for (std::size_t ni = 0; ni < d.placement.nets().size(); ++ni) {
+    EXPECT_NE(text.find("Net " + std::to_string(ni) + " ("),
+              std::string::npos);
+  }
+  EXPECT_NE(text.find("OPIN"), std::string::npos);
+  EXPECT_NE(text.find("SINK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amdrel

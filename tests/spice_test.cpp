@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.hpp"
+#include "spice/transient.hpp"
+#include "util/error.hpp"
+
+namespace amdrel::spice {
+namespace {
+
+const process::Tech018& tech() { return process::default_tech(); }
+
+TEST(Waveform, DcIsFlat) {
+  auto w = Waveform::dc(1.8);
+  EXPECT_DOUBLE_EQ(w.at(0), 1.8);
+  EXPECT_DOUBLE_EQ(w.at(1e-9), 1.8);
+}
+
+TEST(Waveform, PulseShape) {
+  // 0→1.8, delay 1ns, rise 0.1ns, width 0.8ns, fall 0.1ns, period 2ns.
+  auto w = Waveform::pulse(0, 1.8, 1e-9, 0.1e-9, 0.1e-9, 0.8e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(w.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(0.99e-9), 0.0);
+  EXPECT_NEAR(w.at(1.05e-9), 0.9, 1e-9);  // mid-rise
+  EXPECT_DOUBLE_EQ(w.at(1.5e-9), 1.8);    // high
+  EXPECT_NEAR(w.at(1.95e-9), 0.9, 1e-9);  // mid-fall
+  EXPECT_DOUBLE_EQ(w.at(2.5e-9), 0.0);    // low again
+  EXPECT_DOUBLE_EQ(w.at(3.5e-9), 1.8);    // periodic repeat
+}
+
+TEST(Waveform, PwlInterpolates) {
+  auto w = Waveform::pwl({{0, 0}, {1e-9, 1.8}, {2e-9, 0.9}});
+  EXPECT_DOUBLE_EQ(w.at(-1), 0.0);
+  EXPECT_NEAR(w.at(0.5e-9), 0.9, 1e-12);
+  EXPECT_NEAR(w.at(1.5e-9), 1.35, 1e-12);
+  EXPECT_DOUBLE_EQ(w.at(5e-9), 0.9);
+}
+
+TEST(Circuit, NodeNamesStable) {
+  Circuit c;
+  NodeId a = c.node("a");
+  NodeId b = c.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c.node("a"), a);
+  EXPECT_EQ(c.find_node("b"), b);
+  EXPECT_EQ(c.node("gnd"), kGround);
+  EXPECT_EQ(c.node_name(a), "a");
+  EXPECT_TRUE(c.has_node("a"));
+  EXPECT_FALSE(c.has_node("zzz"));
+  EXPECT_THROW(c.find_node("zzz"), amdrel::Error);
+}
+
+TEST(Transient, ResistorDividerDc) {
+  Circuit c;
+  NodeId vin = c.node("vin");
+  NodeId mid = c.node("mid");
+  c.add_vsource("v1", vin, kGround, Waveform::dc(1.8));
+  c.add_resistor("r1", vin, mid, 1000);
+  c.add_resistor("r2", mid, kGround, 3000);
+  TransientSim sim(c);
+  TransientOptions opt;
+  opt.t_stop = 1e-10;
+  opt.dt = 1e-12;
+  auto res = sim.run(opt);
+  EXPECT_NEAR(res.v(mid, res.time.size() - 1), 1.8 * 0.75, 1e-6);
+}
+
+TEST(Transient, RcChargingMatchesClosedForm) {
+  // 1kΩ into 100fF: tau = 100ps.
+  Circuit c;
+  NodeId vin = c.node("vin");
+  NodeId out = c.node("out");
+  c.add_vsource("v1", vin, kGround,
+                Waveform::pwl({{0, 0}, {1e-12, 1.8}}));  // near-step
+  c.add_resistor("r1", vin, out, 1000);
+  c.add_capacitor("c1", out, kGround, 100e-15);
+  TransientSim sim(c);
+  TransientOptions opt;
+  opt.t_stop = 500e-12;
+  opt.dt = 0.5e-12;
+  auto res = sim.run(opt);
+  const double tau = 100e-12;
+  for (double frac : {0.5, 1.0, 2.0, 3.0}) {
+    const double t = frac * tau;
+    // Find nearest sample.
+    std::size_t k = static_cast<std::size_t>(t / opt.dt);
+    const double expected = 1.8 * (1.0 - std::exp(-(t - 1e-12) / tau));
+    EXPECT_NEAR(res.v(out, k), expected, 0.04) << "at t=" << t;
+  }
+}
+
+TEST(Transient, CapacitorChargeFromSupply) {
+  // Energy drawn from an ideal source charging C through R is C·V² (half
+  // stored, half dissipated). Checks the energy bookkeeping sign/scale.
+  Circuit c;
+  NodeId vin = c.node("vin");
+  NodeId out = c.node("out");
+  // Ramp must be ≪ RC: a slow ramp charges adiabatically and draws less
+  // than C·V² (the classic adiabatic-charging effect).
+  c.add_vsource("vdd", vin, kGround, Waveform::pwl({{0, 0}, {0.2e-12, 1.8}}));
+  c.add_resistor("r1", vin, out, 500);
+  c.add_capacitor("c1", out, kGround, 50e-15);
+  TransientSim sim(c);
+  TransientOptions opt;
+  opt.t_stop = 0.8e-9;
+  opt.dt = 0.2e-12;
+  auto res = sim.run(opt);
+  const double expected = 50e-15 * 1.8 * 1.8;
+  EXPECT_NEAR(res.energy_from("vdd"), expected, 0.05 * expected);
+  // Charge delivered = C·V.
+  EXPECT_NEAR(res.source_charge[0], 50e-15 * 1.8, 0.05 * 50e-15 * 1.8);
+}
+
+// Builds a static CMOS inverter with given widths; returns (in, out) nodes.
+std::pair<NodeId, NodeId> add_inverter(Circuit& c, NodeId vdd,
+                                       const std::string& prefix,
+                                       double wn = 0.28, double wp = 0.56) {
+  NodeId in = c.node(prefix + ".in");
+  NodeId out = c.node(prefix + ".out");
+  c.add_mosfet(prefix + ".mp", MosType::kPmos, out, in, vdd, wp);
+  c.add_mosfet(prefix + ".mn", MosType::kNmos, out, in, kGround, wn);
+  return {in, out};
+}
+
+TEST(Transient, InverterInverts) {
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  auto [in, out] = add_inverter(c, vdd, "inv");
+  c.add_vsource("vin", in, kGround,
+                Waveform::pulse(0, 1.8, 1e-9, 50e-12, 50e-12, 2e-9, 5e-9));
+  c.add_capacitor("cl", out, kGround, 10e-15);
+  TransientSim sim(c);
+  TransientOptions opt;
+  opt.t_stop = 5e-9;
+  opt.dt = 2e-12;
+  auto res = sim.run(opt);
+
+  // Before the pulse: in=0 → out=Vdd. During pulse: out≈0.
+  std::size_t k_low = static_cast<std::size_t>(0.9e-9 / opt.dt);
+  std::size_t k_high = static_cast<std::size_t>(2.5e-9 / opt.dt);
+  EXPECT_GT(res.v(out, k_low), 1.7);
+  EXPECT_LT(res.v(out, k_high), 0.1);
+}
+
+TEST(Transient, InverterDelayGrowsWithLoad) {
+  auto delay_with_load = [&](double cl) {
+    Circuit c;
+    NodeId vdd = c.node("vdd");
+    c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+    auto [in, out] = add_inverter(c, vdd, "inv");
+    c.add_vsource("vin", in, kGround,
+                  Waveform::pulse(0, 1.8, 0.5e-9, 20e-12, 20e-12, 2e-9, 4e-9));
+    c.add_capacitor("cl", out, kGround, cl);
+    TransientSim sim(c);
+    TransientOptions opt;
+    opt.t_stop = 1.5e-9;
+    opt.dt = 1e-12;
+    auto res = sim.run(opt);
+    // Input mid-rise at 0.51ns; output falls through Vdd/2 afterwards.
+    double d = res.delay_from(0.51e-9, out, 0.9, /*rising=*/false);
+    EXPECT_GT(d, 0.0);
+    return d;
+  };
+  double d1 = delay_with_load(5e-15);
+  double d2 = delay_with_load(20e-15);
+  double d3 = delay_with_load(80e-15);
+  EXPECT_LT(d1, d2);
+  EXPECT_LT(d2, d3);
+}
+
+TEST(Transient, InverterSwitchingEnergyScalesWithLoad) {
+  // Full cycle (out falls then rises): E_vdd ≈ (Cload + Cpar)·Vdd².
+  auto energy_with_load = [&](double cl) {
+    Circuit c;
+    NodeId vdd = c.node("vdd");
+    c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+    auto [in, out] = add_inverter(c, vdd, "inv", 0.56, 1.12);
+    c.add_vsource("vin", in, kGround,
+                  Waveform::pulse(0, 1.8, 1e-9, 50e-12, 50e-12, 4e-9, 10e-9));
+    c.add_capacitor("cl", out, kGround, cl);
+    TransientSim sim(c);
+    TransientOptions opt;
+    opt.t_stop = 10e-9;
+    opt.dt = 2e-12;
+    opt.record = false;
+    auto res = sim.run(opt);
+    return res.energy_from("vdd");
+  };
+  double e20 = energy_with_load(20e-15);
+  double e40 = energy_with_load(40e-15);
+  // Adding 20fF must add ≈ 20fF·Vdd² = 64.8fJ of supply energy.
+  double delta = e40 - e20;
+  double expected = 20e-15 * 1.8 * 1.8;
+  EXPECT_NEAR(delta, expected, 0.15 * expected);
+}
+
+TEST(Transient, NmosPassTransistorDegradesHigh) {
+  // NMOS pass gate passes a weak '1': output settles near Vdd - Vtn.
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  NodeId in = c.node("in");
+  NodeId out = c.node("out");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  c.add_vsource("vin", in, kGround, Waveform::dc(1.8));
+  c.add_mosfet("mpass", MosType::kNmos, in, vdd, out, 2.8);
+  c.add_capacitor("cl", out, kGround, 20e-15);
+  TransientSim sim(c);
+  TransientOptions opt;
+  opt.t_stop = 20e-9;
+  opt.dt = 5e-12;
+  auto res = sim.run(opt);
+  double vfinal = res.v(out, res.time.size() - 1);
+  EXPECT_GT(vfinal, 1.0);
+  EXPECT_LT(vfinal, 1.45);  // clamped below Vdd - Vtn ≈ 1.35 (+margin)
+}
+
+TEST(Transient, RingOscillatorOscillates) {
+  // 3-stage ring oscillator: self-sustained oscillation, no input needed.
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  NodeId n[3];
+  for (int i = 0; i < 3; ++i) n[i] = c.node("n" + std::to_string(i));
+  for (int i = 0; i < 3; ++i) {
+    NodeId in = n[i];
+    NodeId out = n[(i + 1) % 3];
+    c.add_mosfet("mp" + std::to_string(i), MosType::kPmos, out, in, vdd, 0.56);
+    c.add_mosfet("mn" + std::to_string(i), MosType::kNmos, out, in, kGround,
+                 0.28);
+    c.add_capacitor("c" + std::to_string(i), out, kGround, 5e-15);
+  }
+  // Kick-start: small pulse injection on n0 via a large resistor.
+  NodeId kick = c.node("kick");
+  c.add_vsource("vkick", kick, kGround,
+                Waveform::pwl({{0, 0}, {0.1e-9, 1.8}, {0.5e-9, 1.8}, {0.6e-9, 0}}));
+  c.add_resistor("rkick", kick, n[0], 10e3);
+  TransientSim sim(c);
+  TransientOptions opt;
+  opt.t_stop = 20e-9;
+  opt.dt = 2e-12;
+  auto res = sim.run(opt);
+  auto ups = res.crossings(n[1], 0.9, true);
+  EXPECT_GE(ups.size(), 3u) << "ring oscillator did not oscillate";
+}
+
+TEST(Circuit, AreaAccounting) {
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  add_inverter(c, vdd, "i1", 0.28, 0.56);
+  EXPECT_DOUBLE_EQ(c.total_transistor_width_um(), 0.84);
+  EXPECT_GT(c.device_area_um2(), 0.0);
+  // Area metric must be monotone in width.
+  EXPECT_GT(tech().transistor_area_um2(2.8), tech().transistor_area_um2(0.28));
+}
+
+}  // namespace
+}  // namespace amdrel::spice

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "bench_gen/bench_gen.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/simulate.hpp"
+#include "synth/lutmap.hpp"
+#include "synth/opt.hpp"
+#include "vhdl/synth.hpp"
+
+namespace amdrel::synth {
+namespace {
+
+using netlist::Network;
+using netlist::read_blif_string;
+using netlist::SignalId;
+using netlist::TruthTable;
+
+TEST(Opt, SweepRemovesDeadLogic) {
+  Network n = read_blif_string(R"(
+.model dead
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.names a b unused
+01 1
+.names unused unused2
+1 1
+.end
+)");
+  EXPECT_EQ(n.gates().size(), 3u);
+  int removed = sweep_dead_logic(n);
+  EXPECT_EQ(removed, 2);
+  EXPECT_EQ(n.gates().size(), 1u);
+  n.validate();
+}
+
+TEST(Opt, SweepKeepsLatchCones) {
+  Network n = read_blif_string(R"(
+.model seq
+.inputs a
+.outputs q
+.latch d q re clk 0
+.names a d
+0 1
+.names clk
+0
+.end
+)");
+  int removed = sweep_dead_logic(n);
+  EXPECT_EQ(removed, 0);
+}
+
+TEST(Opt, ConstantPropagationFolds) {
+  Network n = read_blif_string(R"(
+.model cp
+.inputs a
+.outputs y
+.names one
+1
+.names a one y
+11 1
+.end
+)");
+  // y = a AND 1 = a → after propagation, a single buffer remains.
+  Network p = propagate_constants(n);
+  auto r = netlist::check_equivalence(n, p);
+  EXPECT_TRUE(r.equivalent) << r.message;
+  ASSERT_EQ(p.gates().size(), 1u);
+  EXPECT_EQ(p.gates()[0].table, TruthTable::identity());
+}
+
+TEST(Opt, DecomposeProducesTwoInputGates) {
+  Network n = read_blif_string(R"(
+.model wide
+.inputs a b c d e
+.outputs y
+.names a b c d e y
+11111 1
+00000 1
+.end
+)");
+  Network d2 = decompose_to_2input(n);
+  for (const auto& g : d2.gates()) {
+    EXPECT_LE(g.table.n_inputs(), 2);
+  }
+  auto r = netlist::check_equivalence(n, d2);
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(Opt, NetworkCost) {
+  Network n = read_blif_string(R"(
+.model c
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+11 1
+.end
+)");
+  auto cost = network_cost(n);
+  EXPECT_EQ(cost.gates, 2);
+  EXPECT_EQ(cost.literals, 4);
+  EXPECT_EQ(cost.depth, 2);
+}
+
+TEST(LutMap, MapsWideGateIntoSingleLut) {
+  Network n = read_blif_string(R"(
+.model w4
+.inputs a b c d
+.outputs y
+.names a b t
+11 1
+.names t c u
+10 1
+.names u d y
+01 1
+.end
+)");
+  LutMapStats stats;
+  Network mapped = map_to_luts(n, LutMapOptions{4, 8}, &stats);
+  // The whole 4-input cone fits one 4-LUT.
+  EXPECT_EQ(stats.luts, 1);
+  EXPECT_EQ(stats.depth, 1);
+  auto r = netlist::check_equivalence(n, mapped);
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(LutMap, RespectsK) {
+  bench_gen::BenchSpec spec;
+  spec.n_inputs = 10;
+  spec.n_outputs = 6;
+  spec.n_gates = 300;
+  spec.seed = 42;
+  Network n = bench_gen::generate(spec);
+  for (int k : {3, 4, 5}) {
+    Network mapped = map_to_luts(n, LutMapOptions{k, 8});
+    for (const auto& g : mapped.gates()) {
+      EXPECT_LE(g.table.n_inputs(), k);
+    }
+    auto r = netlist::check_equivalence(n, mapped, 4, 32);
+    EXPECT_TRUE(r.equivalent) << "k=" << k << ": " << r.message;
+  }
+}
+
+TEST(LutMap, SequentialEquivalence) {
+  bench_gen::BenchSpec spec;
+  spec.n_inputs = 6;
+  spec.n_outputs = 4;
+  spec.n_gates = 200;
+  spec.n_latches = 16;
+  spec.seed = 7;
+  Network n = bench_gen::generate(spec);
+  LutMapStats stats;
+  Network mapped = map_to_luts(n, LutMapOptions{4, 8}, &stats);
+  EXPECT_GT(stats.luts, 0);
+  EXPECT_EQ(mapped.latches().size(), 16u);
+  auto r = netlist::check_equivalence(n, mapped, 4, 48);
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(LutMap, VhdlCounterEndToEnd) {
+  Network n = vhdl::synthesize_vhdl(R"(
+entity c8 is
+  port ( clk : in std_logic;
+         en  : in std_logic;
+         q   : out std_logic_vector(7 downto 0) );
+end c8;
+architecture rtl of c8 is
+  signal cnt : std_logic_vector(7 downto 0);
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if en = '1' then
+        cnt <= cnt + 1;
+      end if;
+    end if;
+  end process;
+  q <= cnt;
+end rtl;
+)",
+                                    "c8");
+  LutMapStats stats;
+  Network mapped = map_to_luts(n, LutMapOptions{4, 8}, &stats);
+  auto r = netlist::check_equivalence(n, mapped, 4, 64);
+  EXPECT_TRUE(r.equivalent) << r.message;
+  // An 8-bit increment maps into a handful of 4-LUTs, not hundreds.
+  EXPECT_LT(stats.luts, 40);
+}
+
+TEST(LutMap, MappingReducesDepthVsNaive) {
+  // Mapper depth must never exceed the 2-input decomposition depth.
+  bench_gen::BenchSpec spec;
+  spec.n_inputs = 12;
+  spec.n_outputs = 8;
+  spec.n_gates = 500;
+  spec.seed = 99;
+  Network n = bench_gen::generate(spec);
+  Network two = decompose_to_2input(n);
+  auto base = network_cost(two);
+  LutMapStats stats;
+  map_to_luts(n, LutMapOptions{4, 8}, &stats);
+  EXPECT_LE(stats.depth, base.depth);
+  EXPECT_LT(stats.depth, base.depth);  // strictly better on this size
+}
+
+TEST(BenchGen, DeterministicAndValid) {
+  bench_gen::BenchSpec spec;
+  spec.seed = 5;
+  Network a = bench_gen::generate(spec);
+  Network b = bench_gen::generate(spec);
+  auto r = netlist::check_equivalence(a, b);
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(BenchGen, SuiteIsWellFormed) {
+  for (const auto& spec : bench_gen::mcnc_like_suite()) {
+    Network n = bench_gen::generate(spec);
+    EXPECT_NO_THROW(n.validate()) << spec.name;
+    EXPECT_EQ(n.inputs().size(),
+              static_cast<std::size_t>(spec.n_inputs + (spec.n_latches ? 1 : 0)))
+        << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace amdrel::synth
