@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_microbench.dir/cad_microbench.cpp.o"
+  "CMakeFiles/cad_microbench.dir/cad_microbench.cpp.o.d"
+  "cad_microbench"
+  "cad_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

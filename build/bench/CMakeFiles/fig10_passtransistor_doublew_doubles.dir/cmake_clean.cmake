@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_passtransistor_doublew_doubles.dir/fig10_passtransistor_doublew_doubles.cpp.o"
+  "CMakeFiles/fig10_passtransistor_doublew_doubles.dir/fig10_passtransistor_doublew_doubles.cpp.o.d"
+  "fig10_passtransistor_doublew_doubles"
+  "fig10_passtransistor_doublew_doubles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_passtransistor_doublew_doubles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

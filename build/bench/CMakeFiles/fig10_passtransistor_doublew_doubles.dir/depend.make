@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_passtransistor_doublew_doubles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_passtransistor_minw_mins.dir/fig8_passtransistor_minw_mins.cpp.o"
+  "CMakeFiles/fig8_passtransistor_minw_mins.dir/fig8_passtransistor_minw_mins.cpp.o.d"
+  "fig8_passtransistor_minw_mins"
+  "fig8_passtransistor_minw_mins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_passtransistor_minw_mins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_passtransistor_minw_mins.
+# This may be replaced when dependencies are built.

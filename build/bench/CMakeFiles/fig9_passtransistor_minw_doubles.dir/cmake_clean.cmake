@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_passtransistor_minw_doubles.dir/fig9_passtransistor_minw_doubles.cpp.o"
+  "CMakeFiles/fig9_passtransistor_minw_doubles.dir/fig9_passtransistor_minw_doubles.cpp.o.d"
+  "fig9_passtransistor_minw_doubles"
+  "fig9_passtransistor_minw_doubles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_passtransistor_minw_doubles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

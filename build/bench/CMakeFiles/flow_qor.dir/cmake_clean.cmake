@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_qor.dir/flow_qor.cpp.o"
+  "CMakeFiles/flow_qor.dir/flow_qor.cpp.o.d"
+  "flow_qor"
+  "flow_qor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_qor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

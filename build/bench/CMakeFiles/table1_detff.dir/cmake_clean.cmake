@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_detff.dir/table1_detff.cpp.o"
+  "CMakeFiles/table1_detff.dir/table1_detff.cpp.o.d"
+  "table1_detff"
+  "table1_detff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_detff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

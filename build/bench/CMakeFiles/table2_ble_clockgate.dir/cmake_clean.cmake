@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ble_clockgate.dir/table2_ble_clockgate.cpp.o"
+  "CMakeFiles/table2_ble_clockgate.dir/table2_ble_clockgate.cpp.o.d"
+  "table2_ble_clockgate"
+  "table2_ble_clockgate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ble_clockgate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_clb_clockgate.dir/table3_clb_clockgate.cpp.o"
+  "CMakeFiles/table3_clb_clockgate.dir/table3_clb_clockgate.cpp.o.d"
+  "table3_clb_clockgate"
+  "table3_clb_clockgate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_clb_clockgate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

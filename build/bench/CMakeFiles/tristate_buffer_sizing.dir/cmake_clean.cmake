@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tristate_buffer_sizing.dir/tristate_buffer_sizing.cpp.o"
+  "CMakeFiles/tristate_buffer_sizing.dir/tristate_buffer_sizing.cpp.o.d"
+  "tristate_buffer_sizing"
+  "tristate_buffer_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tristate_buffer_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_cli.dir/amdrel_cli.cpp.o"
+  "CMakeFiles/amdrel_cli.dir/amdrel_cli.cpp.o.d"
+  "amdrel_cli"
+  "amdrel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

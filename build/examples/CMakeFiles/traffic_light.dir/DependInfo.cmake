@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/traffic_light.cpp" "examples/CMakeFiles/traffic_light.dir/traffic_light.cpp.o" "gcc" "examples/CMakeFiles/traffic_light.dir/traffic_light.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/amdrel_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_gen/CMakeFiles/amdrel_bench_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitgen/CMakeFiles/amdrel_bitgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/amdrel_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/amdrel_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/amdrel_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/amdrel_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/amdrel_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/amdrel_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/amdrel_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/amdrel_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/vhdl/CMakeFiles/amdrel_vhdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/amdrel_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amdrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("process")
+subdirs("spice")
+subdirs("cells")
+subdirs("netlist")
+subdirs("vhdl")
+subdirs("synth")
+subdirs("bench_gen")
+subdirs("arch")
+subdirs("pack")
+subdirs("place")
+subdirs("route")
+subdirs("timing")
+subdirs("power")
+subdirs("bitgen")
+subdirs("flow")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_arch.dir/arch.cpp.o"
+  "CMakeFiles/amdrel_arch.dir/arch.cpp.o.d"
+  "libamdrel_arch.a"
+  "libamdrel_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_bench_gen.dir/bench_gen.cpp.o"
+  "CMakeFiles/amdrel_bench_gen.dir/bench_gen.cpp.o.d"
+  "libamdrel_bench_gen.a"
+  "libamdrel_bench_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_bench_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

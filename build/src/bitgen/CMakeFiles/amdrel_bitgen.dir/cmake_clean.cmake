@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_bitgen.dir/bitstream.cpp.o"
+  "CMakeFiles/amdrel_bitgen.dir/bitstream.cpp.o.d"
+  "libamdrel_bitgen.a"
+  "libamdrel_bitgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_bitgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/characterize.cpp" "src/cells/CMakeFiles/amdrel_cells.dir/characterize.cpp.o" "gcc" "src/cells/CMakeFiles/amdrel_cells.dir/characterize.cpp.o.d"
+  "/root/repo/src/cells/detff.cpp" "src/cells/CMakeFiles/amdrel_cells.dir/detff.cpp.o" "gcc" "src/cells/CMakeFiles/amdrel_cells.dir/detff.cpp.o.d"
+  "/root/repo/src/cells/lut.cpp" "src/cells/CMakeFiles/amdrel_cells.dir/lut.cpp.o" "gcc" "src/cells/CMakeFiles/amdrel_cells.dir/lut.cpp.o.d"
+  "/root/repo/src/cells/primitives.cpp" "src/cells/CMakeFiles/amdrel_cells.dir/primitives.cpp.o" "gcc" "src/cells/CMakeFiles/amdrel_cells.dir/primitives.cpp.o.d"
+  "/root/repo/src/cells/routing_expt.cpp" "src/cells/CMakeFiles/amdrel_cells.dir/routing_expt.cpp.o" "gcc" "src/cells/CMakeFiles/amdrel_cells.dir/routing_expt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/amdrel_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/amdrel_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amdrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

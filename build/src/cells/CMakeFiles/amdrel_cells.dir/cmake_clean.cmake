@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_cells.dir/characterize.cpp.o"
+  "CMakeFiles/amdrel_cells.dir/characterize.cpp.o.d"
+  "CMakeFiles/amdrel_cells.dir/detff.cpp.o"
+  "CMakeFiles/amdrel_cells.dir/detff.cpp.o.d"
+  "CMakeFiles/amdrel_cells.dir/lut.cpp.o"
+  "CMakeFiles/amdrel_cells.dir/lut.cpp.o.d"
+  "CMakeFiles/amdrel_cells.dir/primitives.cpp.o"
+  "CMakeFiles/amdrel_cells.dir/primitives.cpp.o.d"
+  "CMakeFiles/amdrel_cells.dir/routing_expt.cpp.o"
+  "CMakeFiles/amdrel_cells.dir/routing_expt.cpp.o.d"
+  "libamdrel_cells.a"
+  "libamdrel_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

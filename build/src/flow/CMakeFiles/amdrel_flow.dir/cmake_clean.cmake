@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_flow.dir/flow.cpp.o"
+  "CMakeFiles/amdrel_flow.dir/flow.cpp.o.d"
+  "libamdrel_flow.a"
+  "libamdrel_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

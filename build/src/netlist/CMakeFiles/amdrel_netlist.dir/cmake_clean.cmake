@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_netlist.dir/blif.cpp.o"
+  "CMakeFiles/amdrel_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/amdrel_netlist.dir/edif.cpp.o"
+  "CMakeFiles/amdrel_netlist.dir/edif.cpp.o.d"
+  "CMakeFiles/amdrel_netlist.dir/network.cpp.o"
+  "CMakeFiles/amdrel_netlist.dir/network.cpp.o.d"
+  "CMakeFiles/amdrel_netlist.dir/simulate.cpp.o"
+  "CMakeFiles/amdrel_netlist.dir/simulate.cpp.o.d"
+  "CMakeFiles/amdrel_netlist.dir/truth_table.cpp.o"
+  "CMakeFiles/amdrel_netlist.dir/truth_table.cpp.o.d"
+  "libamdrel_netlist.a"
+  "libamdrel_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamdrel_netlist.a"
+)

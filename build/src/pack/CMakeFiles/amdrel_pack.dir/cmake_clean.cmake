@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_pack.dir/pack.cpp.o"
+  "CMakeFiles/amdrel_pack.dir/pack.cpp.o.d"
+  "libamdrel_pack.a"
+  "libamdrel_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

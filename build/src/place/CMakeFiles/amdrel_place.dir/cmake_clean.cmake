@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_place.dir/multiseed.cpp.o"
+  "CMakeFiles/amdrel_place.dir/multiseed.cpp.o.d"
+  "CMakeFiles/amdrel_place.dir/place.cpp.o"
+  "CMakeFiles/amdrel_place.dir/place.cpp.o.d"
+  "libamdrel_place.a"
+  "libamdrel_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

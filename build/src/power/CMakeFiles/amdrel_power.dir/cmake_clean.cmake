@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_power.dir/power.cpp.o"
+  "CMakeFiles/amdrel_power.dir/power.cpp.o.d"
+  "libamdrel_power.a"
+  "libamdrel_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_process.dir/tech018.cpp.o"
+  "CMakeFiles/amdrel_process.dir/tech018.cpp.o.d"
+  "libamdrel_process.a"
+  "libamdrel_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

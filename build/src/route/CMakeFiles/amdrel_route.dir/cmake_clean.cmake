@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_route.dir/pathfinder.cpp.o"
+  "CMakeFiles/amdrel_route.dir/pathfinder.cpp.o.d"
+  "CMakeFiles/amdrel_route.dir/route_files.cpp.o"
+  "CMakeFiles/amdrel_route.dir/route_files.cpp.o.d"
+  "CMakeFiles/amdrel_route.dir/rr_graph.cpp.o"
+  "CMakeFiles/amdrel_route.dir/rr_graph.cpp.o.d"
+  "libamdrel_route.a"
+  "libamdrel_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_spice.dir/circuit.cpp.o"
+  "CMakeFiles/amdrel_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/amdrel_spice.dir/transient.cpp.o"
+  "CMakeFiles/amdrel_spice.dir/transient.cpp.o.d"
+  "libamdrel_spice.a"
+  "libamdrel_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

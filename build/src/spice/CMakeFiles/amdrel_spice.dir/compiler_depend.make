@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for amdrel_spice.
+# This may be replaced when dependencies are built.

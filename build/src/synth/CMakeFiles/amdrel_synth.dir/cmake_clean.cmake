@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_synth.dir/lutmap.cpp.o"
+  "CMakeFiles/amdrel_synth.dir/lutmap.cpp.o.d"
+  "CMakeFiles/amdrel_synth.dir/opt.cpp.o"
+  "CMakeFiles/amdrel_synth.dir/opt.cpp.o.d"
+  "libamdrel_synth.a"
+  "libamdrel_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

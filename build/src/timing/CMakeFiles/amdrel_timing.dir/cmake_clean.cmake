@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_timing.dir/timing.cpp.o"
+  "CMakeFiles/amdrel_timing.dir/timing.cpp.o.d"
+  "libamdrel_timing.a"
+  "libamdrel_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_util.dir/error.cpp.o"
+  "CMakeFiles/amdrel_util.dir/error.cpp.o.d"
+  "CMakeFiles/amdrel_util.dir/log.cpp.o"
+  "CMakeFiles/amdrel_util.dir/log.cpp.o.d"
+  "CMakeFiles/amdrel_util.dir/rng.cpp.o"
+  "CMakeFiles/amdrel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/amdrel_util.dir/strings.cpp.o"
+  "CMakeFiles/amdrel_util.dir/strings.cpp.o.d"
+  "CMakeFiles/amdrel_util.dir/table.cpp.o"
+  "CMakeFiles/amdrel_util.dir/table.cpp.o.d"
+  "CMakeFiles/amdrel_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/amdrel_util.dir/thread_pool.cpp.o.d"
+  "libamdrel_util.a"
+  "libamdrel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

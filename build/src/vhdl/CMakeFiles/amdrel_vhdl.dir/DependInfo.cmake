@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vhdl/lexer.cpp" "src/vhdl/CMakeFiles/amdrel_vhdl.dir/lexer.cpp.o" "gcc" "src/vhdl/CMakeFiles/amdrel_vhdl.dir/lexer.cpp.o.d"
+  "/root/repo/src/vhdl/parser.cpp" "src/vhdl/CMakeFiles/amdrel_vhdl.dir/parser.cpp.o" "gcc" "src/vhdl/CMakeFiles/amdrel_vhdl.dir/parser.cpp.o.d"
+  "/root/repo/src/vhdl/synth.cpp" "src/vhdl/CMakeFiles/amdrel_vhdl.dir/synth.cpp.o" "gcc" "src/vhdl/CMakeFiles/amdrel_vhdl.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/amdrel_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amdrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

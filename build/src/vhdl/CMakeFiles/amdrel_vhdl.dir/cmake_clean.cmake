@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdrel_vhdl.dir/lexer.cpp.o"
+  "CMakeFiles/amdrel_vhdl.dir/lexer.cpp.o.d"
+  "CMakeFiles/amdrel_vhdl.dir/parser.cpp.o"
+  "CMakeFiles/amdrel_vhdl.dir/parser.cpp.o.d"
+  "CMakeFiles/amdrel_vhdl.dir/synth.cpp.o"
+  "CMakeFiles/amdrel_vhdl.dir/synth.cpp.o.d"
+  "libamdrel_vhdl.a"
+  "libamdrel_vhdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdrel_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/synth_test.cpp" "tests/CMakeFiles/synth_test.dir/synth_test.cpp.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/amdrel_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_gen/CMakeFiles/amdrel_bench_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/vhdl/CMakeFiles/amdrel_vhdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/amdrel_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amdrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_power_test.dir/timing_power_test.cpp.o"
+  "CMakeFiles/timing_power_test.dir/timing_power_test.cpp.o.d"
+  "timing_power_test"
+  "timing_power_test.pdb"
+  "timing_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
