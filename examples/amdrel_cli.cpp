@@ -11,6 +11,11 @@
 //   amdrel_cli pnr       <mapped.blif>              # place+route report
 //   amdrel_cli power     <mapped.blif>              # PowerModel report
 //   amdrel_cli dagger    <mapped.blif> <out.bit>    # bitstream file
+//   amdrel_cli lint      <design> [top] [--json]    # netlist lint report
+//
+// `lint` exits 0 when the design is clean (or has only warnings/notes)
+// and 1 when any error-severity diagnostic fires; --json emits the
+// machine-readable report.
 
 #include <cstdio>
 #include <cstring>
@@ -19,6 +24,7 @@
 #include <sstream>
 
 #include "flow/flow.hpp"
+#include "lint/netlist_rules.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/edif.hpp"
 #include "pack/pack.hpp"
@@ -50,7 +56,8 @@ netlist::Network load_design(const std::string& path, const std::string& top) {
 int usage() {
   std::fprintf(stderr,
                "usage: amdrel_cli "
-               "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger} args...\n"
+               "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger|lint} "
+               "args...\n"
                "see the header of examples/amdrel_cli.cpp\n");
   return 2;
 }
@@ -69,6 +76,9 @@ int main(int argc, char** argv) {
       auto net = load_design(argv[2], argv[3]);
       auto result = flow::run_flow_from_network(net, options);
       std::printf("%s", result.report().c_str());
+      if (!result.lint.empty()) {
+        std::printf("--- lint ---\n%s", result.lint.to_text().c_str());
+      }
       return 0;
     }
     if (cmd == "synth") {
@@ -110,6 +120,23 @@ int main(int argc, char** argv) {
       if (argc > 4) spec.channel_width = std::stoi(argv[4]);
       arch::write_arch(spec, std::cout);
       return 0;
+    }
+    if (cmd == "lint") {
+      if (argc < 3) return usage();
+      bool json = false;
+      std::string top = "top";
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+        else top = argv[i];
+      }
+      auto net = load_design(argv[2], top);
+      lint::Report report;
+      report.set_stage("netlist");
+      lint::lint_network(net, &report);
+      std::printf("%s", json ? report.to_json().c_str()
+                             : report.to_text().c_str());
+      if (json) std::printf("\n");
+      return report.has_errors() ? 1 : 0;
     }
     if (cmd == "pnr" || cmd == "power" || cmd == "dagger") {
       if (argc < 3) return usage();

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Verifies that all C++ sources satisfy .clang-format.
+#   scripts/check-format.sh        # check (exit 1 on violations)
+#   scripts/check-format.sh --fix  # rewrite files in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+  echo "check-format: $CLANG_FORMAT not found; skipping (install clang-format to enable)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "check-format: reformatted ${#files[@]} file(s)"
+  exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" > /dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+if [[ $status -eq 0 ]]; then
+  echo "check-format: ${#files[@]} file(s) clean"
+fi
+exit $status

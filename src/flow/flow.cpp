@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "lint/flow_rules.hpp"
+#include "lint/netlist_rules.hpp"
+#include "lint/rr_rules.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/edif.hpp"
 #include "netlist/simulate.hpp"
@@ -35,6 +38,15 @@ void check_equiv(const netlist::Network& a, const netlist::Network& b,
                    "equivalence lost at stage '" + stage + "': " + r.message);
 }
 
+/// Invariant barrier: error-severity findings stop the flow right at the
+/// broken hand-off, with the whole report (not just the first failure).
+void barrier(const lint::Report& report, const std::string& stage) {
+  if (report.has_errors()) {
+    throw InfeasibleError("invariant check failed after " + stage + ":\n" +
+                          report.to_text());
+  }
+}
+
 }  // namespace
 
 std::string FlowResult::report() const {
@@ -57,6 +69,12 @@ std::string FlowResult::report() const {
                   timing.critical_path_s * 1e9, timing.fmax_hz / 1e6);
   os << strprintf("[6] bitstream   : %lld config bits (%zu bytes serialized)\n",
                   bitstream.config_bits(), bitstream_bytes.size());
+  if (!lint.empty()) {
+    os << strprintf("    lint        : %d error(s), %d warning(s), %d note(s)\n",
+                    lint.count(lint::Severity::kError),
+                    lint.count(lint::Severity::kWarning),
+                    lint.count(lint::Severity::kInfo));
+  }
   return os.str();
 }
 
@@ -91,12 +109,22 @@ FlowResult run_flow_from_network(const netlist::Network& network,
   if (options.verify_each_stage) {
     check_equiv(network, *result.mapped, "LUT mapping (SIS)");
   }
+  if (options.check_invariants) {
+    result.lint.set_stage("mapping");
+    lint::lint_network(*result.mapped, &result.lint);
+    barrier(result.lint, "LUT mapping");
+  }
   write_artifact(options.artifact_dir, network.name() + ".blif",
                  netlist::write_blif_string(*result.mapped));
 
   // T-VPack.
   result.packed =
       std::make_unique<pack::PackedNetlist>(*result.mapped, aspec);
+  if (options.check_invariants) {
+    result.lint.set_stage("pack");
+    lint::check_post_pack(*result.packed, &result.lint);
+    barrier(result.lint, "packing");
+  }
   write_artifact(options.artifact_dir, network.name() + ".net",
                  pack::write_net_string(*result.packed));
   // DUTYS architecture file.
@@ -109,6 +137,11 @@ FlowResult run_flow_from_network(const netlist::Network& network,
   place::Placement::AnnealOptions popt;
   popt.seed = options.seed;
   result.place_stats = result.placement->anneal(popt);
+  if (options.check_invariants) {
+    result.lint.set_stage("place");
+    lint::check_post_place(*result.placement, &result.lint);
+    barrier(result.lint, "placement");
+  }
 
   // VPR role: route.
   if (options.search_min_channel_width) {
@@ -127,6 +160,13 @@ FlowResult run_flow_from_network(const netlist::Network& network,
                          ": " + result.routing.message);
   }
   route::verify_routing(*result.rr_graph, *result.placement, result.routing);
+  if (options.check_invariants) {
+    result.lint.set_stage("rr-graph");
+    lint::lint_rr_graph(*result.rr_graph, &result.lint);
+    result.lint.set_stage("route");
+    lint::check_post_route(*result.rr_graph, result.routing, &result.lint);
+    barrier(result.lint, "routing");
+  }
   write_artifact(options.artifact_dir, network.name() + ".place",
                  route::write_place_string(*result.placement));
   write_artifact(options.artifact_dir, network.name() + ".route",
@@ -153,6 +193,12 @@ FlowResult run_flow_from_network(const netlist::Network& network,
                       std::ios::binary);
     out.write(reinterpret_cast<const char*>(result.bitstream_bytes.data()),
               static_cast<std::streamsize>(result.bitstream_bytes.size()));
+  }
+  if (options.check_invariants) {
+    result.lint.set_stage("bitgen");
+    lint::check_post_bitgen(result.bitstream_bytes, *result.mapped,
+                            &result.lint);
+    barrier(result.lint, "bitstream generation");
   }
   if (options.verify_each_stage) {
     // The strongest check in the flow: interpret the bitstream back into a

@@ -11,6 +11,7 @@
 
 #include "arch/arch.hpp"
 #include "bitgen/bitstream.hpp"
+#include "lint/lint.hpp"
 #include "netlist/network.hpp"
 #include "pack/pack.hpp"
 #include "place/place.hpp"
@@ -26,6 +27,12 @@ struct FlowOptions {
   arch::ArchSpec arch;
   std::uint64_t seed = 1;
   bool verify_each_stage = true;   ///< random-vector equivalence checks
+  /// Run the lint/invariant barriers after every stage (netlist lint on
+  /// the mapped design, RR-graph lint, post-pack/place/route/bitgen
+  /// checks). Error-severity findings abort the flow with an
+  /// InfeasibleError carrying the full report; warnings accumulate in
+  /// FlowResult::lint.
+  bool check_invariants = true;
   bool search_min_channel_width = false;
   power::PowerOptions power;
   /// Write per-stage artifacts (EDIF/BLIF/net/arch/bitstream) here if set.
@@ -61,6 +68,8 @@ struct FlowResult {
   // Stage 6: FPGA programming file.
   bitgen::Bitstream bitstream;
   std::vector<std::uint8_t> bitstream_bytes;
+  /// Diagnostics from the per-stage lint barriers (check_invariants).
+  lint::Report lint;
 
   std::string report() const;  ///< multi-line human-readable summary
 };

@@ -1,0 +1,40 @@
+#pragma once
+// Flow invariant checks — the post-stage barriers of the CAD pipeline.
+// Each stage of Fig. 11 (T-VPack packing, VPR place, VPR route, DAGGER
+// bitgen) gets a checker that re-derives the legality conditions of its
+// artifact and reports violations instead of throwing, so `flow` can
+// stop at the first broken hand-off with a complete diagnosis.
+//
+// Rules: FL1xx post-pack, FL2xx post-place, FL3xx post-route, FL4xx
+// post-bitgen (serialize/decode roundtrip).
+
+#include <cstdint>
+#include <vector>
+
+#include "bitgen/bitstream.hpp"
+#include "lint/lint.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/pathfinder.hpp"
+#include "route/rr_graph.hpp"
+
+namespace amdrel::lint {
+
+/// Post-pack: every cluster within N/I/one-clock, every LUT/FF/BLE
+/// packed exactly once.
+void check_post_pack(const pack::PackedNetlist& packed, Report* report);
+
+/// Post-place: all blocks on legal locations, no two blocks co-located.
+void check_post_place(const place::Placement& placement, Report* report);
+
+/// Post-route: every net a connected OPIN-rooted tree over real RR
+/// edges reaching all sinks; no RR node beyond capacity.
+void check_post_route(const route::RrGraph& graph,
+                      const route::RouteResult& routing, Report* report);
+
+/// Post-bitgen: the serialized bitstream deserializes and decodes back
+/// to a netlist sequentially equivalent to the mapped design.
+void check_post_bitgen(const std::vector<std::uint8_t>& bytes,
+                       const netlist::Network& mapped, Report* report);
+
+}  // namespace amdrel::lint

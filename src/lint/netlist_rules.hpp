@@ -1,0 +1,21 @@
+#pragma once
+// Netlist lint: structural hygiene of a gate-level network (any stage:
+// synthesized, SIS-optimized or K-LUT mapped). Unlike Network::validate()
+// these checks never throw — a defective netlist yields a complete list
+// of diagnostics, so a broken DIVINER/DRUID hand-off reports every
+// problem at once instead of dying on the first.
+//
+// Rules: NL001 combinational cycle, NL002 multi-driven net, NL003
+// undriven (floating) input, NL004 dangling output, NL005 constant /
+// input-insensitive LUT, NL006 duplicate LUT, NL007 clock-domain sanity,
+// NL008 unused primary input.
+
+#include "lint/lint.hpp"
+#include "netlist/network.hpp"
+
+namespace amdrel::lint {
+
+/// Runs the full netlist rule family; appends to `report`.
+void lint_network(const netlist::Network& network, Report* report);
+
+}  // namespace amdrel::lint

@@ -1,0 +1,165 @@
+#include "lint/rr_rules.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace amdrel::lint {
+
+namespace {
+
+using route::RrNode;
+using route::RrType;
+
+const char* type_name(RrType t) {
+  switch (t) {
+    case RrType::kOpin: return "OPIN";
+    case RrType::kIpin: return "IPIN";
+    case RrType::kSink: return "SINK";
+    case RrType::kChanX: return "CHANX";
+    case RrType::kChanY: return "CHANY";
+  }
+  return "?";
+}
+
+bool is_wire(RrType t) { return t == RrType::kChanX || t == RrType::kChanY; }
+
+std::string node_desc(const std::vector<RrNode>& nodes, int id) {
+  const RrNode& n = nodes[static_cast<std::size_t>(id)];
+  return strprintf("rr node %d (%s at %d,%d%s)", id, type_name(n.type), n.x,
+                   n.y,
+                   n.track >= 0 ? (" track " + std::to_string(n.track)).c_str()
+                                : "");
+}
+
+// RR005: edges must target real nodes, never self-loop, never repeat.
+void check_edges(const std::vector<RrNode>& nodes, Report* report) {
+  const int n = static_cast<int>(nodes.size());
+  for (int id = 0; id < n; ++id) {
+    const RrNode& node = nodes[static_cast<std::size_t>(id)];
+    std::set<int> seen;
+    for (int to : node.out_edges) {
+      if (to < 0 || to >= n) {
+        report->add(rules::kRrInvalidEdge, node_desc(nodes, id),
+                    strprintf("edge to nonexistent node %d", to));
+        continue;
+      }
+      if (to == id) {
+        report->add(rules::kRrInvalidEdge, node_desc(nodes, id),
+                    "self-loop edge");
+        continue;
+      }
+      if (!seen.insert(to).second) {
+        report->add(rules::kRrInvalidEdge, node_desc(nodes, id),
+                    strprintf("duplicate edge to node %d", to));
+      }
+    }
+  }
+}
+
+// RR001: every IPIN/SINK/wire must be enterable; only OPINs are roots.
+void check_unreachable(const std::vector<RrNode>& nodes, Report* report) {
+  const int n = static_cast<int>(nodes.size());
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (const RrNode& node : nodes) {
+    for (int to : node.out_edges) {
+      if (to >= 0 && to < n) ++indegree[static_cast<std::size_t>(to)];
+    }
+  }
+  for (int id = 0; id < n; ++id) {
+    if (nodes[static_cast<std::size_t>(id)].type == RrType::kOpin) continue;
+    if (indegree[static_cast<std::size_t>(id)] == 0) {
+      report->add(rules::kRrUnreachable, node_desc(nodes, id),
+                  "no incoming edge; unusable by any route");
+    }
+  }
+}
+
+// RR002: each channel segment location must hold exactly W tracks with
+// track indices 0..W-1.
+void check_channel_width(const std::vector<RrNode>& nodes, int channel_width,
+                         Report* report) {
+  // (type, x, y) -> set of track indices present.
+  std::map<std::tuple<int, int, int>, std::set<int>> channels;
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const RrNode& node = nodes[id];
+    if (!is_wire(node.type)) continue;
+    if (node.track < 0 || node.track >= channel_width) {
+      report->add(rules::kRrChannelWidth, node_desc(nodes, static_cast<int>(id)),
+                  strprintf("track index %d outside [0, W=%d)", node.track,
+                            channel_width));
+      continue;
+    }
+    auto key = std::make_tuple(static_cast<int>(node.type), node.x, node.y);
+    if (!channels[key].insert(node.track).second) {
+      report->add(rules::kRrChannelWidth, node_desc(nodes, static_cast<int>(id)),
+                  "duplicate wire for this channel position and track");
+    }
+  }
+  for (const auto& [key, tracks] : channels) {
+    if (static_cast<int>(tracks.size()) != channel_width) {
+      report->add(
+          rules::kRrChannelWidth,
+          strprintf("%s channel at %d,%d",
+                    std::get<0>(key) == static_cast<int>(RrType::kChanX)
+                        ? "CHANX"
+                        : "CHANY",
+                    std::get<1>(key), std::get<2>(key)),
+          strprintf("%d track(s) present, W=%d declared",
+                    static_cast<int>(tracks.size()), channel_width));
+    }
+  }
+}
+
+// RR003: switch-box pass transistors are bidirectional — a wire-wire
+// edge recorded one way only means the generator forgot the return
+// direction (the router would then find paths hardware cannot realize).
+// RR004: a wire with no outgoing switch is dead capacitance.
+void check_wires(const std::vector<RrNode>& nodes, Report* report) {
+  const int n = static_cast<int>(nodes.size());
+  std::unordered_set<std::uint64_t> wire_edges;
+  auto key = [](int a, int b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+  for (int id = 0; id < n; ++id) {
+    const RrNode& node = nodes[static_cast<std::size_t>(id)];
+    if (!is_wire(node.type)) continue;
+    if (node.out_edges.empty()) {
+      report->add(rules::kRrZeroFanoutWire, node_desc(nodes, id),
+                  "wire has no outgoing switch");
+    }
+    for (int to : node.out_edges) {
+      if (to >= 0 && to < n && is_wire(nodes[static_cast<std::size_t>(to)].type)) {
+        wire_edges.insert(key(id, to));
+      }
+    }
+  }
+  for (std::uint64_t k : wire_edges) {
+    const int a = static_cast<int>(k >> 32);
+    const int b = static_cast<int>(k & 0xffffffffu);
+    if (!wire_edges.count(key(b, a))) {
+      report->add(rules::kRrAsymmetricSwitch, node_desc(nodes, a),
+                  strprintf("switch to node %d has no return direction", b));
+    }
+  }
+}
+
+}  // namespace
+
+void lint_rr_nodes(const std::vector<RrNode>& nodes, int channel_width,
+                   Report* report) {
+  check_edges(nodes, report);
+  check_unreachable(nodes, report);
+  check_channel_width(nodes, channel_width, report);
+  check_wires(nodes, report);
+}
+
+void lint_rr_graph(const route::RrGraph& graph, Report* report) {
+  lint_rr_nodes(graph.nodes(), graph.channel_width(), report);
+}
+
+}  // namespace amdrel::lint

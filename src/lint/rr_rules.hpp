@@ -1,0 +1,27 @@
+#pragma once
+// Architecture / routing-resource-graph lint: structural health of the
+// RR graph DUTYS+VPR hand the router. Catches generator bugs (a channel
+// with the wrong track count, a pass-transistor switch recorded in one
+// direction only, wires no switch can reach) before the router turns
+// them into mysterious unroutability or optimistic channel widths.
+//
+// Rules: RR001 unreachable node, RR002 channel-width inconsistency,
+// RR003 asymmetric wire-wire switch, RR004 zero-fanout wire, RR005
+// invalid edge.
+
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "route/rr_graph.hpp"
+
+namespace amdrel::lint {
+
+/// Lints a raw RR node list against the declared channel width. Exposed
+/// separately from the RrGraph overload so tests can seed defects.
+void lint_rr_nodes(const std::vector<route::RrNode>& nodes, int channel_width,
+                   Report* report);
+
+/// Runs the full RR rule family on a built graph.
+void lint_rr_graph(const route::RrGraph& graph, Report* report);
+
+}  // namespace amdrel::lint

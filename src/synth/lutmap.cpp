@@ -183,37 +183,6 @@ Network map_to_luts(const Network& input, const LutMapOptions& options,
     cuts[static_cast<std::size_t>(out)] = std::move(kept);
   }
 
-  // ---- Cover selection: walk back from required signals. ----
-  std::vector<char> mapped(static_cast<std::size_t>(n_signals), 0);
-  std::vector<SignalId> work;
-  auto require_signal = [&](SignalId s) {
-    if (driver[static_cast<std::size_t>(s)] < 0) return;  // PI / latch Q
-    if (!mapped[static_cast<std::size_t>(s)]) {
-      mapped[static_cast<std::size_t>(s)] = 1;
-      work.push_back(s);
-    }
-  };
-  for (SignalId s : net.outputs()) require_signal(s);
-  for (const auto& l : net.latches()) require_signal(l.d);
-
-  // Chosen cut per mapped signal (first = best non-self cut).
-  std::map<SignalId, Cut> chosen;
-  while (!work.empty()) {
-    SignalId s = work.back();
-    work.pop_back();
-    const auto& cset = cuts[static_cast<std::size_t>(s)];
-    // Pick the best cut that is not the self cut.
-    const Cut* pick = nullptr;
-    for (const Cut& c : cset) {
-      if (c.leaves.size() == 1 && c.leaves[0] == s) continue;
-      pick = &c;
-      break;
-    }
-    AMDREL_CHECK_MSG(pick != nullptr, "no cover cut for signal");
-    chosen.emplace(s, *pick);
-    for (SignalId leaf : pick->leaves) require_signal(leaf);
-  }
-
   // ---- Truth table extraction per chosen cut. ----
   auto cone_truth = [&](SignalId root, const std::vector<SignalId>& leaves) {
     const int n = static_cast<int>(leaves.size());
@@ -257,6 +226,55 @@ Network map_to_luts(const Network& input, const LutMapOptions& options,
     return t;
   };
 
+  // ---- Cover selection: walk back from required signals. ----
+  std::vector<char> mapped(static_cast<std::size_t>(n_signals), 0);
+  std::vector<SignalId> work;
+  auto require_signal = [&](SignalId s) {
+    if (driver[static_cast<std::size_t>(s)] < 0) return;  // PI / latch Q
+    if (!mapped[static_cast<std::size_t>(s)]) {
+      mapped[static_cast<std::size_t>(s)] = 1;
+      work.push_back(s);
+    }
+  };
+  for (SignalId s : net.outputs()) require_signal(s);
+  for (const auto& l : net.latches()) require_signal(l.d);
+
+  // Chosen LUT per mapped signal: the best non-self cut, with its cone
+  // function extracted and leaves the function ignores pruned away (an
+  // ignored leaf would waste a cluster input and net fanout, and cones
+  // required only through ignored leaves would be mapped dead).
+  struct ChosenLut {
+    std::vector<SignalId> leaves;
+    TruthTable table;
+    int depth = 0;
+  };
+  std::map<SignalId, ChosenLut> chosen;
+  while (!work.empty()) {
+    SignalId s = work.back();
+    work.pop_back();
+    const auto& cset = cuts[static_cast<std::size_t>(s)];
+    // Pick the best cut that is not the self cut.
+    const Cut* pick = nullptr;
+    for (const Cut& c : cset) {
+      if (c.leaves.size() == 1 && c.leaves[0] == s) continue;
+      pick = &c;
+      break;
+    }
+    AMDREL_CHECK_MSG(pick != nullptr, "no cover cut for signal");
+    ChosenLut lut;
+    lut.table = cone_truth(s, pick->leaves);
+    lut.leaves = pick->leaves;
+    lut.depth = pick->depth;
+    for (int i = static_cast<int>(lut.leaves.size()) - 1; i >= 0; --i) {
+      if (!lut.table.depends_on(i)) {
+        lut.table = lut.table.cofactor(i, false);
+        lut.leaves.erase(lut.leaves.begin() + i);
+      }
+    }
+    for (SignalId leaf : lut.leaves) require_signal(leaf);
+    chosen.emplace(s, std::move(lut));
+  }
+
   // ---- Build the output network. ----
   Network out(net.name());
   std::map<std::string, SignalId> name_map;
@@ -271,13 +289,12 @@ Network map_to_luts(const Network& input, const LutMapOptions& options,
   for (SignalId s : net.inputs()) out.add_input(xfer(s));
 
   int max_depth = 0;
-  for (const auto& [s, cut] : chosen) {
-    TruthTable t = cone_truth(s, cut.leaves);
+  for (const auto& [s, lut] : chosen) {
     std::vector<SignalId> ins;
-    for (SignalId leaf : cut.leaves) ins.push_back(xfer(leaf));
-    out.add_gate("lut_" + net.signal_name(s), std::move(t), std::move(ins),
+    for (SignalId leaf : lut.leaves) ins.push_back(xfer(leaf));
+    out.add_gate("lut_" + net.signal_name(s), lut.table, std::move(ins),
                  xfer(s));
-    max_depth = std::max(max_depth, cut.depth);
+    max_depth = std::max(max_depth, lut.depth);
   }
   for (const auto& l : net.latches()) {
     out.add_latch(l.name, xfer(l.d), xfer(l.q),

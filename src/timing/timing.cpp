@@ -12,7 +12,7 @@ using route::RrNode;
 using route::RrType;
 
 std::vector<NetDelays> compute_net_delays(const route::RrGraph& graph,
-                                          const place::Placement& placement,
+                                          const place::Placement& /*placement*/,
                                           const route::RouteResult& routing,
                                           const arch::ArchSpec& spec) {
   const auto& nodes = graph.nodes();

@@ -18,7 +18,9 @@ using spice::TransientOptions;
 using spice::TransientSim;
 using spice::Waveform;
 
-const process::Tech018& tech() { return process::default_tech(); }
+[[maybe_unused]] const process::Tech018& tech() {
+  return process::default_tech();
+}
 
 TEST(Primitives, Nand2TruthTable) {
   // Check all four input combinations at DC-ish settling.

@@ -1,0 +1,51 @@
+-- The traffic-light controller of examples/traffic_light.cpp as a
+-- standalone source: the canonical *clean* design — the lint clean-flow
+-- test asserts a full invariant-checked flow over it yields zero
+-- diagnostics.
+entity traffic is
+  port ( clk     : in std_logic;
+         rst     : in std_logic;
+         request : in std_logic;                      -- pedestrian button
+         lights  : out std_logic_vector(2 downto 0)   -- R, Y, G
+       );
+end traffic;
+
+architecture rtl of traffic is
+  signal state : std_logic_vector(1 downto 0);  -- 00 G, 01 Y, 10 R, 11 RY
+  signal timer : std_logic_vector(2 downto 0);
+begin
+  process(clk, rst)
+  begin
+    if rst = '1' then
+      state <= "00";
+      timer <= "000";
+    elsif rising_edge(clk) then
+      if timer = 0 then
+        case state is
+          when "00" =>
+            if request = '1' then
+              state <= "01";
+              timer <= "001";
+            end if;
+          when "01" =>
+            state <= "10";
+            timer <= "011";
+          when "10" =>
+            state <= "11";
+            timer <= "001";
+          when others =>
+            state <= "00";
+            timer <= "000";
+        end case;
+      else
+        timer <= timer - 1;
+      end if;
+    end if;
+  end process;
+
+  with state select
+    lights <= "001" when "00",   -- green
+              "010" when "01",   -- yellow
+              "100" when "10",   -- red
+              "110" when others; -- red+yellow
+end rtl;
