@@ -1,0 +1,98 @@
+#pragma once
+// Shared command-line handling for the paper-table/figure bench drivers.
+//
+// Every driver accepts:
+//   --json       machine-readable output (one JSON object on stdout) instead
+//                of the human-readable table
+//   --threads N  worker threads for the independent testbench runs
+//                (0 = hardware concurrency; default)
+//   --dense      use the dense MNA oracle instead of the sparse solver
+//                (slow; for cross-checking the sparse backend)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "spice/transient.hpp"
+
+namespace amdrel::bench {
+
+struct BenchArgs {
+  bool json = false;
+  bool dense = false;
+  int threads = 0;  ///< 0 = hardware concurrency
+
+  spice::MnaSolver solver() const {
+    return dense ? spice::MnaSolver::kDense : spice::MnaSolver::kSparse;
+  }
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      args.json = true;
+    } else if (std::strcmp(argv[i], "--dense") == 0) {
+      args.dense = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = std::atoi(argv[++i]);
+      if (args.threads < 0) args.threads = 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--dense] [--threads N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Minimal JSON writer for the benches' flat records: objects, arrays,
+/// string/number/bool fields. Emits to stdout; no escaping beyond what the
+/// fixed key/label vocabulary of the drivers needs.
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key) { item(); std::printf("\"%s\":", key); open('['); }
+  void end_array() { close(']'); }
+  void object_in_array() { item(); open('{'); }
+
+  void field(const char* key, const char* value) {
+    item();
+    std::printf("\"%s\":\"%s\"", key, value);
+  }
+  void field(const char* key, const std::string& value) {
+    field(key, value.c_str());
+  }
+  void field(const char* key, double value) {
+    item();
+    std::printf("\"%s\":%.9g", key, value);
+  }
+  void field(const char* key, int value) {
+    item();
+    std::printf("\"%s\":%d", key, value);
+  }
+  void field(const char* key, bool value) {
+    item();
+    std::printf("\"%s\":%s", key, value ? "true" : "false");
+  }
+  void finish() { std::printf("\n"); }
+
+ private:
+  void open(char c) {
+    std::printf("%c", c);
+    first_ = true;
+  }
+  void close(char c) {
+    std::printf("%c", c);
+    first_ = false;
+  }
+  void item() {
+    if (!first_) std::printf(",");
+    first_ = false;
+  }
+  bool first_ = true;
+};
+
+}  // namespace amdrel::bench

@@ -1,11 +1,13 @@
 // google-benchmark microbenchmarks of the CAD kernels (mapper, packer,
 // placer, router, bitstream codec) — the performance side of the paper's
-// "runs on a low-cost PC" claim (§4.1).
+// "runs on a low-cost PC" claim (§4.1) — plus the transient simulator's
+// sparse and dense MNA backends on the Table-1 DETFF testbench.
 
 #include <benchmark/benchmark.h>
 
 #include "bench_gen/bench_gen.hpp"
 #include "bitgen/bitstream.hpp"
+#include "cells/characterize.hpp"
 #include "flow/flow.hpp"
 #include "netlist/simulate.hpp"
 #include "pack/pack.hpp"
@@ -108,6 +110,25 @@ void BM_NetlistSimulation(benchmark::State& state) {
                           static_cast<long long>(mapped.gates().size()));
 }
 BENCHMARK(BM_NetlistSimulation);
+
+void transient_detff(benchmark::State& state, spice::MnaSolver solver) {
+  cells::DetffBenchOptions opt;
+  opt.solver = solver;
+  for (auto _ : state) {
+    auto m = cells::characterize_detff(cells::DetffKind::kLlopis1, opt);
+    benchmark::DoNotOptimize(m.energy_j);
+  }
+}
+
+void BM_TransientSparse(benchmark::State& state) {
+  transient_detff(state, spice::MnaSolver::kSparse);
+}
+BENCHMARK(BM_TransientSparse)->Unit(benchmark::kMillisecond);
+
+void BM_TransientDense(benchmark::State& state) {
+  transient_detff(state, spice::MnaSolver::kDense);
+}
+BENCHMARK(BM_TransientDense)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

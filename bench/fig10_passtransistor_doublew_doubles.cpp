@@ -4,11 +4,15 @@
 
 #include "fig_passtransistor_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = amdrel::bench::parse_bench_args(argc, argv);
   amdrel::bench::run_passtransistor_figure(
+      "fig10_passtransistor_doublew_doubles",
       "Fig. 10: double wire width, double spacing",
       amdrel::process::WireWidth::kDouble,
-      amdrel::process::WireSpacing::kDouble);
-  std::printf("\npaper: optimum 10x for L=1,2,4; 16x for L=8\n");
+      amdrel::process::WireSpacing::kDouble, args);
+  if (!args.json) {
+    std::printf("\npaper: optimum 10x for L=1,2,4; 16x for L=8\n");
+  }
   return 0;
 }

@@ -4,11 +4,15 @@
 
 #include "fig_passtransistor_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = amdrel::bench::parse_bench_args(argc, argv);
   amdrel::bench::run_passtransistor_figure(
+      "fig8_passtransistor_minw_mins",
       "Fig. 8: minimum wire width, minimum spacing",
       amdrel::process::WireWidth::kMinimum,
-      amdrel::process::WireSpacing::kMinimum);
-  std::printf("\npaper: optimum 10-16x for L=1,2,4; 64x for L=8\n");
+      amdrel::process::WireSpacing::kMinimum, args);
+  if (!args.json) {
+    std::printf("\npaper: optimum 10-16x for L=1,2,4; 64x for L=8\n");
+  }
   return 0;
 }

@@ -4,12 +4,16 @@
 
 #include "fig_passtransistor_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = amdrel::bench::parse_bench_args(argc, argv);
   amdrel::bench::run_passtransistor_figure(
+      "fig9_passtransistor_minw_doubles",
       "Fig. 9: minimum wire width, double spacing",
       amdrel::process::WireWidth::kMinimum,
-      amdrel::process::WireSpacing::kDouble);
-  std::printf("\npaper: optimum 10x for L=1,2,4; 64x for L=8; overall "
-              "E*D*A improves vs Fig. 8\n");
+      amdrel::process::WireSpacing::kDouble, args);
+  if (!args.json) {
+    std::printf("\npaper: optimum 10x for L=1,2,4; 64x for L=8; overall "
+                "E*D*A improves vs Fig. 8\n");
+  }
   return 0;
 }

@@ -2,63 +2,103 @@
 // Shared sweep harness for the paper's Figs 8–10: energy·delay·area
 // product vs routing pass-transistor width, for wire lengths 1/2/4/8, at
 // one wire width/spacing configuration per figure.
+//
+// The widths×lengths grid points are independent testbenches, so they run
+// on a thread pool (--threads); results land in index-addressed slots, so
+// the output is identical for any thread count.
 
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "cells/routing_expt.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amdrel::bench {
 
-inline void run_passtransistor_figure(const char* title,
+inline void run_passtransistor_figure(const char* name, const char* title,
                                       process::WireWidth ww,
-                                      process::WireSpacing ws) {
+                                      process::WireSpacing ws,
+                                      const BenchArgs& args) {
   using cells::RoutingExptOptions;
   using cells::run_routing_experiment;
 
-  std::printf("%s\n", title);
-  std::printf("E*D*A product vs routing pass-transistor width "
-              "(relative to the width=10x value of each length)\n\n");
-
   const std::vector<double> widths = {1, 2, 4, 6, 8, 10, 16, 32, 64};
   const std::vector<int> lengths = {1, 2, 4, 8};
-
-  std::vector<std::string> header{"W/Wmin"};
-  for (int len : lengths) header.push_back("L=" + std::to_string(len));
-  Table table(header);
 
   // Normalize each length's series by its W=10 point so the curve shapes
   // (and the optimum position) are directly comparable with the figures.
   std::vector<std::vector<double>> eda(
       lengths.size(), std::vector<double>(widths.size(), 0.0));
+  parallel_for(
+      lengths.size() * widths.size(),
+      [&](std::size_t i) {
+        const std::size_t li = i / widths.size();
+        const std::size_t wi = i % widths.size();
+        RoutingExptOptions opt;
+        opt.wire_length = lengths[li];
+        opt.switch_width_x = widths[wi];
+        opt.wire_width = ww;
+        opt.wire_spacing = ws;
+        opt.dt = 5e-12;
+        opt.solver = args.solver();
+        eda[li][wi] = run_routing_experiment(opt).eda;
+      },
+      static_cast<std::size_t>(args.threads));
+
   std::vector<double> best_w(lengths.size(), 0.0);
+  std::vector<double> w10(lengths.size(), 0.0);
   for (std::size_t li = 0; li < lengths.size(); ++li) {
     double best = 0;
     for (std::size_t wi = 0; wi < widths.size(); ++wi) {
-      RoutingExptOptions opt;
-      opt.wire_length = lengths[li];
-      opt.switch_width_x = widths[wi];
-      opt.wire_width = ww;
-      opt.wire_spacing = ws;
-      opt.dt = 5e-12;
-      auto r = run_routing_experiment(opt);
-      eda[li][wi] = r.eda;
-      if (best == 0 || r.eda < best) {
-        best = r.eda;
+      if (widths[wi] == 10) w10[li] = eda[li][wi];
+      if (best == 0 || eda[li][wi] < best) {
+        best = eda[li][wi];
         best_w[li] = widths[wi];
       }
     }
   }
+
+  if (args.json) {
+    JsonWriter j;
+    j.begin_object();
+    j.field("bench", name);
+    j.begin_array("points");
+    for (std::size_t li = 0; li < lengths.size(); ++li) {
+      for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+        j.object_in_array();
+        j.field("length", lengths[li]);
+        j.field("width_x", widths[wi]);
+        j.field("eda_norm", eda[li][wi] / w10[li]);
+        j.end_object();
+      }
+    }
+    j.end_array();
+    j.begin_array("optimal_width_x");
+    for (std::size_t li = 0; li < lengths.size(); ++li) {
+      j.object_in_array();
+      j.field("length", lengths[li]);
+      j.field("width_x", best_w[li]);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    j.finish();
+    return;
+  }
+
+  std::printf("%s\n", title);
+  std::printf("E*D*A product vs routing pass-transistor width "
+              "(relative to the width=10x value of each length)\n\n");
+  std::vector<std::string> header{"W/Wmin"};
+  for (int len : lengths) header.push_back("L=" + std::to_string(len));
+  Table table(header);
   for (std::size_t wi = 0; wi < widths.size(); ++wi) {
     std::vector<std::string> row{strprintf("%.0f", widths[wi])};
     for (std::size_t li = 0; li < lengths.size(); ++li) {
-      double w10 = 0;
-      for (std::size_t k = 0; k < widths.size(); ++k) {
-        if (widths[k] == 10) w10 = eda[li][k];
-      }
-      row.push_back(strprintf("%.3f", eda[li][wi] / w10));
+      row.push_back(strprintf("%.3f", eda[li][wi] / w10[li]));
     }
     table.add_row(std::move(row));
   }

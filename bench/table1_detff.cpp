@@ -8,24 +8,56 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "cells/characterize.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amdrel;
   using namespace amdrel::cells;
-  std::printf("Table 1: energy, delay and E*D of DET flip-flops "
-              "(level-1 0.18um simulation)\n\n");
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
 
-  auto rows = characterize_all_detffs();
-  Table table({"Cell", "Total Energy (fJ)", "Delay (ps)",
-               "Energy*Delay (fJ*ps)", "transistors", "functional"});
+  DetffBenchOptions opt;
+  opt.solver = args.solver();
+  opt.n_threads = args.threads;
+  auto rows = characterize_all_detffs(opt);
+
   const DetffMetrics* best_e = nullptr;
   const DetffMetrics* best_edp = nullptr;
   for (const auto& m : rows) {
     if (best_e == nullptr || m.energy_j < best_e->energy_j) best_e = &m;
     if (best_edp == nullptr || m.edp < best_edp->edp) best_edp = &m;
+  }
+
+  if (args.json) {
+    bench::JsonWriter j;
+    j.begin_object();
+    j.field("bench", "table1_detff");
+    j.begin_array("cells");
+    for (const auto& m : rows) {
+      j.object_in_array();
+      j.field("cell", detff_name(m.kind));
+      j.field("energy_fj", m.energy_j * 1e15);
+      j.field("delay_ps", m.delay_s * 1e12);
+      j.field("edp_fj_ps", m.edp * 1e27);
+      j.field("transistors", m.transistors);
+      j.field("functional", m.functional);
+      j.end_object();
+    }
+    j.end_array();
+    j.field("lowest_energy", detff_name(best_e->kind));
+    j.field("lowest_edp", detff_name(best_edp->kind));
+    j.end_object();
+    j.finish();
+    return 0;
+  }
+
+  std::printf("Table 1: energy, delay and E*D of DET flip-flops "
+              "(level-1 0.18um simulation)\n\n");
+  Table table({"Cell", "Total Energy (fJ)", "Delay (ps)",
+               "Energy*Delay (fJ*ps)", "transistors", "functional"});
+  for (const auto& m : rows) {
     table.add_row({detff_name(m.kind), strprintf("%.1f", m.energy_j * 1e15),
                    strprintf("%.1f", m.delay_s * 1e12),
                    strprintf("%.0f", m.edp * 1e27),

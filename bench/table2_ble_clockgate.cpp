@@ -8,27 +8,47 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "cells/characterize.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amdrel;
   using namespace amdrel::cells;
-  std::printf("Table 2: BLE-level clock gating energy per cycle\n\n");
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
 
-  auto e = measure_ble_clock_gating();
+  DetffBenchOptions opt;
+  opt.solver = args.solver();
+  opt.n_threads = args.threads;
+  auto e = measure_ble_clock_gating(opt);
+  const double d_en = 100.0 * (e.gated_enabled_j / e.single_clock_j - 1.0);
+  const double d_dis = 100.0 * (e.gated_disabled_j / e.single_clock_j - 1.0);
+
+  if (args.json) {
+    bench::JsonWriter j;
+    j.begin_object();
+    j.field("bench", "table2_ble_clockgate");
+    j.field("single_clock_fj", e.single_clock_j * 1e15);
+    j.field("gated_enabled_fj", e.gated_enabled_j * 1e15);
+    j.field("gated_disabled_fj", e.gated_disabled_j * 1e15);
+    j.field("enabled_delta_pct", d_en);
+    j.field("disabled_delta_pct", d_dis);
+    j.end_object();
+    j.finish();
+    return 0;
+  }
+
+  std::printf("Table 2: BLE-level clock gating energy per cycle\n\n");
   Table table({"Configuration", "Energy (fJ)", "vs single clock"});
   table.add_row({"Single clock", strprintf("%.2f", e.single_clock_j * 1e15),
                  "-"});
   table.add_row({"Gated clock, CLK_ENABLE=1",
                  strprintf("%.2f", e.gated_enabled_j * 1e15),
-                 strprintf("%+.1f%%", 100.0 * (e.gated_enabled_j /
-                                               e.single_clock_j - 1.0))});
+                 strprintf("%+.1f%%", d_en)});
   table.add_row({"Gated clock, CLK_ENABLE=0",
                  strprintf("%.2f", e.gated_disabled_j * 1e15),
-                 strprintf("%+.1f%%", 100.0 * (e.gated_disabled_j /
-                                               e.single_clock_j - 1.0))});
+                 strprintf("%+.1f%%", d_dis)});
   std::printf("%s\n", table.to_string().c_str());
   std::printf("paper: +6.2%% when enabled, -77%% when disabled\n");
   return 0;

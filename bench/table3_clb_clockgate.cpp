@@ -9,33 +9,65 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "cells/characterize.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amdrel;
   using namespace amdrel::cells;
-  std::printf("Table 3: CLB-level clock gating energy per cycle (5 BLEs)\n\n");
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
 
-  auto rows = measure_clb_clock_gating();
+  DetffBenchOptions opt;
+  opt.solver = args.solver();
+  opt.n_threads = args.threads;
+  auto rows = measure_clb_clock_gating(opt);
+
+  double save_off = 0, cost_on = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double delta =
+        100.0 * (rows[i].gated_clock_j / rows[i].single_clock_j - 1.0);
+    if (i == 0) save_off = delta;
+    if (i == 2) cost_on = delta;
+  }
+  // Break-even idle probability p solving p*saving = (1-p)*overhead.
+  const double p = cost_on / (cost_on - save_off);
+
+  if (args.json) {
+    bench::JsonWriter j;
+    j.begin_object();
+    j.field("bench", "table3_clb_clockgate");
+    j.begin_array("conditions");
+    for (const auto& r : rows) {
+      j.object_in_array();
+      j.field("n_ffs_on", r.n_ffs_on);
+      j.field("single_clock_fj", r.single_clock_j * 1e15);
+      j.field("gated_clock_fj", r.gated_clock_j * 1e15);
+      j.field("delta_pct",
+              100.0 * (r.gated_clock_j / r.single_clock_j - 1.0));
+      j.end_object();
+    }
+    j.end_array();
+    j.field("break_even_p_idle", p);
+    j.end_object();
+    j.finish();
+    return 0;
+  }
+
+  std::printf("Table 3: CLB-level clock gating energy per cycle (5 BLEs)\n\n");
   Table table({"Condition", "Single Clock (fJ)", "Gated Clock (fJ)",
                "delta"});
   const char* names[] = {"all F/Fs OFF", "one F/F ON", "all F/Fs ON"};
-  double save_off = 0, cost_on = 0;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     double delta = 100.0 * (r.gated_clock_j / r.single_clock_j - 1.0);
-    if (i == 0) save_off = delta;
-    if (i == 2) cost_on = delta;
     table.add_row({names[i], strprintf("%.2f", r.single_clock_j * 1e15),
                    strprintf("%.2f", r.gated_clock_j * 1e15),
                    strprintf("%+.0f%%", delta)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("paper: -83%% all-off, +33%% one-on, +29%% all-on\n");
-  // Break-even idle probability p solving p*saving = (1-p)*overhead.
-  double p = cost_on / (cost_on - save_off);
   std::printf("break-even P(all FFs OFF) = %.2f (paper: 1/3)\n", p);
   return 0;
 }

@@ -6,49 +6,86 @@
 // — is checked at the end.
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "cells/routing_expt.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amdrel;
   using namespace amdrel::cells;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+
+  const std::vector<double> widths = {1, 2, 4, 8, 16};
+  const std::vector<int> lengths = {1, 4};
+
+  // The sweep points plus the reference pass-transistor switch are
+  // independent testbenches; run them on the pool.
+  const std::size_t n_sweep = lengths.size() * widths.size();
+  std::vector<RoutingExptResult> res(n_sweep + 1);
+  parallel_for(
+      n_sweep + 1,
+      [&](std::size_t i) {
+        RoutingExptOptions opt;
+        opt.wire_spacing = process::WireSpacing::kDouble;
+        opt.dt = 5e-12;
+        opt.solver = args.solver();
+        if (i < n_sweep) {
+          opt.style = SwitchStyle::kTriStateBuffer;
+          opt.wire_length = lengths[i / widths.size()];
+          opt.switch_width_x = widths[i % widths.size()];
+        } else {
+          // Selected pass-transistor switch (10x, L=1) on the same wires.
+          opt.wire_length = 1;
+          opt.switch_width_x = 10;
+        }
+        res[i] = run_routing_experiment(opt);
+      },
+      static_cast<std::size_t>(args.threads));
+  const double base = res[0].eda;
+  const RoutingExptResult& rp = res[n_sweep];
+
+  if (args.json) {
+    bench::JsonWriter j;
+    j.begin_object();
+    j.field("bench", "tristate_buffer_sizing");
+    j.begin_array("points");
+    for (std::size_t i = 0; i < n_sweep; ++i) {
+      j.object_in_array();
+      j.field("length", lengths[i / widths.size()]);
+      j.field("width_x", widths[i % widths.size()]);
+      j.field("delay_ps", res[i].delay_s * 1e12);
+      j.field("energy_fj", res[i].energy_j * 1e15);
+      j.field("area_um2", res[i].area_um2);
+      j.field("eda_norm", res[i].eda / base);
+      j.end_object();
+    }
+    j.end_array();
+    j.field("pass_transistor_delay_ps", rp.delay_s * 1e12);
+    j.field("pass_transistor_energy_fj", rp.energy_j * 1e15);
+    j.field("pass_transistor_area_um2", rp.area_um2);
+    j.end_object();
+    j.finish();
+    return 0;
+  }
+
   std::printf("S3.3.2: tri-state buffer routing switch sizing "
               "(min wire width, double spacing)\n\n");
-
-  const double widths[] = {1, 2, 4, 8, 16};
-  const int lengths[] = {1, 4};
   Table table({"W/Wmin", "L", "delay (ps)", "energy (fJ)", "area (um2)",
                "E*D*A (norm)"});
-  double base = 0;
-  for (int len : lengths) {
-    for (double w : widths) {
-      RoutingExptOptions opt;
-      opt.style = SwitchStyle::kTriStateBuffer;
-      opt.wire_length = len;
-      opt.switch_width_x = w;
-      opt.wire_spacing = process::WireSpacing::kDouble;
-      opt.dt = 5e-12;
-      auto r = run_routing_experiment(opt);
-      if (base == 0) base = r.eda;
-      table.add_row({strprintf("%.0f", w), std::to_string(len),
-                     strprintf("%.0f", r.delay_s * 1e12),
-                     strprintf("%.0f", r.energy_j * 1e15),
-                     strprintf("%.0f", r.area_um2),
-                     strprintf("%.3f", r.eda / base)});
-    }
+  for (std::size_t i = 0; i < n_sweep; ++i) {
+    const auto& r = res[i];
+    table.add_row({strprintf("%.0f", widths[i % widths.size()]),
+                   std::to_string(lengths[i / widths.size()]),
+                   strprintf("%.0f", r.delay_s * 1e12),
+                   strprintf("%.0f", r.energy_j * 1e15),
+                   strprintf("%.0f", r.area_um2),
+                   strprintf("%.3f", r.eda / base)});
   }
   std::printf("%s\n", table.to_string().c_str());
-
-  // Compare the best tri-state configuration against the selected pass
-  // transistor switch (10x, L=1) on the same wires.
-  RoutingExptOptions pass;
-  pass.wire_length = 1;
-  pass.switch_width_x = 10;
-  pass.wire_spacing = process::WireSpacing::kDouble;
-  pass.dt = 5e-12;
-  auto rp = run_routing_experiment(pass);
   std::printf("selected pass-transistor switch (10x, L=1, double spacing): "
               "delay %.0f ps, energy %.0f fJ, area %.0f um2\n",
               rp.delay_s * 1e12, rp.energy_j * 1e15, rp.area_um2);

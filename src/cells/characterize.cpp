@@ -1,11 +1,13 @@
 #include "cells/characterize.hpp"
 
 #include <cmath>
+#include <iterator>
 
 #include "cells/detff.hpp"
 #include "cells/primitives.hpp"
 #include "spice/transient.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amdrel::cells {
 
@@ -86,7 +88,7 @@ DetffMetrics characterize_detff(DetffKind kind,
   const int devices = static_cast<int>(c.mosfets().size());
   const double area = c.device_area_um2();
 
-  TransientSim sim(c);
+  TransientSim sim(c, options.solver);
   TransientOptions topt;
   topt.t_stop = (options.n_cycles + 0.5) * options.clock_period;
   topt.dt = options.dt;
@@ -130,10 +132,13 @@ DetffMetrics characterize_detff(DetffKind kind,
 
 std::vector<DetffMetrics> characterize_all_detffs(
     const DetffBenchOptions& options, const process::Tech018& tech) {
-  std::vector<DetffMetrics> out;
-  for (DetffKind kind : kAllDetffs) {
-    out.push_back(characterize_detff(kind, options, tech));
-  }
+  std::vector<DetffMetrics> out(std::size(kAllDetffs));
+  parallel_for(
+      std::size(kAllDetffs),
+      [&](std::size_t i) {
+        out[i] = characterize_detff(kAllDetffs[i], options, tech);
+      },
+      static_cast<std::size_t>(options.n_threads));
   return out;
 }
 
@@ -178,7 +183,7 @@ double ble_clock_energy(bool gated, bool enabled,
   add_detff(c, "ff", vdd, DetffKind::kLlopis1, d, ffclk, q);
   c.add_capacitor("cload", q, kGround, options.load_fF * 1e-15);
 
-  TransientSim sim(c);
+  TransientSim sim(c, options.solver);
   TransientOptions topt;
   topt.t_stop = (options.n_cycles + 0.5) * options.clock_period;
   topt.dt = options.dt;
@@ -192,9 +197,16 @@ double ble_clock_energy(bool gated, bool enabled,
 BleClockEnergy measure_ble_clock_gating(const DetffBenchOptions& options,
                                         const process::Tech018& tech) {
   BleClockEnergy e{};
-  e.single_clock_j = ble_clock_energy(false, true, options, tech);
-  e.gated_enabled_j = ble_clock_energy(true, true, options, tech);
-  e.gated_disabled_j = ble_clock_energy(true, false, options, tech);
+  double* slots[] = {&e.single_clock_j, &e.gated_enabled_j,
+                     &e.gated_disabled_j};
+  const bool gated[] = {false, true, true};
+  const bool enabled[] = {true, true, false};
+  parallel_for(
+      3,
+      [&](std::size_t i) {
+        *slots[i] = ble_clock_energy(gated[i], enabled[i], options, tech);
+      },
+      static_cast<std::size_t>(options.n_threads));
   return e;
 }
 
@@ -273,7 +285,7 @@ double clb_clock_energy(bool clb_gated, int n_ffs_on,
     prev = tap;
   }
 
-  TransientSim sim(c);
+  TransientSim sim(c, options.solver);
   TransientOptions topt;
   topt.t_stop = (options.n_cycles + 0.5) * options.clock_period;
   topt.dt = options.dt;
@@ -286,14 +298,20 @@ double clb_clock_energy(bool clb_gated, int n_ffs_on,
 
 std::vector<ClbClockEnergy> measure_clb_clock_gating(
     const DetffBenchOptions& options, const process::Tech018& tech) {
-  std::vector<ClbClockEnergy> rows;
-  for (int n_on : {0, 1, 5}) {
-    ClbClockEnergy row{};
-    row.n_ffs_on = n_on;
-    row.single_clock_j = clb_clock_energy(false, n_on, options, tech);
-    row.gated_clock_j = clb_clock_energy(true, n_on, options, tech);
-    rows.push_back(row);
-  }
+  const int n_on_cases[] = {0, 1, 5};
+  std::vector<ClbClockEnergy> rows(std::size(n_on_cases));
+  // 3 conditions x {single, gated} = 6 independent testbench runs.
+  parallel_for(
+      2 * rows.size(),
+      [&](std::size_t i) {
+        const std::size_t row = i / 2;
+        const bool gated = (i % 2) != 0;
+        const int n_on = n_on_cases[row];
+        const double e = clb_clock_energy(gated, n_on, options, tech);
+        rows[row].n_ffs_on = n_on;
+        (gated ? rows[row].gated_clock_j : rows[row].single_clock_j) = e;
+      },
+      static_cast<std::size_t>(options.n_threads));
   return rows;
 }
 

@@ -8,6 +8,7 @@
 
 #include "cells/detff.hpp"
 #include "process/tech018.hpp"
+#include "spice/transient.hpp"
 
 namespace amdrel::cells {
 
@@ -28,6 +29,13 @@ struct DetffBenchOptions {
   int n_cycles = 4;            ///< clock cycles in the stimulus
   double load_fF = 20.0;       ///< capacitive load on Q (BLE mux + feedback)
   double dt = 2e-12;           ///< simulator step
+  /// MNA backend (kDense is the correctness oracle, ~5x slower).
+  spice::MnaSolver solver = spice::MnaSolver::kSparse;
+  /// Worker threads for the sweep harnesses (characterize_all_detffs,
+  /// measure_*_clock_gating); each testbench run is independent. 1 = serial,
+  /// 0 = hardware concurrency. Results are index-ordered, so the output is
+  /// identical for any thread count.
+  int n_threads = 1;
 };
 
 DetffMetrics characterize_detff(

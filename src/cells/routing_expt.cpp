@@ -163,7 +163,7 @@ RoutingExptResult run_routing_experiment(const RoutingExptOptions& options,
   for (int attempt = 0; attempt < 4; ++attempt, period *= 3) {
     BuiltExperiment b = build(options, tech, period);
 
-    TransientSim sim(b.circuit);
+    TransientSim sim(b.circuit, options.solver);
     TransientOptions topt;
     topt.t_stop = 2.0 * period;
     topt.dt = std::max(options.dt, period / 4000.0);

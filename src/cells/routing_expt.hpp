@@ -18,6 +18,7 @@
 
 #include "process/tech018.hpp"
 #include "spice/circuit.hpp"
+#include "spice/transient.hpp"
 
 namespace amdrel::cells {
 
@@ -32,6 +33,8 @@ struct RoutingExptOptions {
   SwitchStyle style = SwitchStyle::kPassTransistor;
   double dt = 2e-12;
   double period = 8e-9;           ///< stimulus period [s]
+  /// MNA backend (kDense is the correctness oracle, ~5x slower).
+  spice::MnaSolver solver = spice::MnaSolver::kSparse;
 };
 
 struct RoutingExptResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <queue>
 #include <set>
@@ -22,9 +23,15 @@ struct HeapEntry {
   bool operator>(const HeapEntry& o) const { return cost > o.cost; }
 };
 
-/// Manhattan-distance lower bound from node to the target sink tile.
-double expected_cost(const RrNode& n, const RrNode& sink) {
-  return std::abs(n.x - sink.x) + std::abs(n.y - sink.y);
+/// Manhattan-distance lower bound from node to the target sink tile,
+/// scaled by the cheapest positive node cost in the graph: every hop on a
+/// path costs at least `min_step_cost`, so this never overestimates and
+/// A* (at astar_fac <= 1) stays admissible even though IPINs are cheaper
+/// than wire nodes.
+double expected_cost(const RrNode& n, const RrNode& sink,
+                     double min_step_cost) {
+  return min_step_cost *
+         (std::abs(n.x - sink.x) + std::abs(n.y - sink.y));
 }
 
 }  // namespace
@@ -52,6 +59,13 @@ RouteResult route_all(const RrGraph& graph, const place::Placement& placement,
     if (over > 0) cost *= (1.0 + over * pres);
     return cost;
   };
+
+  // Cheapest positive per-node cost, for the admissible A* lower bound
+  // (sinks are free, so only positive costs bound a hop from below).
+  double min_step_cost = 1.0;
+  for (const RrNode& n : nodes) {
+    if (n.base_cost > 0.0) min_step_cost = std::min(min_step_cost, n.base_cost);
+  }
 
   // Scratch buffers for Dijkstra.
   std::vector<double> best_cost(static_cast<std::size_t>(n_nodes), 0.0);
@@ -86,20 +100,30 @@ RouteResult route_all(const RrGraph& graph, const place::Placement& placement,
         std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                             std::greater<HeapEntry>>
             heap;
-        // Pick one target for the A* estimate (nearest by Manhattan).
-        const RrNode& probe = nodes[static_cast<std::size_t>(*remaining.begin())];
-        (void)probe;
+        // A* target: the remaining sink nearest the current route tree —
+        // the sink this wavefront is most likely to reach first, which
+        // keeps the estimate tight instead of steering toward an
+        // arbitrary (possibly far) sink.
         int target_for_astar = *remaining.begin();
-        {
-          // choose the closest remaining sink to the tree root for the
-          // heuristic; any admissible target works since we accept any sink.
-          target_for_astar = *remaining.begin();
+        int best_d = std::numeric_limits<int>::max();
+        for (int s : remaining) {
+          const RrNode& sn = nodes[static_cast<std::size_t>(s)];
+          for (int id : tree_nodes) {
+            const RrNode& tn = nodes[static_cast<std::size_t>(id)];
+            const int d = std::abs(tn.x - sn.x) + std::abs(tn.y - sn.y);
+            if (d < best_d) {
+              best_d = d;
+              target_for_astar = s;
+            }
+          }
         }
         const RrNode& tgt = nodes[static_cast<std::size_t>(target_for_astar)];
 
         for (int id : tree_nodes) {
-          const double est = options.astar_fac *
-                             expected_cost(nodes[static_cast<std::size_t>(id)], tgt);
+          const double est =
+              options.astar_fac *
+              expected_cost(nodes[static_cast<std::size_t>(id)], tgt,
+                            min_step_cost);
           heap.push(HeapEntry{est, 0.0, id, -1});
         }
 
@@ -144,8 +168,7 @@ RouteResult route_all(const RrGraph& graph, const place::Placement& placement,
             }
             const double c = e.path_cost + node_cost(next, pres_fac);
             const double est =
-                c + options.astar_fac *
-                        expected_cost(nn, tgt);
+                c + options.astar_fac * expected_cost(nn, tgt, min_step_cost);
             heap.push(HeapEntry{est, c, next, e.node});
           }
         }

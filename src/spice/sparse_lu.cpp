@@ -1,0 +1,369 @@
+#include "spice/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace amdrel::spice {
+
+namespace {
+constexpr double kTiny = 1e-300;       // absolute singularity guard
+constexpr double kPivotRel = 1e-3;     // threshold-pivoting tolerance
+constexpr double kRepivotRel = 1e-14;  // refactor pivot-collapse guard
+}  // namespace
+
+SparseLu::SparseLu(int n) : n_(n) {
+  AMDREL_CHECK(n >= 1);
+  row_slots_.resize(static_cast<std::size_t>(n));
+}
+
+int SparseLu::entry(int r, int c) {
+  AMDREL_CHECK(!finalized_);
+  AMDREL_CHECK(r >= 0 && r < n_ && c >= 0 && c < n_);
+  auto& row = row_slots_[static_cast<std::size_t>(r)];
+  for (const auto& [col, slot] : row) {
+    if (col == c) return slot;
+  }
+  const int slot = static_cast<int>(entries_.size());
+  entries_.push_back(Entry{r, c});
+  row.push_back({c, slot});
+  return slot;
+}
+
+void SparseLu::finalize() {
+  AMDREL_CHECK(!finalized_);
+  finalized_ = true;
+  values_.assign(entries_.size(), 0.0);
+  work_.assign(static_cast<std::size_t>(n_), 0.0);
+  y_.assign(static_cast<std::size_t>(n_), 0.0);
+}
+
+bool SparseLu::discover() {
+  const int n = n_;
+  have_pattern_ = false;
+
+  // Working copy of the matrix: per-row column→value maps (original
+  // indices). Only run on pattern (re)discovery, so clarity over speed.
+  std::vector<std::map<int, double>> rows(static_cast<std::size_t>(n));
+  for (std::size_t s = 0; s < entries_.size(); ++s) {
+    rows[static_cast<std::size_t>(entries_[s].row)][entries_[s].col] +=
+        values_[s];
+  }
+
+  std::vector<char> row_active(static_cast<std::size_t>(n), 1);
+  std::vector<char> col_active(static_cast<std::size_t>(n), 1);
+  std::vector<int> col_count(static_cast<std::size_t>(n), 0);
+  for (const auto& row : rows) {
+    for (const auto& [c, v] : row) {
+      (void)v;
+      ++col_count[static_cast<std::size_t>(c)];
+    }
+  }
+
+  prow_.assign(static_cast<std::size_t>(n), -1);
+  col_step_.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> row_step(static_cast<std::size_t>(n), -1);
+  // Per original row: L positions (pivot steps that updated it) and, once
+  // the row is chosen as pivot, the original columns of its U part.
+  std::vector<std::vector<int>> lsteps(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> ucols(static_cast<std::size_t>(n));
+  // Column maxima over the active submatrix (threshold pivoting needs them
+  // to bound element growth). Computed exactly up front, then maintained as
+  // a monotone overestimate during elimination — a too-large maximum only
+  // tightens the pivot threshold (never a stability problem), and if it
+  // ever rejects every candidate we recompute exactly and retry.
+  std::vector<double> colmax(static_cast<std::size_t>(n), 0.0);
+  auto exact_colmax = [&]() {
+    std::fill(colmax.begin(), colmax.end(), 0.0);
+    for (int r = 0; r < n; ++r) {
+      if (!row_active[static_cast<std::size_t>(r)]) continue;
+      for (const auto& [c, v] : rows[static_cast<std::size_t>(r)]) {
+        double& m = colmax[static_cast<std::size_t>(c)];
+        m = std::max(m, std::fabs(v));
+      }
+    }
+  };
+  exact_colmax();
+
+  // Markowitz pivot: minimize (row_nnz-1)*(col_nnz-1) among entries that
+  // pass the relative-magnitude threshold; break ties on magnitude.
+  auto find_pivot = [&](int& pr, int& pc) {
+    pr = -1;
+    pc = -1;
+    long long best_score = 0;
+    double best_abs = 0.0;
+    for (int r = 0; r < n; ++r) {
+      if (!row_active[static_cast<std::size_t>(r)]) continue;
+      const auto& row = rows[static_cast<std::size_t>(r)];
+      const long long nr = static_cast<long long>(row.size());
+      for (const auto& [c, v] : row) {
+        const double a = std::fabs(v);
+        if (a < kTiny || a < kPivotRel * colmax[static_cast<std::size_t>(c)]) {
+          continue;
+        }
+        const long long score =
+            (nr - 1) *
+            (static_cast<long long>(col_count[static_cast<std::size_t>(c)]) -
+             1);
+        if (pr < 0 || score < best_score ||
+            (score == best_score && a > best_abs)) {
+          pr = r;
+          pc = c;
+          best_score = score;
+          best_abs = a;
+        }
+      }
+    }
+  };
+
+  for (int k = 0; k < n; ++k) {
+    int pr, pc;
+    find_pivot(pr, pc);
+    if (pr < 0) {
+      exact_colmax();
+      find_pivot(pr, pc);
+    }
+    if (pr < 0) return false;  // numerically singular active submatrix
+
+    prow_[static_cast<std::size_t>(k)] = pr;
+    row_step[static_cast<std::size_t>(pr)] = k;
+    col_step_[static_cast<std::size_t>(pc)] = k;
+    row_active[static_cast<std::size_t>(pr)] = 0;
+    col_active[static_cast<std::size_t>(pc)] = 0;
+    auto& prow = rows[static_cast<std::size_t>(pr)];
+    for (const auto& [c, v] : prow) {
+      (void)v;
+      ucols[static_cast<std::size_t>(pr)].push_back(c);
+      --col_count[static_cast<std::size_t>(c)];
+    }
+    const double piv = prow[pc];
+
+    // Eliminate the pivot column from the remaining active rows. Entries
+    // that are numerically zero still propagate STRUCTURAL fill: the frozen
+    // pattern must cover every later numeric state (MOSFET stamps are zero
+    // in cutoff but become nonzero when the device turns on).
+    for (int i = 0; i < n; ++i) {
+      if (!row_active[static_cast<std::size_t>(i)]) continue;
+      auto& irow = rows[static_cast<std::size_t>(i)];
+      auto it = irow.find(pc);
+      if (it == irow.end()) continue;
+      const double f = it->second / piv;
+      irow.erase(it);
+      lsteps[static_cast<std::size_t>(i)].push_back(k);
+      for (const auto& [c, v] : prow) {
+        if (c == pc) continue;
+        auto [it2, inserted] = irow.try_emplace(c, 0.0);
+        if (inserted) ++col_count[static_cast<std::size_t>(c)];
+        it2->second -= f * v;
+        double& m = colmax[static_cast<std::size_t>(c)];
+        m = std::max(m, std::fabs(it2->second));
+      }
+    }
+  }
+
+  // Freeze the pattern in permuted coordinates, CSR-style.
+  lptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  uptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  lpat_.clear();
+  upat_.clear();
+  udiag_inv_.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> pu;
+  for (int k = 0; k < n; ++k) {
+    const int pr = prow_[static_cast<std::size_t>(k)];
+    for (int p : lsteps[static_cast<std::size_t>(pr)]) lpat_.push_back(p);
+    pu.clear();
+    for (int c : ucols[static_cast<std::size_t>(pr)]) {
+      pu.push_back(col_step_[static_cast<std::size_t>(c)]);
+    }
+    std::sort(pu.begin(), pu.end());
+    AMDREL_CHECK(!pu.empty() && pu.front() == k);
+    for (int p : pu) upat_.push_back(p);
+    lptr_[static_cast<std::size_t>(k) + 1] = static_cast<int>(lpat_.size());
+    uptr_[static_cast<std::size_t>(k) + 1] = static_cast<int>(upat_.size());
+  }
+  lval_.assign(lpat_.size(), 0.0);
+  uval_.assign(upat_.size(), 0.0);
+
+  sptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : entries_) {
+    ++sptr_[static_cast<std::size_t>(row_step[static_cast<std::size_t>(
+                e.row)]) +
+            1];
+  }
+  for (int k = 0; k < n; ++k) {
+    sptr_[static_cast<std::size_t>(k) + 1] += sptr_[static_cast<std::size_t>(k)];
+  }
+  scat_slot_.assign(entries_.size(), 0);
+  scat_pos_.assign(entries_.size(), 0);
+  std::vector<int> fill = sptr_;
+  for (std::size_t s = 0; s < entries_.size(); ++s) {
+    const int k = row_step[static_cast<std::size_t>(entries_[s].row)];
+    const int at = fill[static_cast<std::size_t>(k)]++;
+    scat_slot_[static_cast<std::size_t>(at)] = static_cast<int>(s);
+    scat_pos_[static_cast<std::size_t>(at)] =
+        col_step_[static_cast<std::size_t>(entries_[s].col)];
+  }
+  // Reorder each row's scatter list so the first contribution to a position
+  // comes first (it assigns, the rest add), and record pattern positions no
+  // slot maps to — pure fill-in that must be zeroed before elimination.
+  aptr_.assign(static_cast<std::size_t>(n), 0);
+  zptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  zpos_.clear();
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<int> firsts, rest;
+  for (int k = 0; k < n; ++k) {
+    const int s0 = sptr_[static_cast<std::size_t>(k)];
+    const int s1 = sptr_[static_cast<std::size_t>(k) + 1];
+    firsts.clear();
+    rest.clear();
+    for (int i = s0; i < s1; ++i) {
+      const int pos = scat_pos_[static_cast<std::size_t>(i)];
+      if (!seen[static_cast<std::size_t>(pos)]) {
+        seen[static_cast<std::size_t>(pos)] = 1;
+        firsts.push_back(i);
+      } else {
+        rest.push_back(i);
+      }
+    }
+    std::vector<int> slot_tmp, pos_tmp;
+    for (int i : firsts) {
+      slot_tmp.push_back(scat_slot_[static_cast<std::size_t>(i)]);
+      pos_tmp.push_back(scat_pos_[static_cast<std::size_t>(i)]);
+    }
+    for (int i : rest) {
+      slot_tmp.push_back(scat_slot_[static_cast<std::size_t>(i)]);
+      pos_tmp.push_back(scat_pos_[static_cast<std::size_t>(i)]);
+    }
+    for (int i = s0; i < s1; ++i) {
+      scat_slot_[static_cast<std::size_t>(i)] =
+          slot_tmp[static_cast<std::size_t>(i - s0)];
+      scat_pos_[static_cast<std::size_t>(i)] =
+          pos_tmp[static_cast<std::size_t>(i - s0)];
+    }
+    aptr_[static_cast<std::size_t>(k)] =
+        s0 + static_cast<int>(firsts.size());
+    for (int i = lptr_[static_cast<std::size_t>(k)];
+         i < lptr_[static_cast<std::size_t>(k) + 1]; ++i) {
+      if (!seen[static_cast<std::size_t>(lpat_[static_cast<std::size_t>(i)])])
+        zpos_.push_back(lpat_[static_cast<std::size_t>(i)]);
+    }
+    for (int i = uptr_[static_cast<std::size_t>(k)];
+         i < uptr_[static_cast<std::size_t>(k) + 1]; ++i) {
+      if (!seen[static_cast<std::size_t>(upat_[static_cast<std::size_t>(i)])])
+        zpos_.push_back(upat_[static_cast<std::size_t>(i)]);
+    }
+    zptr_[static_cast<std::size_t>(k) + 1] = static_cast<int>(zpos_.size());
+    for (int i = s0; i < s1; ++i)
+      seen[static_cast<std::size_t>(scat_pos_[static_cast<std::size_t>(i)])] =
+          0;
+  }
+  have_pattern_ = true;
+  return true;
+}
+
+bool SparseLu::refactor() {
+  const int n = n_;
+  double* const work = work_.data();
+  const double* const vals = values_.data();
+  const int* const lpat = lpat_.data();
+  const int* const upat = upat_.data();
+  double* const lval = lval_.data();
+  double* const uval = uval_.data();
+  for (int k = 0; k < n; ++k) {
+    const int l0 = lptr_[static_cast<std::size_t>(k)];
+    const int l1 = lptr_[static_cast<std::size_t>(k) + 1];
+    const int u0 = uptr_[static_cast<std::size_t>(k)];
+    const int u1 = uptr_[static_cast<std::size_t>(k) + 1];
+    const int s0 = sptr_[static_cast<std::size_t>(k)];
+    const int sa = aptr_[static_cast<std::size_t>(k)];
+    const int s1 = sptr_[static_cast<std::size_t>(k) + 1];
+    for (int i = s0; i < sa; ++i) {
+      work[scat_pos_[static_cast<std::size_t>(i)]] =
+          vals[scat_slot_[static_cast<std::size_t>(i)]];
+    }
+    for (int i = sa; i < s1; ++i) {
+      work[scat_pos_[static_cast<std::size_t>(i)]] +=
+          vals[scat_slot_[static_cast<std::size_t>(i)]];
+    }
+    for (int i = zptr_[static_cast<std::size_t>(k)];
+         i < zptr_[static_cast<std::size_t>(k) + 1]; ++i) {
+      work[zpos_[static_cast<std::size_t>(i)]] = 0.0;
+    }
+
+    // Up-looking elimination: apply every earlier U row this row depends on.
+    for (int i = l0; i < l1; ++i) {
+      const int j = lpat[i];
+      const double l = work[j] * udiag_inv_[static_cast<std::size_t>(j)];
+      lval[i] = l;
+      if (l == 0.0) continue;
+      const int ju1 = uptr_[static_cast<std::size_t>(j) + 1];
+      for (int m = uptr_[static_cast<std::size_t>(j)] + 1; m < ju1; ++m) {
+        work[upat[m]] -= l * uval[m];
+      }
+    }
+
+    double row_max = 0.0;
+    for (int i = u0; i < u1; ++i) {
+      const double v = work[upat[i]];
+      uval[i] = v;
+      row_max = std::max(row_max, std::fabs(v));
+    }
+    // A pivot that collapsed relative to its row means the discovery-time
+    // ordering no longer fits the numeric state: trigger re-discovery.
+    const double piv = std::fabs(uval[u0]);
+    if (piv < kTiny || piv < kRepivotRel * row_max) return false;
+    udiag_inv_[static_cast<std::size_t>(k)] = 1.0 / uval[u0];
+  }
+  return true;
+}
+
+bool SparseLu::solve(std::vector<double>& b, bool values_changed) {
+  AMDREL_CHECK(finalized_);
+  AMDREL_CHECK(b.size() == static_cast<std::size_t>(n_));
+  if (!have_pattern_) {
+    have_factors_ = false;
+    if (!discover() || !refactor()) return false;
+    have_factors_ = true;
+  } else if (values_changed || !have_factors_) {
+    have_factors_ = false;
+    if (!refactor()) {
+      if (!discover() || !refactor()) return false;
+    }
+    have_factors_ = true;
+  }
+
+  const int n = n_;
+  double* const y = y_.data();
+  const int* const lpat = lpat_.data();
+  const int* const upat = upat_.data();
+  const double* const lval = lval_.data();
+  const double* const uval = uval_.data();
+  // Forward substitution: y = L⁻¹ P b (L unit lower-triangular).
+  for (int k = 0; k < n; ++k) {
+    double s = b[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])];
+    const int l1 = lptr_[static_cast<std::size_t>(k) + 1];
+    for (int i = lptr_[static_cast<std::size_t>(k)]; i < l1; ++i) {
+      s -= lval[i] * y[lpat[i]];
+    }
+    y[k] = s;
+  }
+  // Backward substitution, in place on y_.
+  for (int k = n - 1; k >= 0; --k) {
+    double s = y[k];
+    const int u1 = uptr_[static_cast<std::size_t>(k) + 1];
+    for (int i = uptr_[static_cast<std::size_t>(k)] + 1; i < u1; ++i) {
+      s -= uval[i] * y[upat[i]];
+    }
+    y[k] = s * udiag_inv_[static_cast<std::size_t>(k)];
+  }
+  // Undo the column permutation: unknown c lives at position col_step_[c].
+  for (int c = 0; c < n; ++c) {
+    b[static_cast<std::size_t>(c)] =
+        y_[static_cast<std::size_t>(col_step_[static_cast<std::size_t>(c)])];
+  }
+  return true;
+}
+
+}  // namespace amdrel::spice

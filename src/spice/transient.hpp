@@ -4,11 +4,23 @@
 // Modified nodal analysis with Newton–Raphson per timestep and backward-Euler
 // companion models. Accurate enough for relative energy/delay comparisons of
 // small digital cells (the paper's use case); see DESIGN.md §1.
+//
+// Two linear-solver backends share the same NR loop:
+//  * kSparse (default): the MNA sparsity pattern is built once per circuit,
+//    static stamps (resistors, gmin, voltage-source pattern, capacitor
+//    companion conductances at the current dt) are cached, and each NR
+//    iteration only re-stamps the nonlinear MOSFET entries before a sparse
+//    LU factorization that reuses its pivot order across solves
+//    (spice/sparse_lu.hpp).
+//  * kDense: the original dense O(n³) path, kept as the correctness oracle
+//    for the sparse solver and for debugging.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/sparse_lu.hpp"
 
 namespace amdrel::spice {
 
@@ -29,7 +41,8 @@ struct TransientResult {
   double energy_from(const std::string& prefix) const;
 
   /// Times at which node `n` crosses `level` in the given direction.
-  /// rising=true counts upward crossings.
+  /// rising=true counts upward crossings. Samples landing exactly on
+  /// `level` count once, when the trace continues through to the far side.
   std::vector<double> crossings(NodeId n, double level, bool rising) const;
 
   /// Propagation delay: first crossing of `out` after time `t_from`.
@@ -41,19 +54,38 @@ struct TransientResult {
 struct TransientOptions {
   double t_stop = 10e-9;   ///< [s]
   double dt = 1e-12;       ///< fixed base step [s]
-  double nr_tol = 1e-6;    ///< NR convergence |dV| [V]
+  double nr_tol = 1e-6;    ///< NR convergence: absolute |dV| floor [V]
+  /// NR convergence: relative term, SPICE-style. A node converges when its
+  /// correction is below nr_tol + nr_reltol*|v|. The default is 10x tighter
+  /// than the Berkeley SPICE RELTOL=1e-3 convention. Set to 0 for the pure
+  /// absolute criterion (reference/golden runs).
+  double nr_reltol = 1e-4;
+  /// Device bypass (sparse backend): a MOSFET whose terminal voltages all
+  /// moved less than nr_bypass*(nr_tol + nr_reltol*|v|) since its last
+  /// linearization keeps its previous stamps, skipping the device eval and
+  /// — when every device bypasses — the refactorization. The introduced
+  /// error is bounded by the NR acceptance tolerance, matching the SPICE
+  /// BYPASS convention. Set to 0 to disable (reference/golden runs).
+  double nr_bypass = 1.0;
   int nr_max_iters = 100;
   double gmin = 1e-12;     ///< convergence conductance to ground [S]
   bool record = true;      ///< keep voltage traces (off for energy-only runs)
 };
 
+/// Linear-solver backend for the MNA systems.
+enum class MnaSolver { kSparse, kDense };
+
 class TransientSim {
  public:
-  explicit TransientSim(const Circuit& circuit);
+  explicit TransientSim(const Circuit& circuit,
+                        MnaSolver solver = MnaSolver::kSparse);
 
   /// DC operating point with all sources at t=0 value (source stepping used
   /// for convergence). Result stored as initial condition for run().
-  void solve_dc();
+  /// NR tolerances (nr_tol / nr_reltol / nr_bypass) are taken from `base`
+  /// so a golden-accuracy run() is golden end-to-end; iteration limits and
+  /// gmin are managed internally by the continuation schedule.
+  void solve_dc(const TransientOptions& base = {});
 
   /// Runs the transient; implies solve_dc() if not already done.
   TransientResult run(const TransientOptions& options);
@@ -63,24 +95,83 @@ class TransientSim {
     double cgs, cgd, cdb, csb;
   };
 
+  // Sparse-backend stamp bookkeeping: slot ids into the SparseLu values
+  // array, resolved once during symbolic analysis (-1 where a terminal is
+  // ground and the entry does not exist).
+  struct QuadSlots {  // two-terminal conductance stamp between nodes a, b
+    int aa = -1, bb = -1, ab = -1, ba = -1;
+  };
+  struct CapStamp {  // capacitor companion: conductance quad + current pair
+    NodeId a = kGround, b = kGround;
+    double farads = 0.0;
+    double geq = 0.0;  // farads/dt at the cached dt (0 for DC)
+    QuadSlots q;
+  };
+  struct MosSlots {  // the 3x2 Jacobian block of one MOSFET
+    int dd = -1, ds = -1, dg = -1, ss = -1, sd = -1, sg = -1;
+  };
+  struct VsrcSlots {  // branch-row pattern of one voltage source
+    int row_pos = -1, pos_row = -1, row_neg = -1, neg_row = -1;
+  };
+  struct MosWork {  // latest linearization of one MOSFET
+    NodeId nd = kGround, ns = kGround;
+    double sign = 1.0, gds = 0.0, gm = 0.0, ieq = 0.0;
+    bool swapped = false;
+    // Terminal voltages at the linearization point (bypass reference).
+    // Infinity forces a full evaluation on first use.
+    double vd = kNever, vg = kNever, vs = kNever;
+  };
+  static constexpr double kNever = 1e308;
+  struct MosParams {  // per-device constants hoisted out of the NR loop
+    NodeId drain = kGround, gate = kGround, source = kGround;
+    double beta = 0.0, vth = 0.0, lambda = 0.0, sign = 1.0;
+  };
+
   void build_static_structure();
+  void build_sparse_pattern();
+  /// Re-assembles the cached static stamps for (dt, gmin); dt<=0 means DC
+  /// (capacitors open).
+  void assemble_static(double dt, double gmin);
   /// One NR solve at the given time with BE companion caps (dt<=0: DC).
-  /// Updates x_ in place; returns false on non-convergence.
+  /// Updates x_ in place; returns false on non-convergence. `x_init`, when
+  /// given, seeds the NR iterate (predictor); x_ is used otherwise.
   bool newton_solve(double t, double dt, const std::vector<double>& x_prev,
-                    double source_scale, const TransientOptions& options);
+                    double source_scale, const TransientOptions& options,
+                    const std::vector<double>* x_init = nullptr);
 
   const Circuit* circuit_;
+  MnaSolver solver_;
   int n_nodes_;       // including ground
   int n_vsrc_;
   int n_unknowns_;    // (n_nodes_-1) + n_vsrc_
   std::vector<DeviceCaps> mos_caps_;
+  std::vector<MosParams> mos_params_;
   std::vector<double> x_;  // current solution
   bool have_dc_ = false;
 
-  // scratch (reused across steps)
-  std::vector<double> mat_;
+  // Sparse backend: pattern, slot tables, cached static stamps.
+  std::unique_ptr<SparseLu> lu_;
+  std::vector<int> diag_slots_;                            // per node >= 1
+  std::vector<std::pair<QuadSlots, double>> res_stamps_;   // slots, siemens
+  std::vector<CapStamp> cap_stamps_;  // linear caps + MOSFET intrinsic caps
+  std::vector<MosSlots> mos_slots_;
+  std::vector<VsrcSlots> vsrc_slots_;
+  std::vector<double> base_values_;
+  double cached_dt_ = 0.0;    // 0 = cache empty; DC is cached as -1
+  double cached_gmin_ = 0.0;
+  // Refactorization elision: lu_->values() currently equals base_values_
+  // plus the MOSFET stamps recorded in mos_work_, and the LU factors match.
+  bool lu_values_current_ = false;
+
+  // scratch (reused across steps to avoid per-step allocation)
+  std::vector<double> mat_;  // dense backend only
   std::vector<double> rhs_;
-  std::vector<int> perm_;
+  std::vector<double> rhs_static_;  // sparse: RHS part fixed within a step
+  std::vector<double> dense_a_;
+  std::vector<double> x_new_;   // NR iterate
+  std::vector<double> x_prev_;  // previous-timestep state
+  std::vector<double> x_pred_;  // extrapolated initial guess
+  std::vector<MosWork> mos_work_;
 };
 
 }  // namespace amdrel::spice

@@ -1,0 +1,284 @@
+// Sparse-vs-dense MNA backend equivalence, thread-pool determinism of the
+// parallel sweep harnesses, and regression tests for the waveform
+// measurement fixes (exact-sample crossings, trapezoidal source energy).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cells/characterize.hpp"
+#include "cells/detff.hpp"
+#include "cells/primitives.hpp"
+#include "spice/transient.hpp"
+
+namespace amdrel::spice {
+namespace {
+
+using cells::add_detff;
+using cells::add_inverter;
+using cells::add_nand2;
+using cells::add_pass_nmos;
+using cells::DetffKind;
+
+// Golden settings: pure absolute NR criterion, no device bypass, tight
+// tolerance — both backends then iterate to the same fixed point and the
+// traces must agree to solver roundoff.
+TransientOptions golden_options(double t_stop, double dt) {
+  TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.dt = dt;
+  opt.nr_tol = 1e-10;
+  opt.nr_reltol = 0.0;
+  opt.nr_bypass = 0.0;
+  return opt;
+}
+
+double max_trace_diff(const TransientResult& a, const TransientResult& b) {
+  EXPECT_EQ(a.time.size(), b.time.size());
+  EXPECT_EQ(a.voltage.size(), b.voltage.size());
+  double worst = 0.0;
+  std::size_t worst_n = 0, worst_k = 0;
+  for (std::size_t n = 0; n < a.voltage.size(); ++n) {
+    for (std::size_t k = 0; k < a.voltage[n].size(); ++k) {
+      const double d = std::fabs(a.voltage[n][k] - b.voltage[n][k]);
+      if (d > worst) {
+        worst = d;
+        worst_n = n;
+        worst_k = k;
+      }
+    }
+  }
+  if (worst > 1e-9) {
+    ADD_FAILURE() << "worst diff " << worst << " at node " << worst_n
+                  << " sample " << worst_k << " t=" << a.time[worst_k]
+                  << " sparse=" << a.voltage[worst_n][worst_k]
+                  << " dense=" << b.voltage[worst_n][worst_k];
+  }
+  return worst;
+}
+
+double run_both_and_diff(const Circuit& c, const TransientOptions& opt) {
+  TransientSim sparse(c, MnaSolver::kSparse);
+  TransientSim dense(c, MnaSolver::kDense);
+  auto rs = sparse.run(opt);
+  auto rd = dense.run(opt);
+  return max_trace_diff(rs, rd);
+}
+
+TEST(SparseGolden, DetffTraceMatchesDense) {
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  NodeId clk = c.node("clk");
+  NodeId d = c.node("d");
+  NodeId q = c.node("q");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  c.add_vsource("vclk", clk, kGround,
+                Waveform::pulse(0, 1.8, 0.5e-9, 50e-12, 50e-12, 0.9e-9, 2e-9));
+  c.add_vsource("vd", d, kGround,
+                Waveform::pwl({{0, 0}, {0.25e-9, 0}, {0.3e-9, 1.8}}));
+  add_detff(c, "ff", vdd, DetffKind::kLlopis1, d, clk, q);
+  c.add_capacitor("cload", q, kGround, 20e-15);
+  EXPECT_LE(run_both_and_diff(c, golden_options(2e-9, 2e-12)), 1e-9);
+}
+
+TEST(SparseGolden, BleClockPathTraceMatchesDense) {
+  // The Table-2 gated clock path: NAND + inverter driving the FF clock.
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  NodeId clk = c.node("clk");
+  NodeId en = c.node("en");
+  NodeId d = c.node("d");
+  NodeId q = c.node("q");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  c.add_vsource("vclk", clk, kGround,
+                Waveform::pulse(0, 1.8, 0.5e-9, 50e-12, 50e-12, 0.9e-9, 2e-9));
+  c.add_vsource("ven", en, kGround, Waveform::dc(1.8));
+  c.add_vsource("vd", d, kGround, Waveform::dc(0.0));
+  NodeId nand_out = c.node("nand_out");
+  NodeId ffclk = c.node("ffclk");
+  add_nand2(c, "gate", vdd, clk, en, nand_out, 0.42);
+  add_inverter(c, "gateinv", vdd, nand_out, ffclk, 0.42);
+  add_detff(c, "ff", vdd, DetffKind::kLlopis1, d, ffclk, q);
+  c.add_capacitor("cload", q, kGround, 20e-15);
+  EXPECT_LE(run_both_and_diff(c, golden_options(2e-9, 2e-12)), 1e-9);
+}
+
+TEST(SparseGolden, PassTransistorChainTraceMatchesDense) {
+  // A Fig-7-style routing chain: driver, two NMOS pass switches joined by
+  // RC wire segments, receiving inverter.
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  NodeId in = c.node("in");
+  NodeId en = c.node("en");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  c.add_vsource("vin", in, kGround,
+                Waveform::pulse(0, 1.8, 0.5e-9, 50e-12, 50e-12, 0.9e-9, 2e-9));
+  c.add_vsource("ven", en, kGround, Waveform::dc(1.8));
+  NodeId drv = c.node("drv");
+  add_inverter(c, "drv", vdd, in, drv, 0.56);
+  NodeId w1 = c.node("w1");
+  NodeId w2 = c.node("w2");
+  NodeId w3 = c.node("w3");
+  add_pass_nmos(c, "sw1", drv, w1, en, 2.8);
+  c.add_resistor("rw1", w1, w2, 120.0);
+  c.add_cap_to_ground(w1, 3e-15);
+  c.add_cap_to_ground(w2, 3e-15);
+  add_pass_nmos(c, "sw2", w2, w3, en, 2.8);
+  c.add_cap_to_ground(w3, 2e-15);
+  NodeId out = c.node("out");
+  add_inverter(c, "rx", vdd, w3, out, 0.28);
+  c.add_capacitor("cl", out, kGround, 5e-15);
+  EXPECT_LE(run_both_and_diff(c, golden_options(2e-9, 2e-12)), 1e-9);
+}
+
+TEST(SparseGolden, EnergyAgreesBetweenBackends) {
+  // Energy ordering of the Table-1/2/3 benches is preserved if per-source
+  // energies agree to far better than the inter-cell differences.
+  Circuit c;
+  NodeId vdd = c.node("vdd");
+  NodeId in = c.node("in");
+  c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+  c.add_vsource("vin", in, kGround,
+                Waveform::pulse(0, 1.8, 0.5e-9, 50e-12, 50e-12, 0.9e-9, 2e-9));
+  NodeId out = c.node("out");
+  add_inverter(c, "inv", vdd, in, out, 0.28);
+  c.add_capacitor("cl", out, kGround, 10e-15);
+  auto opt = golden_options(2e-9, 2e-12);
+  TransientSim sparse(c, MnaSolver::kSparse);
+  TransientSim dense(c, MnaSolver::kDense);
+  const double es = sparse.run(opt).energy_from("vdd");
+  const double ed = dense.run(opt).energy_from("vdd");
+  EXPECT_NEAR(es, ed, 1e-3 * std::fabs(ed));
+}
+
+}  // namespace
+}  // namespace amdrel::spice
+
+namespace amdrel::cells {
+namespace {
+
+TEST(ParallelSweeps, AllDetffsDeterministicAcrossThreadCounts) {
+  DetffBenchOptions serial, parallel;
+  serial.n_cycles = parallel.n_cycles = 1;
+  serial.n_threads = 1;
+  parallel.n_threads = 4;
+  auto a = characterize_all_detffs(serial);
+  auto b = characterize_all_detffs(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    // Bitwise equality: each index runs an identical, self-contained
+    // testbench regardless of which worker executes it.
+    EXPECT_EQ(a[i].energy_j, b[i].energy_j) << detff_name(a[i].kind);
+    EXPECT_EQ(a[i].delay_s, b[i].delay_s) << detff_name(a[i].kind);
+  }
+}
+
+TEST(ParallelSweeps, ClbGatingDeterministicAcrossThreadCounts) {
+  DetffBenchOptions serial, parallel;
+  serial.n_cycles = parallel.n_cycles = 1;
+  serial.n_threads = 1;
+  parallel.n_threads = 4;
+  auto a = measure_clb_clock_gating(serial);
+  auto b = measure_clb_clock_gating(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].n_ffs_on, b[i].n_ffs_on);
+    EXPECT_EQ(a[i].single_clock_j, b[i].single_clock_j);
+    EXPECT_EQ(a[i].gated_clock_j, b[i].gated_clock_j);
+  }
+}
+
+TEST(ParallelSweeps, DenseOraclePreservesTable1EnergyOrdering) {
+  DetffBenchOptions sparse_opt, dense_opt;
+  sparse_opt.n_cycles = dense_opt.n_cycles = 1;
+  sparse_opt.n_threads = dense_opt.n_threads = 0;
+  dense_opt.solver = spice::MnaSolver::kDense;
+  auto s = characterize_all_detffs(sparse_opt);
+  auto d = characterize_all_detffs(dense_opt);
+  ASSERT_EQ(s.size(), d.size());
+  // Rank cells by energy under each backend: the orderings must agree.
+  auto order = [](const std::vector<DetffMetrics>& rows) {
+    std::vector<std::size_t> idx(rows.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return rows[a].energy_j < rows[b].energy_j;
+    });
+    return idx;
+  };
+  EXPECT_EQ(order(s), order(d));
+}
+
+}  // namespace
+}  // namespace amdrel::cells
+
+namespace amdrel::spice {
+namespace {
+
+TransientResult make_trace(std::vector<double> t, std::vector<double> v) {
+  TransientResult r;
+  r.time = std::move(t);
+  r.voltage.push_back({});            // ground
+  r.voltage.push_back(std::move(v));  // node 1
+  return r;
+}
+
+TEST(Crossings, SampleExactlyOnLevelCountsOnce) {
+  // 0 → 0.9 (exact) → 1.8: one rising crossing, at the touching sample.
+  auto r = make_trace({0, 1, 2}, {0.0, 0.9, 1.8});
+  auto ups = r.crossings(NodeId{1}, 0.9, true);
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_DOUBLE_EQ(ups[0], 1.0);
+  EXPECT_TRUE(r.crossings(NodeId{1}, 0.9, false).empty());
+}
+
+TEST(Crossings, TouchAndReturnDoesNotCount) {
+  // Rises to exactly the level, then falls back: no crossing either way.
+  auto r = make_trace({0, 1, 2}, {0.0, 0.9, 0.0});
+  EXPECT_TRUE(r.crossings(NodeId{1}, 0.9, true).empty());
+  EXPECT_TRUE(r.crossings(NodeId{1}, 0.9, false).empty());
+}
+
+TEST(Crossings, PlateauAtLevelCountsOnceAtFirstTouch) {
+  // Sits on the level for several samples before continuing upward.
+  auto r = make_trace({0, 1, 2, 3, 4}, {0.0, 0.9, 0.9, 0.9, 1.8});
+  auto ups = r.crossings(NodeId{1}, 0.9, true);
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_DOUBLE_EQ(ups[0], 1.0);
+}
+
+TEST(Crossings, DelayFromFindsExactSampleCrossing) {
+  auto r = make_trace({0, 1, 2}, {0.0, 0.9, 1.8});
+  EXPECT_DOUBLE_EQ(r.delay_from(0.5, NodeId{1}, 0.9, true), 0.5);
+}
+
+TEST(EnergyIntegration, DtSensitivityIsSmall) {
+  // Trapezoidal accumulation: halving dt moves the supply energy by well
+  // under 1% (the endpoint rectangle rule drifted by O(dt)).
+  auto energy_at = [](double dt) {
+    Circuit c;
+    NodeId vdd = c.node("vdd");
+    NodeId in = c.node("in");
+    c.add_vsource("vdd", vdd, kGround, Waveform::dc(1.8));
+    c.add_vsource("vin", in, kGround,
+                  Waveform::pulse(0, 1.8, 1e-9, 50e-12, 50e-12, 1.9e-9,
+                                  4e-9));
+    NodeId out = c.node("out");
+    cells::add_inverter(c, "inv", vdd, in, out, 0.28);
+    c.add_capacitor("cl", out, kGround, 10e-15);
+    TransientSim sim(c);
+    TransientOptions opt;
+    opt.t_stop = 4e-9;
+    opt.dt = dt;
+    opt.record = false;
+    return sim.run(opt).energy_from("vdd");
+  };
+  const double coarse = energy_at(2e-12);
+  const double fine = energy_at(1e-12);
+  EXPECT_NEAR(coarse, fine, 0.01 * std::fabs(fine));
+}
+
+}  // namespace
+}  // namespace amdrel::spice

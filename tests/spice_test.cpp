@@ -106,10 +106,12 @@ TEST(Transient, CapacitorChargeFromSupply) {
   opt.t_stop = 0.8e-9;
   opt.dt = 0.2e-12;
   auto res = sim.run(opt);
+  // Trapezoidal accumulation of v·i keeps the dt-discretization error well
+  // under 2% here (the old endpoint rectangle rule needed 5%).
   const double expected = 50e-15 * 1.8 * 1.8;
-  EXPECT_NEAR(res.energy_from("vdd"), expected, 0.05 * expected);
+  EXPECT_NEAR(res.energy_from("vdd"), expected, 0.02 * expected);
   // Charge delivered = C·V.
-  EXPECT_NEAR(res.source_charge[0], 50e-15 * 1.8, 0.05 * 50e-15 * 1.8);
+  EXPECT_NEAR(res.source_charge[0], 50e-15 * 1.8, 0.02 * 50e-15 * 1.8);
 }
 
 // Builds a static CMOS inverter with given widths; returns (in, out) nodes.
