@@ -24,27 +24,34 @@ MultiSeedResult place_multi_seed(const pack::PackedNetlist& packed,
                     [&](std::size_t i) {
                       Attempt& a = attempts[i];
                       a.seed = options.base_seed + i;
-                      a.placement = std::make_unique<Placement>(packed, spec);
+                      // Seed the initial placement too: otherwise every
+                      // attempt anneals from the same starting point and
+                      // the seeds explore far less of the solution space.
+                      a.placement =
+                          std::make_unique<Placement>(packed, spec, a.seed);
                       Placement::AnnealOptions aopt = options.anneal;
                       aopt.seed = a.seed;
                       a.stats = a.placement->anneal(aopt);
                     });
 
-  MultiSeedResult result;
-  for (auto& a : attempts) {
-    if (result.best == nullptr ||
-        a.stats.final_cost < result.best_stats.final_cost) {
-      if (result.best != nullptr) {
-        result.worst_cost =
-            std::max(result.worst_cost, result.best_stats.final_cost);
-      }
-      result.best = std::move(a.placement);
-      result.best_stats = a.stats;
-      result.best_seed = a.seed;
-    } else {
-      result.worst_cost = std::max(result.worst_cost, a.stats.final_cost);
+  // Pick the winner first (lowest cost, earliest seed on ties), then take
+  // the worst over the losers — the old interleaved update dropped early
+  // attempts from `worst_cost` depending on which attempt won.
+  std::size_t best_i = 0;
+  for (std::size_t i = 1; i < attempts.size(); ++i) {
+    if (attempts[i].stats.final_cost < attempts[best_i].stats.final_cost) {
+      best_i = i;
     }
   }
+  MultiSeedResult result;
+  result.worst_cost = attempts[best_i].stats.final_cost;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (i == best_i) continue;
+    result.worst_cost = std::max(result.worst_cost, attempts[i].stats.final_cost);
+  }
+  result.best = std::move(attempts[best_i].placement);
+  result.best_stats = attempts[best_i].stats;
+  result.best_seed = attempts[best_i].seed;
   return result;
 }
 

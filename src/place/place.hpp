@@ -39,7 +39,10 @@ struct Block {
 /// A placed design: blocks, their locations, and the inter-block nets.
 class Placement {
  public:
-  Placement(const pack::PackedNetlist& packed, const arch::ArchSpec& spec);
+  /// `placement_seed` seeds the random initial placement (multi-seed
+  /// placement gives each attempt its own so the anneals start apart).
+  Placement(const pack::PackedNetlist& packed, const arch::ArchSpec& spec,
+            std::uint64_t placement_seed = 1);
 
   const pack::PackedNetlist& packed() const { return *packed_; }
   const arch::ArchSpec& spec() const { return *spec_; }
@@ -76,6 +79,10 @@ class Placement {
     std::uint64_t seed = 1;
     double inner_num = 10.0;   ///< moves per block per temperature
     bool quiet = true;
+    /// Incremental bounding-box cost updates (VPR-style edge counts).
+    /// false = recompute every affected net's bbox per move — slow, kept
+    /// as the correctness oracle for the incremental path.
+    bool incremental = true;
   };
   struct AnnealStats {
     double initial_cost = 0;
@@ -102,9 +109,16 @@ class Placement {
   std::vector<Loc> locs_;
   std::vector<Net> nets_;
   std::map<netlist::SignalId, int> pad_block_;
+  std::map<std::string, int> name_block_;
   std::vector<int> cluster_block_;
-  // net membership per block for incremental cost updates
-  std::vector<std::vector<int>> block_nets_;
+  // Net membership per block for incremental cost updates. A block can pin
+  // the same net more than once (e.g. a pad that is both the net's source
+  // and a sink); `pins` keeps that multiplicity for bbox edge counts.
+  struct BlockNet {
+    int net = 0;
+    int pins = 1;
+  };
+  std::vector<std::vector<BlockNet>> block_nets_;
 };
 
 }  // namespace amdrel::place

@@ -16,6 +16,33 @@ struct RouteOptions {
   double acc_fac = 1.0;          ///< history cost increment
   double astar_fac = 1.2;        ///< expected-cost weight (A*)
   bool quiet = true;
+  /// Congestion-driven incremental rerouting: after the first iteration,
+  /// rip up and reroute only nets that touch overused RR nodes (legal nets
+  /// keep their trees and occupancy). Also enables the warm-started,
+  /// wave-parallel minimum-channel-width search. false = the full
+  /// rip-up-everything oracle with a sequential cold-start width search.
+  bool incremental = true;
+  /// Incremental mode: every Nth iteration rips up and reroutes all nets,
+  /// not just congestion-touching ones, so legal nets blocking the only
+  /// escape path of a congested net still re-negotiate.
+  int refresh_interval = 8;
+  /// Incremental mode: give up early when the overused-node count has not
+  /// improved for this many iterations (0 = run all max_iterations).
+  /// `minimum_channel_width` enables this for its exploratory probes so
+  /// clearly-infeasible widths cost a handful of iterations, not the full
+  /// budget; the final oracle confirmation never aborts early.
+  int stall_window = 0;
+  /// Scale applied to the per-tile wire history transferred from the last
+  /// successful probe width in `minimum_channel_width` (incremental only).
+  /// The final width is always re-established by cold oracle probes, so
+  /// the warm start only affects how fast the search narrows, never what
+  /// it returns.
+  double warm_start_fac = 0.5;
+  /// Worker threads for the parallel probe waves of
+  /// `minimum_channel_width` (0 = hardware concurrency). Probe waves have
+  /// a fixed size and are consumed by index, so the search result never
+  /// depends on the thread count.
+  int probe_threads = 0;
 };
 
 /// The routing of one net: a tree of RR nodes (parent edges).

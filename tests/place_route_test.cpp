@@ -65,6 +65,66 @@ TEST(Place, DeterministicForSeed) {
   auto s1 = d1.placement.anneal(opt);
   auto s2 = d2.placement.anneal(opt);
   EXPECT_DOUBLE_EQ(s1.final_cost, s2.final_cost);
+  // Bit-identical block locations, not just equal cost.
+  ASSERT_EQ(d1.placement.blocks().size(), d2.placement.blocks().size());
+  for (std::size_t b = 0; b < d1.placement.blocks().size(); ++b) {
+    EXPECT_TRUE(d1.placement.location(static_cast<int>(b)) ==
+                d2.placement.location(static_cast<int>(b)))
+        << "block " << b << " placed differently across identical runs";
+  }
+}
+
+TEST(Place, IncrementalCostMatchesScratchAfterAnneal) {
+  // The annealer asserts incremental-vs-scratch agreement once per
+  // temperature internally; this checks the end state on three circuits.
+  for (std::uint64_t seed : {61u, 62u, 63u}) {
+    Design d(250, 16, seed);
+    place::Placement::AnnealOptions opt;
+    opt.seed = 5;
+    opt.incremental = true;
+    auto stats = d.placement.anneal(opt);
+    const double scratch = d.placement.total_cost();
+    EXPECT_NEAR(stats.final_cost, scratch, 1e-6 * std::max(1.0, scratch));
+    d.placement.validate();
+  }
+}
+
+TEST(Place, IncrementalMatchesOracleAnneal) {
+  // Same circuit, same seeds: the incremental bbox path and the
+  // full-recompute oracle sum per-net cost deltas in the same order, so
+  // they accept the same moves, consume the same rng stream, and anneal
+  // along bit-identical trajectories — not just equal-quality ones.
+  for (std::uint64_t seed : {64u, 65u, 66u}) {
+    Design d_inc(200, 8, seed);
+    Design d_orc(200, 8, seed);
+    place::Placement::AnnealOptions opt;
+    opt.seed = 7;
+    opt.incremental = true;
+    auto s_inc = d_inc.placement.anneal(opt);
+    opt.incremental = false;
+    auto s_orc = d_orc.placement.anneal(opt);
+    EXPECT_DOUBLE_EQ(s_inc.final_cost, s_orc.final_cost) << "seed " << seed;
+    EXPECT_EQ(s_inc.moves, s_orc.moves);
+    EXPECT_EQ(s_inc.accepted, s_orc.accepted);
+    ASSERT_EQ(d_inc.placement.blocks().size(), d_orc.placement.blocks().size());
+    for (std::size_t b = 0; b < d_inc.placement.blocks().size(); ++b) {
+      EXPECT_TRUE(d_inc.placement.location(static_cast<int>(b)) ==
+                  d_orc.placement.location(static_cast<int>(b)))
+          << "seed " << seed << " block " << b
+          << " diverged between incremental and oracle anneals";
+    }
+    d_inc.placement.validate();
+    d_orc.placement.validate();
+  }
+}
+
+TEST(Place, BlockByNameFindsEveryBlock) {
+  Design d(120, 8, 67);
+  for (std::size_t b = 0; b < d.placement.blocks().size(); ++b) {
+    EXPECT_EQ(d.placement.block_by_name(d.placement.blocks()[b].name),
+              static_cast<int>(b));
+  }
+  EXPECT_EQ(d.placement.block_by_name("no_such_block"), -1);
 }
 
 TEST(Place, ClockNetIsGlobal) {
@@ -152,12 +212,97 @@ TEST(MultiSeed, PicksBestOfSeeds) {
   result.best->validate();
   // The winner is no worse than the losers.
   EXPECT_LE(result.best_stats.final_cost, result.worst_cost + 1e-9);
-  // And matches a single-seed run with the winning seed.
-  place::Placement single(d.packed, d.spec);
+  // And matches a single-seed run with the winning seed (which seeds the
+  // initial placement too, so every attempt starts from its own shuffle).
+  place::Placement single(d.packed, d.spec, result.best_seed);
   place::Placement::AnnealOptions aopt = opt.anneal;
   aopt.seed = result.best_seed;
   auto stats = single.anneal(aopt);
   EXPECT_DOUBLE_EQ(stats.final_cost, result.best_stats.final_cost);
+}
+
+TEST(MultiSeed, SeedsStartFromDistinctInitialPlacements) {
+  Design d(150, 0, 43);
+  place::Placement p1(d.packed, d.spec, 1);
+  place::Placement p2(d.packed, d.spec, 2);
+  bool any_differ = false;
+  for (std::size_t b = 0; b < p1.blocks().size() && !any_differ; ++b) {
+    any_differ = !(p1.location(static_cast<int>(b)) ==
+                   p2.location(static_cast<int>(b)));
+  }
+  EXPECT_TRUE(any_differ) << "different placement seeds gave the same "
+                             "initial placement";
+}
+
+TEST(Route, IncrementalMatchesOracleRouter) {
+  // Congestion-driven incremental rerouting must reach the same minimum
+  // channel width as the rip-up-everything oracle, and both routings must
+  // be fully legal, on several circuits.
+  for (std::uint64_t seed : {71u, 72u, 73u}) {
+    Design d(180, 8, seed);
+    place::Placement::AnnealOptions popt;
+    d.placement.anneal(popt);
+
+    route::RouteOptions inc;
+    inc.incremental = true;
+    route::RouteResult r_inc;
+    const int w_inc =
+        route::minimum_channel_width(d.placement, d.spec, &r_inc, inc);
+
+    route::RouteOptions orc;
+    orc.incremental = false;
+    route::RouteResult r_orc;
+    const int w_orc =
+        route::minimum_channel_width(d.placement, d.spec, &r_orc, orc);
+
+    ASSERT_GT(w_inc, 0);
+    EXPECT_EQ(w_inc, w_orc) << "seed " << seed;
+    route::RrGraph g_inc(d.placement, d.spec, w_inc);
+    route::verify_routing(g_inc, d.placement, r_inc);
+    route::RrGraph g_orc(d.placement, d.spec, w_orc);
+    route::verify_routing(g_orc, d.placement, r_orc);
+  }
+}
+
+TEST(Route, IncrementalRerouteIsLegalAtFixedWidth) {
+  for (std::uint64_t seed : {74u, 75u, 76u}) {
+    Design d(150, 8, seed);
+    place::Placement::AnnealOptions popt;
+    d.placement.anneal(popt);
+    route::RrGraph graph(d.placement, d.spec, d.spec.channel_width);
+    route::RouteOptions inc;
+    inc.incremental = true;
+    auto r_inc = route::route_all(graph, d.placement, inc);
+    route::RouteOptions orc;
+    orc.incremental = false;
+    auto r_orc = route::route_all(graph, d.placement, orc);
+    ASSERT_EQ(r_inc.success, r_orc.success) << "seed " << seed;
+    if (r_inc.success) {
+      route::verify_routing(graph, d.placement, r_inc);
+      route::verify_routing(graph, d.placement, r_orc);
+    }
+  }
+}
+
+TEST(Route, MinWidthSearchIndependentOfThreads) {
+  Design d(160, 8, 77);
+  place::Placement::AnnealOptions popt;
+  d.placement.anneal(popt);
+  route::RouteOptions o1;
+  o1.probe_threads = 1;
+  route::RouteResult r1;
+  const int w1 = route::minimum_channel_width(d.placement, d.spec, &r1, o1);
+  route::RouteOptions o4;
+  o4.probe_threads = 4;
+  route::RouteResult r4;
+  const int w4 = route::minimum_channel_width(d.placement, d.spec, &r4, o4);
+  ASSERT_GT(w1, 0);
+  EXPECT_EQ(w1, w4);
+  EXPECT_EQ(r1.total_wire_nodes, r4.total_wire_nodes);
+  ASSERT_EQ(r1.routes.size(), r4.routes.size());
+  for (std::size_t ni = 0; ni < r1.routes.size(); ++ni) {
+    EXPECT_EQ(r1.routes[ni].nodes, r4.routes[ni].nodes) << "net " << ni;
+  }
 }
 
 TEST(RouteFiles, PlaceFileRoundTrip) {
