@@ -2,18 +2,28 @@
 // Shared command-line handling for the paper-table/figure bench drivers.
 //
 // Every driver accepts:
-//   --json       machine-readable output (one JSON object on stdout) instead
-//                of the human-readable table
-//   --threads N  worker threads for the independent testbench runs
-//                (0 = hardware concurrency; default)
-//   --dense      use the dense MNA oracle instead of the sparse solver
-//                (slow; for cross-checking the sparse backend)
+//   --json        machine-readable output (one JSON object on stdout)
+//                 instead of the human-readable table
+//   --threads N   worker threads for the independent testbench runs
+//                 (0 = hardware concurrency; default)
+//   --dense       use the dense MNA oracle instead of the sparse solver
+//                 (slow; for cross-checking the sparse backend)
+//   --trace FILE  write the obs trace (JSON-lines, one event per line) to
+//                 FILE; see DESIGN.md §8 for the event schema
+//   --progress    human-readable trace spans on stderr while running
+//
+// Drivers with extra flags pass an `extra` callback to parse_bench_args;
+// it sees every argument the shared parser does not recognise and returns
+// whether it consumed it (advancing *i for flags that take a value).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "spice/transient.hpp"
 
 namespace amdrel::bench {
@@ -21,14 +31,23 @@ namespace amdrel::bench {
 struct BenchArgs {
   bool json = false;
   bool dense = false;
-  int threads = 0;  ///< 0 = hardware concurrency
+  int threads = 0;        ///< 0 = hardware concurrency
+  std::string trace;      ///< --trace FILE (empty = no JSONL trace)
+  bool progress = false;  ///< --progress: TextSink on stderr
 
   spice::MnaSolver solver() const {
     return dense ? spice::MnaSolver::kDense : spice::MnaSolver::kSparse;
   }
 };
 
-inline BenchArgs parse_bench_args(int argc, char** argv) {
+/// Callback for driver-specific flags: examine argv[*i] (and following
+/// values), return true after consuming it. `*i` points at the unrecognised
+/// argument; advance it past any value the flag takes.
+using ExtraFlagFn = std::function<bool(int argc, char** argv, int* i)>;
+
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const char* extra_usage = "",
+                                  const ExtraFlagFn& extra = {}) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -38,13 +57,34 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       args.threads = std::atoi(argv[++i]);
       if (args.threads < 0) args.threads = 0;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      args.progress = true;
+    } else if (extra && extra(argc, argv, &i)) {
+      // consumed by the driver
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--dense] [--threads N]\n", argv[0]);
+                   "usage: %s [--json] [--dense] [--threads N] "
+                   "[--trace FILE] [--progress]%s\n",
+                   argv[0], extra_usage);
       std::exit(2);
     }
   }
   return args;
+}
+
+/// Attaches the trace sink requested by --trace / --progress for the
+/// guard's lifetime; a no-op guard when neither flag was given. --trace
+/// wins when both are present (one sink per process).
+inline obs::ScopedSink install_trace(const BenchArgs& args) {
+  if (!args.trace.empty()) {
+    return obs::ScopedSink(std::make_unique<obs::JsonlSink>(args.trace));
+  }
+  if (args.progress) {
+    return obs::ScopedSink(std::make_unique<obs::TextSink>());
+  }
+  return obs::ScopedSink();
 }
 
 /// Minimal JSON writer for the benches' flat records: objects, arrays,

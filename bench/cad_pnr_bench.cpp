@@ -102,27 +102,24 @@ ModeResult run_mode(const amdrel::pack::PackedNetlist& packed,
 
 int main(int argc, char** argv) {
   using namespace amdrel;
-  bool json = false, run_inc = true, run_orc = true;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--incremental") == 0) {
-      run_orc = false;
-    } else if (std::strcmp(argv[i], "--oracle") == 0) {
-      run_inc = false;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-      if (threads < 0) threads = 0;
-    } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--json] [--threads N] [--incremental] [--oracle]\n",
-          argv[0]);
-      return 2;
-    }
-  }
+  bool run_inc = true, run_orc = true;
+  const bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, " [--incremental] [--oracle]",
+      [&](int, char** av, int* i) {
+        if (std::strcmp(av[*i], "--incremental") == 0) {
+          run_orc = false;
+          return true;
+        }
+        if (std::strcmp(av[*i], "--oracle") == 0) {
+          run_inc = false;
+          return true;
+        }
+        return false;
+      });
   if (!run_inc && !run_orc) run_inc = run_orc = true;
+  auto trace_guard = bench::install_trace(args);
+  const bool json = args.json;
+  const int threads = args.threads;
 
   auto suite = bench_gen::mcnc_like_suite();
   suite.resize(4);  // the flow_qor subset

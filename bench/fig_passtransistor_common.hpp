@@ -25,6 +25,8 @@ inline void run_passtransistor_figure(const char* name, const char* title,
   using cells::RoutingExptOptions;
   using cells::run_routing_experiment;
 
+  auto trace_guard = install_trace(args);
+
   const std::vector<double> widths = {1, 2, 4, 6, 8, 10, 16, 32, 64};
   const std::vector<int> lengths = {1, 2, 4, 8};
 

@@ -2,25 +2,40 @@
 // the VHDL→bitstream pipeline exercised stage by stage on a benchmark
 // suite, reporting per-stage QoR and runtime — the table an architecture
 // paper built on this toolset would show.
+//
+// Runs the pipeline through flow::FlowSession, so the per-stage runtimes
+// come from the session's own StageMetrics and --trace/--progress expose
+// the full obs event stream (flow spans plus the kernel spans beneath).
 
-#include <chrono>
 #include <cstdio>
 #include <exception>
 
+#include "bench_common.hpp"
 #include "bench_gen/bench_gen.hpp"
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "netlist/blif.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amdrel;
-  using Clock = std::chrono::steady_clock;
-  std::printf("Fig. 11 flow evaluation: per-stage QoR and runtime\n\n");
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  auto trace_guard = bench::install_trace(args);
+
+  if (!args.json) {
+    std::printf("Fig. 11 flow evaluation: per-stage QoR and runtime\n\n");
+  }
 
   Table table({"circuit", "gates", "LUTs", "CLBs", "W", "wires", "bits",
                "crit ns", "mW", "runtime s", "verified"});
+  bench::JsonWriter w;
+  if (args.json) {
+    w.begin_object();
+    w.field("bench", "flow_qor");
+    w.begin_array("circuits");
+  }
 
+  int failures = 0;
   // A compact subset of the suite (the full suite runs in mcnc_flow).
   auto suite = bench_gen::mcnc_like_suite();
   suite.resize(4);
@@ -30,26 +45,71 @@ int main() {
       flow::FlowOptions options;
       options.verify_each_stage = true;  // includes bitstream equivalence
       options.search_min_channel_width = true;
-      auto t0 = Clock::now();
-      auto r = flow::run_flow_from_network(net, options);
-      double secs = std::chrono::duration<double>(Clock::now() - t0).count();
-      table.add_row(
-          {spec.name, std::to_string(static_cast<int>(net.gates().size())),
-           std::to_string(r.map_stats.luts),
-           std::to_string(static_cast<int>(r.packed->clusters().size())),
-           std::to_string(r.channel_width),
-           std::to_string(r.routing.total_wire_nodes),
-           std::to_string(r.bitstream.config_bits()),
-           strprintf("%.2f", r.timing.critical_path_s * 1e9),
-           strprintf("%.2f", r.power.total_w * 1e3),
-           strprintf("%.1f", secs), "yes"});
-      std::printf("  %-12s ok\n", spec.name.c_str());
+      flow::FlowSession session(net, options);
+      session.resume();
+      const flow::FlowResult& r = session.result();
+      double secs = 0.0;
+      for (int s = 0; s < flow::kNumStages; ++s) {
+        secs += r.stage_metrics[static_cast<std::size_t>(s)].wall_s;
+      }
+      if (args.json) {
+        w.object_in_array();
+        w.field("name", spec.name);
+        w.field("gates", static_cast<int>(net.gates().size()));
+        w.field("luts", r.map_stats.luts);
+        w.field("clbs", static_cast<int>(r.packed->clusters().size()));
+        w.field("channel_width", r.channel_width);
+        w.field("wires", r.routing.total_wire_nodes);
+        w.field("config_bits", static_cast<double>(r.bitstream.config_bits()));
+        w.field("critical_path_ns", r.timing.critical_path_s * 1e9);
+        w.field("power_mw", r.power.total_w * 1e3);
+        w.field("runtime_s", secs);
+        for (int s = 0; s < flow::kNumStages; ++s) {
+          const auto stage = static_cast<flow::Stage>(s);
+          const std::string key = std::string(flow::stage_name(stage)) + "_s";
+          w.field(key.c_str(), r.metrics(stage).wall_s);
+        }
+        w.field("peak_rss_kb",
+                static_cast<double>(r.metrics(flow::Stage::kBitgen).peak_rss_kb));
+        w.field("verified", true);
+        w.end_object();
+      } else {
+        table.add_row(
+            {spec.name, std::to_string(static_cast<int>(net.gates().size())),
+             std::to_string(r.map_stats.luts),
+             std::to_string(static_cast<int>(r.packed->clusters().size())),
+             std::to_string(r.channel_width),
+             std::to_string(r.routing.total_wire_nodes),
+             std::to_string(r.bitstream.config_bits()),
+             strprintf("%.2f", r.timing.critical_path_s * 1e9),
+             strprintf("%.2f", r.power.total_w * 1e3),
+             strprintf("%.1f", secs), "yes"});
+        std::printf("  %-12s ok\n", spec.name.c_str());
+      }
     } catch (const std::exception& e) {
-      std::printf("  %-12s FAILED: %s\n", spec.name.c_str(), e.what());
+      ++failures;
+      if (args.json) {
+        w.object_in_array();
+        w.field("name", spec.name);
+        w.field("verified", false);
+        w.field("error", e.what());
+        w.end_object();
+      } else {
+        std::printf("  %-12s FAILED: %s\n", spec.name.c_str(), e.what());
+      }
     }
   }
+
+  if (args.json) {
+    w.end_array();
+    w.field("failures", failures);
+    w.end_object();
+    w.finish();
+    return failures == 0 ? 0 : 1;
+  }
+
   std::printf("\n%s", table.to_string().c_str());
   std::printf("\n'verified' = random-vector sequential equivalence of the "
               "decoded bitstream vs the mapped netlist\n");
-  return 0;
+  return failures == 0 ? 0 : 1;
 }

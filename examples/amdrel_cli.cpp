@@ -13,6 +13,10 @@
 //   amdrel_cli dagger    <mapped.blif> <out.bit>    # bitstream file
 //   amdrel_cli lint      <design> [top] [--json]    # netlist lint report
 //
+// Global flags (any command, removed from argv before dispatch):
+//   --trace FILE   write the obs trace (JSON-lines) to FILE
+//   --progress     human-readable trace spans on stderr while running
+//
 // `lint` exits 0 when the design is clean (or has only warnings/notes)
 // and 1 when any error-severity diagnostic fires; --json emits the
 // machine-readable report.
@@ -21,9 +25,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
-#include "flow/flow.hpp"
+#include "flow/session.hpp"
+#include "obs/obs.hpp"
 #include "lint/netlist_rules.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/edif.hpp"
@@ -57,14 +63,44 @@ int usage() {
   std::fprintf(stderr,
                "usage: amdrel_cli "
                "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger|lint} "
-               "args...\n"
+               "args... [--trace FILE] [--progress]\n"
                "see the header of examples/amdrel_cli.cpp\n");
   return 2;
+}
+
+/// Pulls the global --trace/--progress flags out of argv (compacting it in
+/// place) and returns the guard that keeps the requested sink attached.
+obs::ScopedSink extract_trace_flags(int* argc, char** argv) {
+  std::string trace;
+  bool progress = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < *argc) {
+      trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (!trace.empty()) {
+    return obs::ScopedSink(std::make_unique<obs::JsonlSink>(trace));
+  }
+  if (progress) return obs::ScopedSink(std::make_unique<obs::TextSink>());
+  return obs::ScopedSink();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::ScopedSink trace_guard;
+  try {
+    trace_guard = extract_trace_flags(&argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -74,7 +110,9 @@ int main(int argc, char** argv) {
       options.search_min_channel_width = true;
       if (argc > 4) options.artifact_dir = argv[4];
       auto net = load_design(argv[2], argv[3]);
-      auto result = flow::run_flow_from_network(net, options);
+      flow::FlowSession session(net, options);
+      session.resume();
+      const flow::FlowResult& result = session.result();
       std::printf("%s", result.report().c_str());
       if (!result.lint.empty()) {
         std::printf("--- lint ---\n%s", result.lint.to_text().c_str());
@@ -144,7 +182,12 @@ int main(int argc, char** argv) {
       flow::FlowOptions options;
       options.search_min_channel_width = true;
       options.verify_each_stage = false;
-      auto result = flow::run_flow_from_network(net, options);
+      flow::FlowSession session(net, options);
+      // `power` needs nothing past the power/timing stage; the other two
+      // report on (or write) the programming file.
+      session.run_until(cmd == "power" ? flow::Stage::kPower
+                                       : flow::Stage::kBitgen);
+      const flow::FlowResult& result = session.result();
       if (cmd == "pnr") {
         std::printf("%s", result.report().c_str());
       } else if (cmd == "power") {

@@ -1,53 +1,12 @@
 #include "flow/flow.hpp"
 
-#include <filesystem>
-#include <fstream>
+#include <algorithm>
 #include <sstream>
 
-#include "lint/flow_rules.hpp"
-#include "lint/netlist_rules.hpp"
-#include "lint/rr_rules.hpp"
-#include "netlist/blif.hpp"
-#include "netlist/edif.hpp"
-#include "netlist/simulate.hpp"
-#include "route/route_files.hpp"
-#include "synth/lutmap.hpp"
-#include "synth/opt.hpp"
-#include "util/error.hpp"
-#include "util/log.hpp"
+#include "flow/session.hpp"
 #include "util/strings.hpp"
-#include "vhdl/synth.hpp"
 
 namespace amdrel::flow {
-
-namespace {
-
-void write_artifact(const std::string& dir, const std::string& name,
-                    const std::string& content) {
-  if (dir.empty()) return;
-  std::filesystem::create_directories(dir);
-  std::ofstream out(dir + "/" + name);
-  if (!out) throw Error("cannot write artifact: " + dir + "/" + name);
-  out << content;
-}
-
-void check_equiv(const netlist::Network& a, const netlist::Network& b,
-                 const std::string& stage) {
-  auto r = netlist::check_equivalence(a, b, 4, 48);
-  AMDREL_CHECK_MSG(r.equivalent,
-                   "equivalence lost at stage '" + stage + "': " + r.message);
-}
-
-/// Invariant barrier: error-severity findings stop the flow right at the
-/// broken hand-off, with the whole report (not just the first failure).
-void barrier(const lint::Report& report, const std::string& stage) {
-  if (report.has_errors()) {
-    throw InfeasibleError("invariant check failed after " + stage + ":\n" +
-                          report.to_text());
-  }
-}
-
-}  // namespace
 
 std::string FlowResult::report() const {
   std::ostringstream os;
@@ -69,6 +28,21 @@ std::string FlowResult::report() const {
                   timing.critical_path_s * 1e9, timing.fmax_hz / 1e6);
   os << strprintf("[6] bitstream   : %lld config bits (%zu bytes serialized)\n",
                   bitstream.config_bits(), bitstream_bytes.size());
+  std::string stages;
+  long peak_kb = 0;
+  for (int s = 0; s < kNumStages; ++s) {
+    const StageMetrics& m = stage_metrics[static_cast<std::size_t>(s)];
+    if (!m.ran) continue;
+    if (!stages.empty()) stages += " | ";
+    stages += strprintf("%s %.3fs", stage_name(static_cast<Stage>(s)),
+                        m.wall_s);
+    peak_kb = std::max(peak_kb, m.peak_rss_kb);
+  }
+  if (!stages.empty()) {
+    os << "    stages      : " << stages;
+    if (peak_kb > 0) os << strprintf("  (peak RSS %.1f MB)", peak_kb / 1024.0);
+    os << "\n";
+  }
   if (!lint.empty()) {
     os << strprintf("    lint        : %d error(s), %d warning(s), %d note(s)\n",
                     lint.count(lint::Severity::kError),
@@ -81,134 +55,16 @@ std::string FlowResult::report() const {
 FlowResult run_flow_from_vhdl(const std::string& vhdl_source,
                               const std::string& top,
                               const FlowOptions& options) {
-  // Stage 1-2: parse + synthesize (VHDL Parser + DIVINER).
-  netlist::Network synthesized = vhdl::synthesize_vhdl(vhdl_source, top);
-  // DIVINER emits EDIF; DRUID/E2FMT normalize it to BLIF. Exercise the
-  // actual format conversions so the file formats stay honest.
-  std::string edif = netlist::write_edif_string(synthesized);
-  write_artifact(options.artifact_dir, top + ".edif", edif);
-  netlist::Network from_edif = netlist::read_edif_string(edif);
-  if (options.verify_each_stage) {
-    check_equiv(synthesized, from_edif, "EDIF round-trip (DRUID/E2FMT)");
-  }
-  return run_flow_from_network(from_edif, options);
+  FlowSession session(vhdl_source, top, options);
+  session.resume();
+  return session.take_result();
 }
 
 FlowResult run_flow_from_network(const netlist::Network& network,
                                  const FlowOptions& options) {
-  FlowResult result;
-  result.arch = std::make_unique<arch::ArchSpec>(options.arch);
-  const arch::ArchSpec& aspec = *result.arch;
-  result.synthesized = network;
-
-  // SIS role: sweep + constant propagation, then LUT mapping.
-  netlist::Network opt = synth::propagate_constants(network);
-  synth::sweep_dead_logic(opt);
-  result.mapped = std::make_unique<netlist::Network>(synth::map_to_luts(
-      opt, synth::LutMapOptions{aspec.k, 8}, &result.map_stats));
-  if (options.verify_each_stage) {
-    check_equiv(network, *result.mapped, "LUT mapping (SIS)");
-  }
-  if (options.check_invariants) {
-    result.lint.set_stage("mapping");
-    lint::lint_network(*result.mapped, &result.lint);
-    barrier(result.lint, "LUT mapping");
-  }
-  write_artifact(options.artifact_dir, network.name() + ".blif",
-                 netlist::write_blif_string(*result.mapped));
-
-  // T-VPack.
-  result.packed =
-      std::make_unique<pack::PackedNetlist>(*result.mapped, aspec);
-  if (options.check_invariants) {
-    result.lint.set_stage("pack");
-    lint::check_post_pack(*result.packed, &result.lint);
-    barrier(result.lint, "packing");
-  }
-  write_artifact(options.artifact_dir, network.name() + ".net",
-                 pack::write_net_string(*result.packed));
-  // DUTYS architecture file.
-  write_artifact(options.artifact_dir, network.name() + ".arch",
-                 arch::write_arch_string(aspec));
-
-  // VPR role: place.
-  result.placement =
-      std::make_unique<place::Placement>(*result.packed, aspec);
-  place::Placement::AnnealOptions popt;
-  popt.seed = options.seed;
-  result.place_stats = result.placement->anneal(popt);
-  if (options.check_invariants) {
-    result.lint.set_stage("place");
-    lint::check_post_place(*result.placement, &result.lint);
-    barrier(result.lint, "placement");
-  }
-
-  // VPR role: route.
-  if (options.search_min_channel_width) {
-    result.channel_width = route::minimum_channel_width(
-        *result.placement, aspec, &result.routing);
-    AMDREL_CHECK_MSG(result.channel_width > 0, "design is unroutable");
-    result.rr_graph = std::make_unique<route::RrGraph>(
-        *result.placement, aspec, result.channel_width);
-  } else {
-    result.channel_width = aspec.channel_width;
-    result.rr_graph = std::make_unique<route::RrGraph>(
-        *result.placement, aspec, result.channel_width);
-    result.routing = route::route_all(*result.rr_graph, *result.placement);
-    AMDREL_CHECK_MSG(result.routing.success,
-                     "unroutable at W=" + std::to_string(result.channel_width) +
-                         ": " + result.routing.message);
-  }
-  route::verify_routing(*result.rr_graph, *result.placement, result.routing);
-  if (options.check_invariants) {
-    result.lint.set_stage("rr-graph");
-    lint::lint_rr_graph(*result.rr_graph, &result.lint);
-    result.lint.set_stage("route");
-    lint::check_post_route(*result.rr_graph, result.routing, &result.lint);
-    barrier(result.lint, "routing");
-  }
-  write_artifact(options.artifact_dir, network.name() + ".place",
-                 route::write_place_string(*result.placement));
-  write_artifact(options.artifact_dir, network.name() + ".route",
-                 route::write_route_string(*result.rr_graph,
-                                           *result.placement,
-                                           result.routing));
-
-  // PowerModel + timing.
-  result.power =
-      power::estimate_power(*result.packed, *result.placement,
-                            *result.rr_graph, result.routing, aspec,
-                            options.power);
-  result.timing =
-      timing::analyze_timing(*result.packed, *result.placement,
-                             *result.rr_graph, result.routing, aspec);
-
-  // DAGGER.
-  result.bitstream =
-      bitgen::generate_bitstream(*result.packed, *result.placement,
-                                 *result.rr_graph, result.routing, aspec);
-  result.bitstream_bytes = bitgen::serialize(result.bitstream);
-  if (!options.artifact_dir.empty()) {
-    std::ofstream out(options.artifact_dir + "/" + network.name() + ".bit",
-                      std::ios::binary);
-    out.write(reinterpret_cast<const char*>(result.bitstream_bytes.data()),
-              static_cast<std::streamsize>(result.bitstream_bytes.size()));
-  }
-  if (options.check_invariants) {
-    result.lint.set_stage("bitgen");
-    lint::check_post_bitgen(result.bitstream_bytes, *result.mapped,
-                            &result.lint);
-    barrier(result.lint, "bitstream generation");
-  }
-  if (options.verify_each_stage) {
-    // The strongest check in the flow: interpret the bitstream back into a
-    // netlist and prove sequential equivalence with the mapped design.
-    bitgen::Bitstream reparsed =
-        bitgen::deserialize(result.bitstream_bytes);
-    netlist::Network fabric = bitgen::decode_to_network(reparsed);
-    check_equiv(*result.mapped, fabric, "bitstream (DAGGER)");
-  }
-  return result;
+  FlowSession session(network, options);
+  session.resume();
+  return session.take_result();
 }
 
 }  // namespace amdrel::flow

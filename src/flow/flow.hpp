@@ -5,6 +5,7 @@
 // packing → DUTYS architecture → VPR-role place & route → PowerModel →
 // DAGGER bitstream, with equivalence verification at each handoff.
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -22,6 +23,31 @@
 #include "timing/timing.hpp"
 
 namespace amdrel::flow {
+
+/// The stages of the Fig. 11 tool chain, in execution order. `kSynth`
+/// covers VHDL parsing + DIVINER synthesis + the EDIF round-trip (for a
+/// network/BLIF entry point it just records the input network); `kPower`
+/// covers the PowerModel and static timing analysis, which run after P&R.
+enum class Stage : int {
+  kSynth = 0,
+  kMap,
+  kPack,
+  kPlace,
+  kRoute,
+  kPower,
+  kBitgen,
+};
+inline constexpr int kNumStages = 7;
+
+/// Short lower-case stage name ("synth", "map", ..., "bitgen").
+const char* stage_name(Stage stage);
+
+/// Wall time and memory footprint of one executed stage.
+struct StageMetrics {
+  bool ran = false;       ///< stage executed to completion
+  double wall_s = 0.0;    ///< stage wall-clock time [s]
+  long peak_rss_kb = 0;   ///< process peak RSS when the stage finished [kB]
+};
 
 struct FlowOptions {
   arch::ArchSpec arch;
@@ -70,16 +96,26 @@ struct FlowResult {
   std::vector<std::uint8_t> bitstream_bytes;
   /// Diagnostics from the per-stage lint barriers (check_invariants).
   lint::Report lint;
+  /// Wall time / peak RSS per executed stage, indexed by Stage.
+  std::array<StageMetrics, kNumStages> stage_metrics{};
+
+  const StageMetrics& metrics(Stage stage) const {
+    return stage_metrics[static_cast<std::size_t>(stage)];
+  }
 
   std::string report() const;  ///< multi-line human-readable summary
 };
 
-/// Runs the flow from VHDL source (full Fig. 11 pipeline).
+/// Runs the flow from VHDL source (full Fig. 11 pipeline). Thin wrapper
+/// over flow::FlowSession (see flow/session.hpp) — a one-shot run and a
+/// staged run with the same options and seed produce bit-identical
+/// results.
 FlowResult run_flow_from_vhdl(const std::string& vhdl_source,
                               const std::string& top,
                               const FlowOptions& options = {});
 
 /// Runs the flow from an already-synthesized network (BLIF entry point).
+/// Thin wrapper over flow::FlowSession, like run_flow_from_vhdl.
 FlowResult run_flow_from_network(const netlist::Network& network,
                                  const FlowOptions& options = {});
 

@@ -1,0 +1,305 @@
+#include "flow/session.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "lint/flow_rules.hpp"
+#include "lint/netlist_rules.hpp"
+#include "lint/rr_rules.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/edif.hpp"
+#include "netlist/simulate.hpp"
+#include "obs/obs.hpp"
+#include "route/route_files.hpp"
+#include "synth/lutmap.hpp"
+#include "synth/opt.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "vhdl/synth.hpp"
+
+namespace amdrel::flow {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* kStageNames[kNumStages] = {"synth",  "map",   "pack", "place",
+                                       "route",  "power", "bitgen"};
+const char* kStageSpans[kNumStages] = {
+    "flow.synth", "flow.map",   "flow.pack",  "flow.place",
+    "flow.route", "flow.power", "flow.bitgen"};
+
+void write_artifact(const std::string& dir, const std::string& name,
+                    const std::string& content) {
+  if (dir.empty()) return;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir + "/" + name);
+  if (!out) throw Error("cannot write artifact: " + dir + "/" + name);
+  out << content;
+}
+
+void check_equiv(const netlist::Network& a, const netlist::Network& b,
+                 const std::string& stage) {
+  auto r = netlist::check_equivalence(a, b, 4, 48);
+  AMDREL_CHECK_MSG(r.equivalent,
+                   "equivalence lost at stage '" + stage + "': " + r.message);
+}
+
+/// Invariant barrier: error-severity findings stop the flow right at the
+/// broken hand-off, with the whole report (not just the first failure).
+void barrier(const lint::Report& report, const std::string& stage) {
+  if (report.has_errors()) {
+    throw InfeasibleError("invariant check failed after " + stage + ":\n" +
+                          report.to_text());
+  }
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  return kStageNames[static_cast<int>(stage)];
+}
+
+FlowSession::FlowSession(const netlist::Network& network,
+                         const FlowOptions& options)
+    : options_(options), entry_network_(network) {}
+
+FlowSession::FlowSession(std::string vhdl_source, std::string top,
+                         const FlowOptions& options)
+    : options_(options),
+      vhdl_source_(std::move(vhdl_source)),
+      top_(std::move(top)),
+      from_vhdl_(true) {}
+
+std::optional<Stage> FlowSession::next_stage() const {
+  if (next_ >= kNumStages) return std::nullopt;
+  return static_cast<Stage>(next_);
+}
+
+std::string FlowSession::stage_context(Stage stage) const {
+  std::string times;
+  for (int s = 0; s < kNumStages; ++s) {
+    const StageMetrics& m = result_.stage_metrics[static_cast<std::size_t>(s)];
+    if (m.wall_s <= 0.0 && !m.ran) continue;
+    if (!times.empty()) times += ", ";
+    times += strprintf("%s %.3fs", kStageNames[s], m.wall_s);
+  }
+  std::string msg =
+      "flow stage '" + std::string(stage_name(stage)) + "' failed";
+  if (!times.empty()) msg += " (" + times + ")";
+  return msg + ": ";
+}
+
+SessionState FlowSession::run_until(Stage last) {
+  AMDREL_CHECK_MSG(state_ != SessionState::kFailed,
+                   "run_until on a failed FlowSession");
+  state_ = SessionState::kReady;
+  while (next_ <= static_cast<int>(last) && next_ < kNumStages) {
+    if (cancel_requested_.exchange(false, std::memory_order_relaxed)) {
+      state_ = SessionState::kCancelled;
+      return state_;
+    }
+    const Stage stage = static_cast<Stage>(next_);
+    StageMetrics& m = result_.stage_metrics[static_cast<std::size_t>(next_)];
+    obs::Span span(kStageSpans[next_]);
+    const auto t0 = Clock::now();
+    try {
+      run_stage(stage);
+    } catch (const CancelledError&) {
+      // The interrupted stage discarded its partial work (stage bodies
+      // commit their artifacts only on success), so the session stays
+      // well-formed at the previous boundary. Consume the request.
+      m.wall_s += std::chrono::duration<double>(Clock::now() - t0).count();
+      cancel_requested_.store(false, std::memory_order_relaxed);
+      state_ = SessionState::kCancelled;
+      return state_;
+    } catch (const InfeasibleError& e) {
+      m.wall_s += std::chrono::duration<double>(Clock::now() - t0).count();
+      state_ = SessionState::kFailed;
+      throw InfeasibleError(stage_context(stage) + e.what());
+    } catch (const Error& e) {
+      m.wall_s += std::chrono::duration<double>(Clock::now() - t0).count();
+      state_ = SessionState::kFailed;
+      throw Error(stage_context(stage) + e.what());
+    }
+    m.ran = true;
+    m.wall_s += std::chrono::duration<double>(Clock::now() - t0).count();
+    m.peak_rss_kb = obs::peak_rss_kb();
+    span.metric("wall_s", m.wall_s);
+    span.metric("peak_rss_kb", static_cast<double>(m.peak_rss_kb));
+    ++next_;
+  }
+  if (next_ >= kNumStages) state_ = SessionState::kDone;
+  return state_;
+}
+
+void FlowSession::run_stage(Stage stage) {
+  switch (stage) {
+    case Stage::kSynth: run_synth(); return;
+    case Stage::kMap: run_map(); return;
+    case Stage::kPack: run_pack(); return;
+    case Stage::kPlace: run_place(); return;
+    case Stage::kRoute: run_route(); return;
+    case Stage::kPower: run_power(); return;
+    case Stage::kBitgen: run_bitgen(); return;
+  }
+}
+
+void FlowSession::run_synth() {
+  result_.arch = std::make_unique<arch::ArchSpec>(options_.arch);
+  if (!from_vhdl_) {
+    result_.synthesized = std::move(entry_network_);
+    return;
+  }
+  // Stage 1-2: parse + synthesize (VHDL Parser + DIVINER). DIVINER emits
+  // EDIF; DRUID/E2FMT normalize it to BLIF. Exercise the actual format
+  // conversions so the file formats stay honest.
+  netlist::Network synthesized = vhdl::synthesize_vhdl(vhdl_source_, top_);
+  std::string edif = netlist::write_edif_string(synthesized);
+  write_artifact(options_.artifact_dir, top_ + ".edif", edif);
+  netlist::Network from_edif = netlist::read_edif_string(edif);
+  if (options_.verify_each_stage) {
+    check_equiv(synthesized, from_edif, "EDIF round-trip (DRUID/E2FMT)");
+  }
+  result_.synthesized = std::move(from_edif);
+}
+
+void FlowSession::run_map() {
+  const arch::ArchSpec& aspec = *result_.arch;
+  const netlist::Network& network = result_.synthesized;
+  // SIS role: sweep + constant propagation, then LUT mapping.
+  netlist::Network opt = synth::propagate_constants(network);
+  synth::sweep_dead_logic(opt);
+  result_.mapped = std::make_unique<netlist::Network>(synth::map_to_luts(
+      opt, synth::LutMapOptions{aspec.k, 8}, &result_.map_stats));
+  if (options_.verify_each_stage) {
+    check_equiv(network, *result_.mapped, "LUT mapping (SIS)");
+  }
+  if (options_.check_invariants) {
+    result_.lint.set_stage("mapping");
+    lint::lint_network(*result_.mapped, &result_.lint);
+    barrier(result_.lint, "LUT mapping");
+  }
+  write_artifact(options_.artifact_dir, network.name() + ".blif",
+                 netlist::write_blif_string(*result_.mapped));
+}
+
+void FlowSession::run_pack() {
+  const arch::ArchSpec& aspec = *result_.arch;
+  // T-VPack.
+  result_.packed =
+      std::make_unique<pack::PackedNetlist>(*result_.mapped, aspec);
+  if (options_.check_invariants) {
+    result_.lint.set_stage("pack");
+    lint::check_post_pack(*result_.packed, &result_.lint);
+    barrier(result_.lint, "packing");
+  }
+  write_artifact(options_.artifact_dir, result_.synthesized.name() + ".net",
+                 pack::write_net_string(*result_.packed));
+  // DUTYS architecture file.
+  write_artifact(options_.artifact_dir, result_.synthesized.name() + ".arch",
+                 arch::write_arch_string(aspec));
+}
+
+void FlowSession::run_place() {
+  const arch::ArchSpec& aspec = *result_.arch;
+  // VPR role: place.
+  result_.placement =
+      std::make_unique<place::Placement>(*result_.packed, aspec);
+  place::Placement::AnnealOptions popt;
+  popt.seed = options_.seed;
+  result_.place_stats = result_.placement->anneal(popt);
+  if (options_.check_invariants) {
+    result_.lint.set_stage("place");
+    lint::check_post_place(*result_.placement, &result_.lint);
+    barrier(result_.lint, "placement");
+  }
+}
+
+void FlowSession::run_route() {
+  const arch::ArchSpec& aspec = *result_.arch;
+  // VPR role: route. Built into locals and committed only on success, so a
+  // cancelled or failed search leaves the session at the place boundary.
+  route::RouteOptions ropt;
+  ropt.cancel = &cancel_requested_;
+  std::unique_ptr<route::RrGraph> rr_graph;
+  route::RouteResult routing;
+  int channel_width = 0;
+  if (options_.search_min_channel_width) {
+    channel_width = route::minimum_channel_width(*result_.placement, aspec,
+                                                 &routing, ropt);
+    AMDREL_CHECK_MSG(channel_width > 0, "design is unroutable");
+    rr_graph = std::make_unique<route::RrGraph>(*result_.placement, aspec,
+                                                channel_width);
+  } else {
+    channel_width = aspec.channel_width;
+    rr_graph = std::make_unique<route::RrGraph>(*result_.placement, aspec,
+                                                channel_width);
+    routing = route::route_all(*rr_graph, *result_.placement, ropt);
+    AMDREL_CHECK_MSG(routing.success,
+                     "unroutable at W=" + std::to_string(channel_width) +
+                         ": " + routing.message);
+  }
+  route::verify_routing(*rr_graph, *result_.placement, routing);
+  result_.rr_graph = std::move(rr_graph);
+  result_.routing = std::move(routing);
+  result_.channel_width = channel_width;
+  if (options_.check_invariants) {
+    result_.lint.set_stage("rr-graph");
+    lint::lint_rr_graph(*result_.rr_graph, &result_.lint);
+    result_.lint.set_stage("route");
+    lint::check_post_route(*result_.rr_graph, result_.routing, &result_.lint);
+    barrier(result_.lint, "routing");
+  }
+  write_artifact(options_.artifact_dir, result_.synthesized.name() + ".place",
+                 route::write_place_string(*result_.placement));
+  write_artifact(options_.artifact_dir, result_.synthesized.name() + ".route",
+                 route::write_route_string(*result_.rr_graph,
+                                           *result_.placement,
+                                           result_.routing));
+}
+
+void FlowSession::run_power() {
+  const arch::ArchSpec& aspec = *result_.arch;
+  // PowerModel + timing (stage 4 of the GUI; runs after P&R in practice).
+  result_.power =
+      power::estimate_power(*result_.packed, *result_.placement,
+                            *result_.rr_graph, result_.routing, aspec,
+                            options_.power);
+  result_.timing =
+      timing::analyze_timing(*result_.packed, *result_.placement,
+                             *result_.rr_graph, result_.routing, aspec);
+}
+
+void FlowSession::run_bitgen() {
+  const arch::ArchSpec& aspec = *result_.arch;
+  // DAGGER.
+  result_.bitstream =
+      bitgen::generate_bitstream(*result_.packed, *result_.placement,
+                                 *result_.rr_graph, result_.routing, aspec);
+  result_.bitstream_bytes = bitgen::serialize(result_.bitstream);
+  if (!options_.artifact_dir.empty()) {
+    std::ofstream out(options_.artifact_dir + "/" +
+                          result_.synthesized.name() + ".bit",
+                      std::ios::binary);
+    out.write(reinterpret_cast<const char*>(result_.bitstream_bytes.data()),
+              static_cast<std::streamsize>(result_.bitstream_bytes.size()));
+  }
+  if (options_.check_invariants) {
+    result_.lint.set_stage("bitgen");
+    lint::check_post_bitgen(result_.bitstream_bytes, *result_.mapped,
+                            &result_.lint);
+    barrier(result_.lint, "bitstream generation");
+  }
+  if (options_.verify_each_stage) {
+    // The strongest check in the flow: interpret the bitstream back into a
+    // netlist and prove sequential equivalence with the mapped design.
+    bitgen::Bitstream reparsed =
+        bitgen::deserialize(result_.bitstream_bytes);
+    netlist::Network fabric = bitgen::decode_to_network(reparsed);
+    check_equiv(*result_.mapped, fabric, "bitstream (DAGGER)");
+  }
+}
+
+}  // namespace amdrel::flow

@@ -1,0 +1,117 @@
+#pragma once
+// Staged execution of the Fig. 11 tool chain: the paper's GUI exposes the
+// flow as six stage buttons, and FlowSession is that surface as a library
+// API. A session owns the stage artifacts (the fields of FlowResult) and
+// runs the pipeline stage by stage, so a caller can stop after packing,
+// inspect or dump the intermediate netlists, resume later, and abort a
+// runaway minimum-channel-width search cooperatively.
+//
+// Determinism contract: a session run in any number of run_until/resume
+// steps produces results bit-identical to the one-shot wrappers in
+// flow/flow.hpp (same seed → same bitstream bytes, same stats). No state
+// crosses stage boundaries except through FlowResult, and every stage is
+// deterministic given FlowOptions.
+//
+// Observability: each executed stage is wrapped in an obs span named
+// "flow.<stage>" carrying wall_s / peak_rss_kb metrics, and the hot
+// kernels underneath emit their own spans and points (DESIGN.md §8).
+
+#include <atomic>
+#include <optional>
+#include <string>
+
+#include "flow/flow.hpp"
+
+namespace amdrel::flow {
+
+/// Lifecycle of a FlowSession.
+enum class SessionState {
+  kReady,      ///< stages remain and the session can run
+  kCancelled,  ///< a cancel() request stopped the run; run_until resumes
+  kFailed,     ///< a stage threw; the session is frozen at that stage
+  kDone,       ///< all stages through kBitgen completed
+};
+
+class FlowSession {
+ public:
+  /// Network/BLIF entry point: stage kSynth records `network` as the
+  /// synthesized design (the network is copied; the reference need not
+  /// outlive the constructor).
+  explicit FlowSession(const netlist::Network& network,
+                       const FlowOptions& options = {});
+
+  /// VHDL entry point: stage kSynth parses + synthesizes (DIVINER) and
+  /// round-trips through EDIF (DRUID/E2FMT), with the usual equivalence
+  /// check when options.verify_each_stage is set.
+  FlowSession(std::string vhdl_source, std::string top,
+              const FlowOptions& options = {});
+
+  FlowSession(const FlowSession&) = delete;
+  FlowSession& operator=(const FlowSession&) = delete;
+
+  /// Runs every pending stage up to and including `last`. Returns the
+  /// session state afterwards: kDone / kReady on success, kCancelled if a
+  /// cancel() request was observed (the request is consumed — calling
+  /// run_until/resume again continues from the last completed stage).
+  /// A stage failure marks the session kFailed and rethrows the stage's
+  /// exception with the failing stage name and the per-stage wall times
+  /// appended to the message (the exception type is preserved for the
+  /// framework's Error hierarchy).
+  SessionState run_until(Stage last);
+
+  /// Runs every remaining stage: run_until(Stage::kBitgen).
+  SessionState resume() { return run_until(Stage::kBitgen); }
+
+  /// Requests cooperative cancellation. Safe to call from any thread (and
+  /// from an obs::Sink callback). The running stage stops at its next
+  /// cancellation point — between stages, per PathFinder iteration, and
+  /// per min-W probe — discarding only the interrupted stage's partial
+  /// work, so the session stays well-formed and resumable.
+  void cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+
+  SessionState state() const { return state_; }
+  /// The next stage run_until would execute (nullopt once kDone).
+  std::optional<Stage> next_stage() const;
+  /// True when `stage` has completed in this session.
+  bool completed(Stage stage) const {
+    return static_cast<int>(stage) < next_;
+  }
+  const StageMetrics& metrics(Stage stage) const {
+    return result_.metrics(stage);
+  }
+
+  const FlowOptions& options() const { return options_; }
+
+  /// The stage artifacts produced so far. Fields owned by stages that have
+  /// not run yet are default-initialized (null unique_ptrs, empty stats).
+  const FlowResult& result() const { return result_; }
+  /// Moves the artifacts out (the terminal operation of the one-shot
+  /// wrappers). The session must not be used afterwards.
+  FlowResult take_result() { return std::move(result_); }
+
+ private:
+  void run_stage(Stage stage);
+  void run_synth();
+  void run_map();
+  void run_pack();
+  void run_place();
+  void run_route();
+  void run_power();
+  void run_bitgen();
+  /// "stage 'route' failed (synth 0.001s, ..., route 0.84s): " prefix for
+  /// rethrown stage errors.
+  std::string stage_context(Stage stage) const;
+
+  FlowOptions options_;
+  FlowResult result_;
+  std::string vhdl_source_;  ///< VHDL entry only
+  std::string top_;          ///< VHDL entry only
+  netlist::Network entry_network_;  ///< network entry only
+  bool from_vhdl_ = false;
+
+  int next_ = 0;  ///< index of the next stage to run
+  SessionState state_ = SessionState::kReady;
+  std::atomic<bool> cancel_requested_{false};
+};
+
+}  // namespace amdrel::flow

@@ -1,0 +1,133 @@
+#include "obs/obs.hpp"
+
+#include <sys/resource.h>
+
+#include "util/error.hpp"
+
+namespace amdrel::obs {
+
+namespace detail {
+
+std::atomic<Sink*> g_sink{nullptr};
+
+namespace {
+std::chrono::steady_clock::time_point g_epoch = std::chrono::steady_clock::now();
+}  // namespace
+
+double since_attach_s(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double>(tp - g_epoch).count();
+}
+
+double trace_now_s() {
+  return since_attach_s(std::chrono::steady_clock::now());
+}
+
+void reset_epoch() { g_epoch = std::chrono::steady_clock::now(); }
+
+}  // namespace detail
+
+void set_sink(Sink* sink) {
+  if (sink != nullptr) detail::reset_epoch();
+  detail::g_sink.store(sink, std::memory_order_release);
+}
+
+Sink* sink() { return detail::g_sink.load(std::memory_order_acquire); }
+
+void point(const char* name, std::initializer_list<Metric> metrics) {
+  Sink* s = detail::g_sink.load(std::memory_order_relaxed);
+  if (s == nullptr) return;
+  Event e;
+  e.kind = Event::Kind::kPoint;
+  e.name = name;
+  e.t_s = detail::trace_now_s();
+  e.metrics = metrics.begin();
+  e.n_metrics = metrics.size();
+  s->on_event(e);
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  Event e;
+  e.kind = Event::Kind::kSpanEnd;
+  e.name = name_;
+  e.t_s = detail::since_attach_s(start_);
+  e.dur_s = std::chrono::duration<double>(end - start_).count();
+  e.metrics = metrics_.data();
+  e.n_metrics = metrics_.size();
+  sink_->on_event(e);
+}
+
+namespace {
+
+const char* kind_label(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::kSpanBegin: return "begin";
+    case Event::Kind::kSpanEnd: return "span";
+    case Event::Kind::kPoint: return "point";
+  }
+  return "?";
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) throw Error("cannot open trace file: " + path);
+}
+
+JsonlSink::~JsonlSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlSink::on_event(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(file_, "{\"type\":\"%s\",\"name\":\"%s\",\"t\":%.9g",
+               kind_label(e.kind), e.name, e.t_s);
+  if (e.kind == Event::Kind::kSpanEnd) {
+    std::fprintf(file_, ",\"dur\":%.9g", e.dur_s);
+  }
+  if (e.n_metrics > 0) {
+    std::fprintf(file_, ",\"metrics\":{");
+    for (std::size_t i = 0; i < e.n_metrics; ++i) {
+      std::fprintf(file_, "%s\"%s\":%.9g", i > 0 ? "," : "",
+                   e.metrics[i].key, e.metrics[i].value);
+    }
+    std::fprintf(file_, "}");
+  }
+  std::fprintf(file_, "}\n");
+  std::fflush(file_);
+}
+
+TextSink::TextSink(std::FILE* out) : out_(out) {}
+
+void TextSink::on_event(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (e.kind == Event::Kind::kSpanEnd && depth_ > 0) --depth_;
+  std::fprintf(out_, "[%8.3fs] %*s", e.t_s, 2 * depth_, "");
+  switch (e.kind) {
+    case Event::Kind::kSpanBegin:
+      std::fprintf(out_, "> %s", e.name);
+      ++depth_;
+      break;
+    case Event::Kind::kSpanEnd:
+      std::fprintf(out_, "< %s (%.3fs)", e.name, e.dur_s);
+      break;
+    case Event::Kind::kPoint:
+      std::fprintf(out_, ". %s", e.name);
+      break;
+  }
+  for (std::size_t i = 0; i < e.n_metrics; ++i) {
+    std::fprintf(out_, " %s=%.6g", e.metrics[i].key, e.metrics[i].value);
+  }
+  std::fprintf(out_, "\n");
+  std::fflush(out_);
+}
+
+long peak_rss_kb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;  // Linux: kilobytes
+}
+
+}  // namespace amdrel::obs

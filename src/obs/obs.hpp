@@ -1,0 +1,173 @@
+#pragma once
+// Observability: RAII trace spans and point events with a pluggable sink.
+//
+// Every tool of the flow emits structured events through this module —
+// per-stage spans from the flow driver, NR/bypass/refactorization counts
+// from the SPICE engine, anneal temperature stats from the placer, and
+// PathFinder iteration / min-W probe verdicts from the router. The design
+// constraints (DESIGN.md §8):
+//
+//  * Near-zero overhead when no sink is attached: an emission site costs
+//    one relaxed atomic load, and a disabled Span never reads the clock.
+//  * Sinks can be fed from worker threads (the min-W probe waves run
+//    PathFinder on a thread pool), so the provided sinks serialize
+//    internally. Event names and metric keys are static strings.
+//  * The sink is not owned by the registry and must outlive every span
+//    begun while it was attached (ScopedSink enforces this for the
+//    CLI/bench pattern of one sink per process run).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace amdrel::obs {
+
+struct Metric {
+  const char* key;
+  double value;
+};
+
+/// One trace record as delivered to the sink. `t_s` is seconds since the
+/// sink was attached; `dur_s` is meaningful only for kSpanEnd. The metrics
+/// pointer is valid only for the duration of the on_event call.
+struct Event {
+  enum class Kind { kSpanBegin, kSpanEnd, kPoint };
+  Kind kind = Kind::kPoint;
+  const char* name = "";
+  double t_s = 0.0;
+  double dur_s = 0.0;
+  const Metric* metrics = nullptr;
+  std::size_t n_metrics = 0;
+};
+
+/// Receives every event emitted while attached. Implementations must be
+/// safe to call from multiple threads concurrently.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+namespace detail {
+extern std::atomic<Sink*> g_sink;
+/// Seconds since the current sink was attached.
+double trace_now_s();
+double since_attach_s(std::chrono::steady_clock::time_point tp);
+}  // namespace detail
+
+/// Attaches `sink` (not owned; nullptr detaches). The trace clock restarts
+/// at zero on every attach.
+void set_sink(Sink* sink);
+Sink* sink();
+
+/// True when a sink is attached. Use to gate emission work that is more
+/// than a couple of counter increments (e.g. per-iteration points).
+inline bool enabled() {
+  return detail::g_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// Emits a point event. The metric list is evaluated by the caller, so
+/// guard computed metrics with `if (obs::enabled())` at hot sites.
+void point(const char* name, std::initializer_list<Metric> metrics);
+
+/// RAII span: emits kSpanBegin at construction and kSpanEnd (with the
+/// accumulated metrics and wall duration) at destruction. When no sink is
+/// attached at construction the span is fully inert.
+class Span {
+ public:
+  explicit Span(const char* name)
+      : sink_(detail::g_sink.load(std::memory_order_relaxed)), name_(name) {
+    if (sink_ == nullptr) return;
+    start_ = std::chrono::steady_clock::now();
+    Event e;
+    e.kind = Event::Kind::kSpanBegin;
+    e.name = name_;
+    e.t_s = detail::since_attach_s(start_);
+    sink_->on_event(e);
+  }
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a metric to the span-end event. No-op when disabled.
+  void metric(const char* key, double value) {
+    if (sink_ != nullptr) metrics_.push_back(Metric{key, value});
+  }
+  bool active() const { return sink_ != nullptr; }
+
+ private:
+  Sink* sink_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_{};
+  std::vector<Metric> metrics_;
+};
+
+/// JSON-lines sink: one object per event, flat schema (DESIGN.md §8):
+///   {"type":"begin","name":"flow.place","t":0.012}
+///   {"type":"span","name":"flow.place","t":0.012,"dur":0.51,
+///    "metrics":{"wall_s":0.51,"peak_rss_kb":14336}}
+///   {"type":"point","name":"route.minw_probe","t":0.71,
+///    "metrics":{"width":12,"success":1}}
+class JsonlSink : public Sink {
+ public:
+  /// Opens `path` for writing (truncates). Throws amdrel::Error on failure.
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+  void on_event(const Event& event) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_;
+};
+
+/// Human-readable progress sink: one line per span begin/end and point,
+/// indented by span depth, written to `out` (default stderr).
+class TextSink : public Sink {
+ public:
+  explicit TextSink(std::FILE* out = stderr);
+  void on_event(const Event& event) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* out_;
+  int depth_ = 0;
+};
+
+/// Owns a sink and keeps it attached for the guard's lifetime — the
+/// one-sink-per-run pattern of the CLI and bench drivers. A default-
+/// constructed guard is a no-op, so `auto g = install_trace(args);` works
+/// whether or not tracing was requested.
+class ScopedSink {
+ public:
+  ScopedSink() = default;
+  explicit ScopedSink(std::unique_ptr<Sink> sink) : sink_(std::move(sink)) {
+    set_sink(sink_.get());
+  }
+  ScopedSink(ScopedSink&& other) noexcept : sink_(std::move(other.sink_)) {}
+  ScopedSink& operator=(ScopedSink&& other) noexcept {
+    if (this != &other) {
+      release();
+      sink_ = std::move(other.sink_);
+    }
+    return *this;
+  }
+  ~ScopedSink() { release(); }
+
+ private:
+  void release() {
+    if (sink_ != nullptr && sink() == sink_.get()) set_sink(nullptr);
+    sink_.reset();
+  }
+  std::unique_ptr<Sink> sink_;
+};
+
+/// Peak resident set size of this process in kilobytes (0 if unknown).
+/// Monotone over the process lifetime, so per-stage samples read as
+/// "peak RSS so far".
+long peak_rss_kb();
+
+}  // namespace amdrel::obs

@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -221,6 +222,7 @@ Placement::AnnealStats Placement::anneal(const AnnealOptions& options) {
   Rng rng(options.seed);
   AnnealStats stats;
   stats.initial_cost = total_cost();
+  obs::Span span("place.anneal");
 
   // Block lists by type for move selection.
   std::vector<int> clbs, ios;
@@ -663,12 +665,26 @@ Placement::AnnealStats Placement::anneal(const AnnealOptions& options) {
     // Window adaptation toward 44% acceptance.
     rlim = std::clamp(rlim * (1.0 - 0.44 + alpha_rate), 1.0,
                       static_cast<double>(std::max(nx_, ny_)));
+    if (obs::enabled()) {
+      obs::point("place.temperature",
+                 {{"t", t},
+                  {"cost", cost},
+                  {"accept_rate", alpha_rate},
+                  {"rlim", rlim}});
+    }
     if (!options.quiet) {
       log_info() << "T=" << t << " cost=" << cost << " acc=" << alpha_rate
                  << " rlim=" << rlim;
     }
   }
   stats.final_cost = total_cost();
+  if (span.active()) {
+    span.metric("temperatures", static_cast<double>(stats.temperatures));
+    span.metric("moves", static_cast<double>(stats.moves));
+    span.metric("accepted", static_cast<double>(stats.accepted));
+    span.metric("initial_cost", stats.initial_cost);
+    span.metric("final_cost", stats.final_cost);
+  }
   validate();
   return stats;
 }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -146,6 +147,22 @@ class PathFinder {
   }
 
   RouteResult run(const std::vector<double>* initial_history) {
+    obs::Span span("route.pathfinder");
+    RouteResult result = run_impl(initial_history);
+    if (span.active()) {
+      span.metric("iterations", result.iterations);
+      span.metric("ripups", static_cast<double>(ripups_));
+      span.metric("overused", last_overused_);
+      span.metric("wire_nodes", result.total_wire_nodes);
+      span.metric("success", result.success ? 1.0 : 0.0);
+    }
+    return result;
+  }
+
+  const std::vector<double>& history() const { return history_; }
+
+ private:
+  RouteResult run_impl(const std::vector<double>* initial_history) {
     if (initial_history != nullptr) {
       AMDREL_CHECK(initial_history->size() == history_.size());
       history_ = *initial_history;
@@ -164,6 +181,13 @@ class PathFinder {
     int best_overused_iter = 0;
     over_hist_.clear();
     for (int iter = 1; iter <= options_->max_iterations; ++iter) {
+      if (options_->cancel != nullptr &&
+          options_->cancel->load(std::memory_order_relaxed)) {
+        result.success = false;
+        result.iterations = iter - 1;
+        result.message = "cancelled";
+        return result;
+      }
       bool any_unrouted = false;
       for (int ni = 0; ni < n_nets_; ++ni) {
         if (graph_->sinks_of_net(ni).empty()) continue;
@@ -197,9 +221,15 @@ class PathFinder {
           base_hist_[i] += options_->acc_fac * over;
         }
       }
+      last_overused_ = overused;
       if (!options_->quiet) {
         log_info() << "pathfinder iter " << iter << ": " << overused
                    << " overused nodes";
+      }
+      if (obs::enabled()) {
+        obs::point("route.iteration",
+                   {{"iter", static_cast<double>(iter)},
+                    {"overused", static_cast<double>(overused)}});
       }
       if (overused == 0 && !any_unrouted) {
         result.success = true;
@@ -253,9 +283,6 @@ class PathFinder {
     return result;
   }
 
-  const std::vector<double>& history() const { return history_; }
-
- private:
   double node_cost(int id, double pres) const {
     const std::size_t i = static_cast<std::size_t>(id);
     double cost = base_hist_[i];
@@ -265,6 +292,7 @@ class PathFinder {
   }
 
   void rip_up(int ni) {
+    if (!net_nodes_[static_cast<std::size_t>(ni)].empty()) ++ripups_;
     for (int id : net_nodes_[static_cast<std::size_t>(ni)]) {
       --occupancy_[static_cast<std::size_t>(id)];
     }
@@ -467,6 +495,8 @@ class PathFinder {
   const RouteOptions* options_;
   int n_nodes_ = 0;
   int n_nets_ = 0;
+  long long ripups_ = 0;    ///< committed trees torn up (obs)
+  int last_overused_ = 0;   ///< overused count of the last iteration (obs)
   double min_step_cost_ = 1.0;
   double astar_mult_ = 1.0;   ///< astar_fac × min_step_cost (A* estimate)
 
@@ -522,16 +552,73 @@ RouteResult route_with_history(const RrGraph& graph,
   return result;
 }
 
+/// True when the caller-provided cancellation flag is raised.
+bool cancelled(const RouteOptions& options) {
+  return options.cancel != nullptr &&
+         options.cancel->load(std::memory_order_relaxed);
+}
+
+/// Records one probe verdict for the trace and the caller's cancellation
+/// flag. Called on the search thread only (wave probes are consumed by
+/// index after the wave joins), so verdict order is deterministic.
+void note_probe(int width, const RouteResult& result, bool oracle,
+                long long* probes) {
+  ++*probes;
+  if (obs::enabled()) {
+    obs::point("route.minw_probe",
+               {{"width", static_cast<double>(width)},
+                {"success", result.success ? 1.0 : 0.0},
+                {"iterations", static_cast<double>(result.iterations)},
+                {"oracle", oracle ? 1.0 : 0.0}});
+  }
+}
+
+void throw_if_cancelled(const RouteOptions& options) {
+  if (cancelled(options)) {
+    throw CancelledError("minimum channel width search cancelled");
+  }
+}
+
+int minimum_channel_width_impl(const place::Placement& placement,
+                               const arch::ArchSpec& spec,
+                               RouteResult* result,
+                               const RouteOptions& options, int w_min,
+                               int w_max, long long* probes);
+
 }  // namespace
 
 RouteResult route_all(const RrGraph& graph, const place::Placement& placement,
                       const RouteOptions& options) {
-  return route_with_history(graph, placement, options, nullptr, nullptr);
+  RouteResult result =
+      route_with_history(graph, placement, options, nullptr, nullptr);
+  if (cancelled(options)) throw CancelledError("routing cancelled");
+  return result;
 }
 
 int minimum_channel_width(const place::Placement& placement,
                           const arch::ArchSpec& spec, RouteResult* result,
                           const RouteOptions& options, int w_min, int w_max) {
+  obs::Span span("route.minw_search");
+  RouteResult local;
+  RouteResult* out = result != nullptr ? result : &local;
+  long long probes = 0;
+  const int width = minimum_channel_width_impl(placement, spec, out, options,
+                                               w_min, w_max, &probes);
+  if (span.active()) {
+    span.metric("width", width);
+    span.metric("probes", static_cast<double>(probes));
+    span.metric("wire_nodes", out->total_wire_nodes);
+  }
+  return width;
+}
+
+namespace {
+
+int minimum_channel_width_impl(const place::Placement& placement,
+                               const arch::ArchSpec& spec,
+                               RouteResult* result,
+                               const RouteOptions& options, int w_min,
+                               int w_max, long long* probes) {
   RouteResult best;
   int best_w = -1;
 
@@ -551,8 +638,11 @@ int minimum_channel_width(const place::Placement& placement,
     // Oracle path: sequential doubling then binary search, cold probes.
     int lo = w_min;
     for (int w = std::max(w_min, spec.channel_width); w <= w_max; w *= 2) {
+      throw_if_cancelled(options);
       RouteResult r;
-      if (oracle_probe(w, &r)) {
+      const bool ok = oracle_probe(w, &r);
+      note_probe(w, r, /*oracle=*/true, probes);
+      if (ok) {
         best = std::move(r);
         best_w = w;
         break;
@@ -565,9 +655,12 @@ int minimum_channel_width(const place::Placement& placement,
     }
     int hi = best_w;
     while (lo < hi) {
+      throw_if_cancelled(options);
       const int mid = (lo + hi) / 2;
       RouteResult r;
-      if (oracle_probe(mid, &r)) {
+      const bool ok = oracle_probe(mid, &r);
+      note_probe(mid, r, /*oracle=*/true, probes);
+      if (ok) {
         best = std::move(r);
         best_w = mid;
         hi = mid;
@@ -656,6 +749,7 @@ int minimum_channel_width(const place::Placement& placement,
   }
   if (pool.size() > 1) {
     for (std::size_t i0 = 0; i0 < widths.size() && best_w < 0; i0 += kWave) {
+      throw_if_cancelled(options);
       const std::size_t n = std::min(kWave, widths.size() - i0);
       std::vector<RouteResult> probe(n);
       std::vector<SpatialHistory> spatial(n);
@@ -663,6 +757,7 @@ int minimum_channel_width(const place::Placement& placement,
         explore_probe(widths[i0 + i], nullptr, &probe[i], &spatial[i]);
       });
       for (std::size_t i = 0; i < n; ++i) {
+        note_probe(widths[i0 + i], probe[i], /*oracle=*/false, probes);
         if (probe[i].success) {
           best = std::move(probe[i]);
           best_w = widths[i0 + i];
@@ -675,9 +770,12 @@ int minimum_channel_width(const place::Placement& placement,
     }
   } else {
     for (int w : widths) {
+      throw_if_cancelled(options);
       RouteResult r;
       SpatialHistory spatial;
-      if (explore_probe(w, nullptr, &r, &spatial)) {
+      const bool ok = explore_probe(w, nullptr, &r, &spatial);
+      note_probe(w, r, /*oracle=*/false, probes);
+      if (ok) {
         best = std::move(r);
         best_w = w;
         warm = std::move(spatial);
@@ -687,14 +785,15 @@ int minimum_channel_width(const place::Placement& placement,
       explorer_failed[static_cast<std::size_t>(w)] = 1;
     }
   }
+  throw_if_cancelled(options);
   if (best_w < 0) {
     // Even the incremental router found nothing up to w_max; fall back to
     // the oracle's sequential search wholesale (it may still succeed
     // where the abort-happy explorer gave up).
     RouteOptions oracle = options;
     oracle.incremental = false;
-    return minimum_channel_width(placement, spec, result, oracle, w_min,
-                                 w_max);
+    return minimum_channel_width_impl(placement, spec, result, oracle, w_min,
+                                      w_max, probes);
   }
 
   // Narrowing phase: binary search, each probe warm-started from the
@@ -703,10 +802,13 @@ int minimum_channel_width(const place::Placement& placement,
   // so the warm-start chain is too.
   int hi = best_w;
   while (hi - lo >= 2) {
+    throw_if_cancelled(options);
     const int mid = lo + (hi - lo) / 2;
     RouteResult r;
     SpatialHistory spatial;
-    if (explore_probe(mid, &warm, &r, &spatial)) {
+    const bool ok = explore_probe(mid, &warm, &r, &spatial);
+    note_probe(mid, r, /*oracle=*/false, probes);
+    if (ok) {
       best = std::move(r);
       best_w = mid;
       warm = std::move(spatial);
@@ -736,20 +838,29 @@ int minimum_channel_width(const place::Placement& placement,
       explorer_failed[static_cast<std::size_t>(start_w - 1)]) {
     --start_w;
   }
+  throw_if_cancelled(options);
   RouteResult probe_r;
-  if (oracle_probe(start_w, &probe_r)) {
+  const bool start_ok = oracle_probe(start_w, &probe_r);
+  note_probe(start_w, probe_r, /*oracle=*/true, probes);
+  if (start_ok) {
     best = std::move(probe_r);
     best_w = start_w;
     for (int w = start_w - 1; w >= w_min; --w) {
+      throw_if_cancelled(options);
       RouteResult r;
-      if (!oracle_probe(w, &r)) break;
+      const bool ok = oracle_probe(w, &r);
+      note_probe(w, r, /*oracle=*/true, probes);
+      if (!ok) break;
       best = std::move(r);
       best_w = w;
     }
   } else {
     for (int w = start_w + 1; w <= w_max; ++w) {
+      throw_if_cancelled(options);
       RouteResult r;
-      if (oracle_probe(w, &r)) {
+      const bool ok = oracle_probe(w, &r);
+      note_probe(w, r, /*oracle=*/true, probes);
+      if (ok) {
         best = std::move(r);
         best_w = w;
         break;
@@ -757,10 +868,13 @@ int minimum_channel_width(const place::Placement& placement,
       // Keep the explorer's legal routing if the oracle never catches up.
     }
   }
+  throw_if_cancelled(options);
 
   if (result != nullptr) *result = std::move(best);
   return best_w;
 }
+
+}  // namespace
 
 void verify_routing(const RrGraph& graph, const place::Placement& placement,
                     const RouteResult& result) {

@@ -2,6 +2,7 @@
 // PathFinder negotiated-congestion routing (VPR's router) plus the
 // channel-width binary search used for minimum-W experiments.
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,12 @@ struct RouteOptions {
   /// a fixed size and are consumed by index, so the search result never
   /// depends on the thread count.
   int probe_threads = 0;
+  /// Cooperative cancellation flag (not owned; may be set from another
+  /// thread). Checked once per PathFinder iteration and once per min-W
+  /// probe: when it reads true, `route_all` and `minimum_channel_width`
+  /// throw CancelledError from the calling thread instead of returning a
+  /// result. nullptr = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// The routing of one net: a tree of RR nodes (parent edges).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace amdrel::spice {
@@ -347,6 +348,7 @@ bool TransientSim::newton_solve(double t, double dt,
   std::vector<double>& x = x_new_;
   bool prev_clamped = false;
   for (int iter = 0; iter < options.nr_max_iters; ++iter) {
+    ++nr_stats_.nr_iters;
     auto A = [&](int r, int c) -> double& {
       return mat_[static_cast<std::size_t>(r) * n + c];
     };
@@ -494,6 +496,7 @@ bool TransientSim::newton_solve(double t, double dt,
       }
       stamp_i(nd, ns, sign * ieq);
     }
+    nr_stats_.device_bypasses += n_bypassed;
 
     // Every device bypassed at iter >= 1 means this linear system is
     // bit-identical to the previous iteration's (same cached stamps, same
@@ -502,6 +505,7 @@ bool TransientSim::newton_solve(double t, double dt,
     // without another factorization/solve.
     if (sparse && iter > 0 && !mos_changed && !prev_clamped &&
         n_bypassed == static_cast<int>(mosfets.size())) {
+      ++nr_stats_.steps;
       x_.swap(x_new_);
       return true;
     }
@@ -548,6 +552,8 @@ bool TransientSim::newton_solve(double t, double dt,
 
     // Solve in place: rhs_ becomes the solution (it is rebuilt from
     // scratch next iteration anyway).
+    ++nr_stats_.solves;
+    if (mos_changed || !sparse) ++nr_stats_.refactorizations;
     if (sparse) {
       if (!lu_->solve(rhs_, mos_changed)) return false;
     } else {
@@ -578,6 +584,7 @@ bool TransientSim::newton_solve(double t, double dt,
       x[static_cast<std::size_t>(i)] = rhs_[static_cast<std::size_t>(i)];
 
     if (converged) {
+      ++nr_stats_.steps;
       x_.swap(x_new_);
       return true;
     }
@@ -629,6 +636,8 @@ void TransientSim::solve_dc(const TransientOptions& base) {
 }
 
 TransientResult TransientSim::run(const TransientOptions& options) {
+  obs::Span span("spice.transient");
+  const NrStats at_entry = nr_stats_;  // DC work below counts toward the span
   if (!have_dc_) solve_dc(options);
 
   TransientResult result;
@@ -717,6 +726,19 @@ TransientResult TransientSim::run(const TransientOptions& options) {
     t = t_next;
     record_sample(t);
     have_pred = true;
+  }
+  if (span.active()) {
+    span.metric("steps", static_cast<double>(nr_stats_.steps - at_entry.steps));
+    span.metric("nr_iters",
+                static_cast<double>(nr_stats_.nr_iters - at_entry.nr_iters));
+    span.metric("device_bypasses",
+                static_cast<double>(nr_stats_.device_bypasses -
+                                    at_entry.device_bypasses));
+    span.metric("refactorizations",
+                static_cast<double>(nr_stats_.refactorizations -
+                                    at_entry.refactorizations));
+    span.metric("solves",
+                static_cast<double>(nr_stats_.solves - at_entry.solves));
   }
   return result;
 }

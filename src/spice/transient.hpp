@@ -90,6 +90,19 @@ class TransientSim {
   /// Runs the transient; implies solve_dc() if not already done.
   TransientResult run(const TransientOptions& options);
 
+  /// Cumulative Newton-Raphson work counters across every solve issued by
+  /// this simulator (DC continuation steps included). Exposed for the obs
+  /// trace and for benches; incrementing them is a handful of integer adds
+  /// per NR iteration, so they are always on.
+  struct NrStats {
+    long long steps = 0;            ///< accepted NR solves (DC + transient)
+    long long nr_iters = 0;         ///< Newton iterations executed
+    long long device_bypasses = 0;  ///< MOSFET linearizations skipped
+    long long refactorizations = 0; ///< LU factorizations performed
+    long long solves = 0;           ///< linear back-substitutions
+  };
+  const NrStats& nr_stats() const { return nr_stats_; }
+
  private:
   struct DeviceCaps {  // linearized intrinsic caps of one MOSFET
     double cgs, cgd, cdb, csb;
@@ -172,6 +185,7 @@ class TransientSim {
   std::vector<double> x_prev_;  // previous-timestep state
   std::vector<double> x_pred_;  // extrapolated initial guess
   std::vector<MosWork> mos_work_;
+  NrStats nr_stats_;
 };
 
 }  // namespace amdrel::spice

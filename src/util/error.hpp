@@ -39,6 +39,15 @@ class InfeasibleError : public Error {
   using Error::Error;
 };
 
+/// A long-running kernel observed a cooperative cancellation request (see
+/// flow::FlowSession::cancel and route::RouteOptions::cancel) and stopped
+/// before producing a result. Callers that own the cancellation flag catch
+/// this to wind down cleanly; it never signals a correctness problem.
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] void check_failed(const char* expr, const char* file, int line,
                                const std::string& message);

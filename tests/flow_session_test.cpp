@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_gen/bench_gen.hpp"
+#include "flow/session.hpp"
+#include "json_check.hpp"
+#include "netlist/blif.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace amdrel {
+namespace {
+
+using testing::json_field;
+using testing::json_valid;
+
+std::string fixture(const std::string& name) {
+  return std::string(AMDREL_FIXTURE_DIR) + "/" + name;
+}
+
+netlist::Network small_design() {
+  bench_gen::BenchSpec spec;
+  spec.n_gates = 120;
+  spec.n_latches = 8;
+  spec.seed = 78;
+  return bench_gen::generate(spec);
+}
+
+flow::FlowOptions fast_options() {
+  flow::FlowOptions opt;
+  opt.verify_each_stage = false;  // keep the 8 flows below quick
+  return opt;
+}
+
+/// The determinism contract of the redesign: splitting the run at ANY
+/// stage boundary yields artifacts bit-identical to the one-shot wrapper.
+TEST(FlowSession, RunUntilPlusResumeMatchesOneShotAtEveryBoundary) {
+  const auto net = small_design();
+  const auto opt = fast_options();
+  const auto oneshot = flow::run_flow_from_network(net, opt);
+  ASSERT_GT(oneshot.bitstream_bytes.size(), 0u);
+
+  for (int s = 0; s < flow::kNumStages; ++s) {
+    const auto boundary = static_cast<flow::Stage>(s);
+    flow::FlowSession session(net, opt);
+    const auto state = session.run_until(boundary);
+    if (boundary == flow::Stage::kBitgen) {
+      EXPECT_EQ(state, flow::SessionState::kDone);
+    } else {
+      EXPECT_EQ(state, flow::SessionState::kReady);
+      EXPECT_EQ(session.next_stage(), static_cast<flow::Stage>(s + 1));
+    }
+    EXPECT_TRUE(session.completed(boundary));
+    EXPECT_EQ(session.resume(), flow::SessionState::kDone)
+        << "boundary " << flow::stage_name(boundary);
+    EXPECT_FALSE(session.next_stage().has_value());
+
+    const flow::FlowResult& r = session.result();
+    EXPECT_EQ(r.bitstream_bytes, oneshot.bitstream_bytes)
+        << "bitstream differs when split at " << flow::stage_name(boundary);
+    EXPECT_EQ(r.channel_width, oneshot.channel_width);
+    EXPECT_EQ(r.routing.total_wire_nodes, oneshot.routing.total_wire_nodes);
+    EXPECT_EQ(r.routing.iterations, oneshot.routing.iterations);
+    EXPECT_EQ(r.map_stats.luts, oneshot.map_stats.luts);
+    EXPECT_DOUBLE_EQ(r.place_stats.final_cost, oneshot.place_stats.final_cost);
+  }
+}
+
+TEST(FlowSession, VhdlEntryMatchesWrapper) {
+  const char* kVhdl = R"(
+entity blinker is
+  port ( clk : in std_logic;
+         rst : in std_logic;
+         q   : out std_logic_vector(2 downto 0) );
+end blinker;
+architecture rtl of blinker is
+  signal count : std_logic_vector(2 downto 0);
+begin
+  process(clk, rst)
+  begin
+    if rst = '1' then
+      count <= (others => '0');
+    elsif rising_edge(clk) then
+      count <= count + 1;
+    end if;
+  end process;
+  q <= count;
+end rtl;
+)";
+  const auto opt = fast_options();
+  const auto wrapper = flow::run_flow_from_vhdl(kVhdl, "blinker", opt);
+  flow::FlowSession session(kVhdl, "blinker", opt);
+  EXPECT_EQ(session.resume(), flow::SessionState::kDone);
+  EXPECT_EQ(session.result().bitstream_bytes, wrapper.bitstream_bytes);
+  EXPECT_EQ(session.result().channel_width, wrapper.channel_width);
+}
+
+TEST(FlowSession, StageMetricsCoverEveryStage) {
+  flow::FlowSession session(small_design(), fast_options());
+  EXPECT_EQ(session.resume(), flow::SessionState::kDone);
+  for (int s = 0; s < flow::kNumStages; ++s) {
+    const auto stage = static_cast<flow::Stage>(s);
+    EXPECT_TRUE(session.metrics(stage).ran) << flow::stage_name(stage);
+    EXPECT_GE(session.metrics(stage).wall_s, 0.0);
+    EXPECT_GT(session.metrics(stage).peak_rss_kb, 0);
+  }
+  EXPECT_NE(session.result().report().find("stages"), std::string::npos);
+}
+
+TEST(FlowSession, TraceJsonlHasOneSpanPerStage) {
+  const std::string path = ::testing::TempDir() + "/flow_session_trace.jsonl";
+  {
+    obs::ScopedSink guard(std::make_unique<obs::JsonlSink>(path));
+    flow::FlowSession session(small_design(), fast_options());
+    EXPECT_EQ(session.resume(), flow::SessionState::kDone);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::map<std::string, int> begins, ends;
+  int lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++lines;
+    ASSERT_TRUE(json_valid(line)) << line;
+    const std::string type = json_field(line, "type").value_or("");
+    const std::string name = json_field(line, "name").value_or("");
+    if (name.rfind("flow.", 0) == 0) {
+      if (type == "begin") ++begins[name];
+      if (type == "span") ++ends[name];
+    }
+  }
+  EXPECT_GT(lines, 0);
+  for (int s = 0; s < flow::kNumStages; ++s) {
+    const std::string span =
+        "flow." + std::string(flow::stage_name(static_cast<flow::Stage>(s)));
+    EXPECT_EQ(begins[span], 1) << span;
+    EXPECT_EQ(ends[span], 1) << span;
+  }
+  std::remove(path.c_str());
+}
+
+/// Requests cancellation from inside the trace stream: the first min-W
+/// probe verdict triggers cancel(), which the search observes at its next
+/// cancellation point. Exercises a genuine mid-stage (not between-stage)
+/// cancel on the session's own thread.
+class CancelOnProbeSink : public obs::Sink {
+ public:
+  explicit CancelOnProbeSink(flow::FlowSession* session)
+      : session_(session) {}
+  void on_event(const obs::Event& e) override {
+    if (std::strcmp(e.name, "route.minw_probe") == 0 &&
+        !fired_.exchange(true)) {
+      session_->cancel();
+    }
+  }
+  bool fired() const { return fired_.load(); }
+
+ private:
+  flow::FlowSession* session_;
+  std::atomic<bool> fired_{false};
+};
+
+TEST(FlowSession, CancelDuringMinWidthSearchIsResumable) {
+  const auto net = small_design();
+  auto opt = fast_options();
+  opt.search_min_channel_width = true;
+
+  const auto oneshot = flow::run_flow_from_network(net, opt);
+
+  flow::FlowSession session(net, opt);
+  CancelOnProbeSink sink(&session);
+  obs::set_sink(&sink);
+  const auto state = session.resume();
+  obs::set_sink(nullptr);
+
+  ASSERT_TRUE(sink.fired());  // the search did emit probe verdicts
+  EXPECT_EQ(state, flow::SessionState::kCancelled);
+  EXPECT_TRUE(session.completed(flow::Stage::kPlace));
+  EXPECT_FALSE(session.completed(flow::Stage::kBitgen));
+  if (!session.completed(flow::Stage::kRoute)) {
+    // The interrupted route stage left no partial artifacts behind.
+    EXPECT_EQ(session.result().rr_graph, nullptr);
+    EXPECT_EQ(session.result().channel_width, 0);
+    EXPECT_EQ(session.next_stage(), flow::Stage::kRoute);
+  }
+
+  // Resuming restarts the interrupted stage and converges to the same
+  // result as an uncancelled run (the search is deterministic).
+  EXPECT_EQ(session.resume(), flow::SessionState::kDone);
+  EXPECT_EQ(session.result().channel_width, oneshot.channel_width);
+  EXPECT_EQ(session.result().bitstream_bytes, oneshot.bitstream_bytes);
+}
+
+TEST(FlowSession, CancelBetweenStagesIsConsumedOnObservation) {
+  flow::FlowSession session(small_design(), fast_options());
+  session.cancel();
+  EXPECT_EQ(session.run_until(flow::Stage::kSynth),
+            flow::SessionState::kCancelled);
+  EXPECT_FALSE(session.completed(flow::Stage::kSynth));
+  // The request was consumed: the next call runs normally.
+  EXPECT_EQ(session.run_until(flow::Stage::kSynth),
+            flow::SessionState::kReady);
+  EXPECT_TRUE(session.completed(flow::Stage::kSynth));
+}
+
+TEST(FlowSession, StageFailureCarriesStageNameAndTimes) {
+  auto net = netlist::read_blif_file(fixture("defect_comb_loop.blif"));
+  flow::FlowSession session(net, flow::FlowOptions{});
+  try {
+    session.resume();
+    FAIL() << "expected the map stage to throw";
+  } catch (const InfeasibleError& e) {
+    // Type preserved, message prefixed with the failing stage and the
+    // per-stage wall times accumulated so far.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("flow stage 'map' failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("synth "), std::string::npos) << msg;
+    EXPECT_NE(msg.find("combinational cycle"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(session.state(), flow::SessionState::kFailed);
+  EXPECT_THROW(session.resume(), Error);  // failed sessions stay frozen
+}
+
+TEST(FlowSession, WrappersStillProduceCompleteResults) {
+  // The documented thin wrappers remain the simple entry point.
+  auto result = flow::run_flow_from_network(small_design(), fast_options());
+  EXPECT_TRUE(result.routing.success);
+  EXPECT_GT(result.bitstream_bytes.size(), 0u);
+  for (int s = 0; s < flow::kNumStages; ++s) {
+    EXPECT_TRUE(result.stage_metrics[static_cast<std::size_t>(s)].ran);
+  }
+}
+
+}  // namespace
+}  // namespace amdrel

@@ -1,0 +1,162 @@
+#pragma once
+// Minimal JSON syntax checker for the trace/bench tests: validates one
+// complete JSON value (recursive descent over the RFC 8259 grammar, minus
+// \u escapes beyond hex-digit checking) and extracts flat fields by key.
+// Not a general parser — just enough to prove the emitters write JSON a
+// real parser would accept.
+
+#include <cctype>
+#include <optional>
+#include <string>
+
+namespace amdrel::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : s_(std::move(text)) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  bool valid() {
+    i_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++i_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++i_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == '}') { ++i_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++i_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == ']') { ++i_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++i_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '"') { ++i_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i_;
+            if (i_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[i_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++i_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++i_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++i_;
+      if (peek() == '+' || peek() == '-') ++i_;
+      if (!digits()) return false;
+    }
+    return i_ > start;
+  }
+  bool digits() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+    return i_ > start;
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++i_) {
+      if (i_ >= s_.size() || s_[i_] != *p) return false;
+    }
+    return true;
+  }
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+
+  std::string s_;
+  std::size_t i_ = 0;
+};
+
+inline bool json_valid(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+/// Textual extraction of a flat `"key":<string|token>` field (the trace
+/// and bench schemas never nest a key inside a string value).
+inline std::optional<std::string> json_field(const std::string& text,
+                                             const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t i = pos + needle.size();
+  if (i < text.size() && text[i] == '"') {
+    const std::size_t end = text.find('"', i + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return text.substr(i + 1, end - i - 1);
+  }
+  std::size_t end = i;
+  while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+         text[end] != ']') {
+    ++end;
+  }
+  return text.substr(i, end - i);
+}
+
+}  // namespace amdrel::testing
