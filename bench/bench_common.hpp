@@ -11,6 +11,8 @@
 //   --trace FILE  write the obs trace (JSON-lines, one event per line) to
 //                 FILE; see DESIGN.md §8 for the event schema
 //   --progress    human-readable trace spans on stderr while running
+//   --metrics FILE  write the metrics-registry snapshot (JSON; DESIGN.md
+//                 §8) to FILE when the bench exits
 //
 // Drivers with extra flags pass an `extra` callback to parse_bench_args;
 // it sees every argument the shared parser does not recognise and returns
@@ -23,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "spice/transient.hpp"
 
@@ -33,6 +36,7 @@ struct BenchArgs {
   bool dense = false;
   int threads = 0;        ///< 0 = hardware concurrency
   std::string trace;      ///< --trace FILE (empty = no JSONL trace)
+  std::string metrics;    ///< --metrics FILE (empty = no snapshot)
   bool progress = false;  ///< --progress: TextSink on stderr
 
   spice::MnaSolver solver() const {
@@ -59,6 +63,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
       if (args.threads < 0) args.threads = 0;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       args.trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      args.metrics = argv[++i];
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       args.progress = true;
     } else if (extra && extra(argc, argv, &i)) {
@@ -66,7 +72,7 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--dense] [--threads N] "
-                   "[--trace FILE] [--progress]%s\n",
+                   "[--trace FILE] [--metrics FILE] [--progress]%s\n",
                    argv[0], extra_usage);
       std::exit(2);
     }
@@ -86,6 +92,22 @@ inline obs::ScopedSink install_trace(const BenchArgs& args) {
   }
   return obs::ScopedSink();
 }
+
+/// Writes the metrics-registry snapshot requested by --metrics when the
+/// guard leaves scope (normal or error exit); no-op when the flag was not
+/// given. Declare it right after install_trace in main().
+struct ScopedMetricsFile {
+  std::string path;
+  explicit ScopedMetricsFile(const BenchArgs& args) : path(args.metrics) {}
+  ~ScopedMetricsFile() {
+    if (path.empty()) return;
+    try {
+      obs::write_metrics_file(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+};
 
 /// Minimal JSON writer for the benches' flat records: objects, arrays,
 /// string/number/bool fields. Emits to stdout; no escaping beyond what the

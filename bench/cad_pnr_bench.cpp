@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
       });
   if (!run_inc && !run_orc) run_inc = run_orc = true;
   auto trace_guard = bench::install_trace(args);
+  bench::ScopedMetricsFile metrics_guard(args);
   const bool json = args.json;
   const int threads = args.threads;
 

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace amdrel;
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   auto trace_guard = bench::install_trace(args);
+  bench::ScopedMetricsFile metrics_guard(args);
 
   if (!args.json) {
     std::printf("Fig. 11 flow evaluation: per-stage QoR and runtime\n\n");

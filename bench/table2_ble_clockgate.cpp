@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace amdrel::cells;
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   auto trace_guard = bench::install_trace(args);
+  bench::ScopedMetricsFile metrics_guard(args);
 
   DetffBenchOptions opt;
   opt.solver = args.solver();

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace amdrel::cells;
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   auto trace_guard = bench::install_trace(args);
+  bench::ScopedMetricsFile metrics_guard(args);
 
   const std::vector<double> widths = {1, 2, 4, 8, 16};
   const std::vector<int> lengths = {1, 4};

@@ -12,10 +12,12 @@
 //   amdrel_cli power     <mapped.blif>              # PowerModel report
 //   amdrel_cli dagger    <mapped.blif> <out.bit>    # bitstream file
 //   amdrel_cli lint      <design> [top] [--json]    # netlist lint report
+//   amdrel_cli trace-report <trace.jsonl> [--json]  # analyze an obs trace
 //
 // Global flags (any command, removed from argv before dispatch):
-//   --trace FILE   write the obs trace (JSON-lines) to FILE
-//   --progress     human-readable trace spans on stderr while running
+//   --trace FILE    write the obs trace (JSON-lines) to FILE
+//   --progress      human-readable trace spans on stderr while running
+//   --metrics FILE  write the metrics-registry snapshot (JSON) on exit
 //
 // `lint` exits 0 when the design is clean (or has only warnings/notes)
 // and 1 when any error-severity diagnostic fires; --json emits the
@@ -29,7 +31,9 @@
 #include <sstream>
 
 #include "flow/session.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "lint/netlist_rules.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/edif.hpp"
@@ -62,21 +66,26 @@ netlist::Network load_design(const std::string& path, const std::string& top) {
 int usage() {
   std::fprintf(stderr,
                "usage: amdrel_cli "
-               "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger|lint} "
-               "args... [--trace FILE] [--progress]\n"
+               "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger|lint|"
+               "trace-report} "
+               "args... [--trace FILE] [--progress] [--metrics FILE]\n"
                "see the header of examples/amdrel_cli.cpp\n");
   return 2;
 }
 
-/// Pulls the global --trace/--progress flags out of argv (compacting it in
-/// place) and returns the guard that keeps the requested sink attached.
-obs::ScopedSink extract_trace_flags(int* argc, char** argv) {
+/// Pulls the global --trace/--progress/--metrics flags out of argv
+/// (compacting it in place) and returns the guard that keeps the
+/// requested sink attached. `*metrics_path` receives the --metrics value.
+obs::ScopedSink extract_trace_flags(int* argc, char** argv,
+                                    std::string* metrics_path) {
   std::string trace;
   bool progress = false;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < *argc) {
       trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < *argc) {
+      *metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       progress = true;
     } else {
@@ -91,12 +100,27 @@ obs::ScopedSink extract_trace_flags(int* argc, char** argv) {
   return obs::ScopedSink();
 }
 
+/// Writes the metrics-registry snapshot on scope exit (including error
+/// exits), so --metrics captures whatever the command managed to do.
+struct MetricsFileGuard {
+  std::string path;
+  ~MetricsFileGuard() {
+    if (path.empty()) return;
+    try {
+      obs::write_metrics_file(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   obs::ScopedSink trace_guard;
+  MetricsFileGuard metrics_guard;
   try {
-    trace_guard = extract_trace_flags(&argc, argv);
+    trace_guard = extract_trace_flags(&argc, argv, &metrics_guard.path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -175,6 +199,18 @@ int main(int argc, char** argv) {
                              : report.to_text().c_str());
       if (json) std::printf("\n");
       return report.has_errors() ? 1 : 0;
+    }
+    if (cmd == "trace-report") {
+      if (argc < 3) return usage();
+      bool json = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+      }
+      obs::TraceReport report = obs::analyze_trace_file(argv[2]);
+      std::printf("%s", json ? report.to_json().c_str()
+                             : report.to_text().c_str());
+      if (json) std::printf("\n");
+      return 0;
     }
     if (cmd == "pnr" || cmd == "power" || cmd == "dagger") {
       if (argc < 3) return usage();

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare a flow_qor --json run against a committed QoR baseline.
+
+Usage:
+    qor_compare.py CURRENT.json [--baseline scripts/qor_baseline.json]
+                   [--enforce] [--wall-tolerance PCT] [--wire-tolerance PCT]
+
+The baseline is a verbatim `flow_qor --json` capture (see
+scripts/qor_baseline.json, regenerated with:
+    build/bench/flow_qor --json > scripts/qor_baseline.json
+on any machine — every compared metric except wall time is deterministic
+for a given seed).
+
+Regression policy, per circuit:
+  * channel_width   — any increase is a regression (the headline QoR
+                      number of the paper's CAD comparison);
+  * wires           — routed wire nodes, > --wire-tolerance % (default 5)
+                      counts as a regression;
+  * luts, clbs, config_bits — deterministic for a fixed seed, so any
+                      increase is a regression;
+  * runtime_s       — > --wall-tolerance % (default 50; wall clock on
+                      shared CI runners is noisy) counts as a regression;
+  * verified        — a circuit that was equivalence-verified in the
+                      baseline must stay verified.
+Improvements and new circuits are reported but never fail.
+
+Exit status: 0 when clean; 0 with warnings by default ("warn-only first
+landing" mode for CI); 1 when --enforce is given and any regression fired.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"qor_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def by_name(run):
+    return {c["name"]: c for c in run.get("circuits", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="flow_qor --json output to check")
+    ap.add_argument("--baseline", default="scripts/qor_baseline.json")
+    ap.add_argument("--enforce", action="store_true",
+                    help="exit 1 on regressions (default: warn only)")
+    ap.add_argument("--wall-tolerance", type=float, default=50.0,
+                    help="allowed runtime_s increase in %% (default 50)")
+    ap.add_argument("--wire-tolerance", type=float, default=5.0,
+                    help="allowed wire-node increase in %% (default 5)")
+    args = ap.parse_args()
+
+    base = by_name(load(args.baseline))
+    cur = by_name(load(args.current))
+
+    regressions = []
+    notes = []
+
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            regressions.append(f"{name}: circuit missing from current run")
+            continue
+
+        def check(metric, tolerance_pct):
+            bv, cv = b.get(metric), c.get(metric)
+            if bv is None or cv is None:
+                return
+            limit = bv * (1.0 + tolerance_pct / 100.0)
+            if cv > limit:
+                regressions.append(
+                    f"{name}: {metric} {bv:g} -> {cv:g} "
+                    f"(+{100.0 * (cv - bv) / bv if bv else 0:.1f}%, "
+                    f"tolerance {tolerance_pct:g}%)")
+            elif cv < bv:
+                notes.append(f"{name}: {metric} improved {bv:g} -> {cv:g}")
+
+        check("channel_width", 0.0)
+        check("wires", args.wire_tolerance)
+        check("luts", 0.0)
+        check("clbs", 0.0)
+        check("config_bits", 0.0)
+        check("runtime_s", args.wall_tolerance)
+        if b.get("verified") and not c.get("verified"):
+            regressions.append(f"{name}: equivalence verification now fails")
+
+    for name in sorted(set(cur) - set(base)):
+        notes.append(f"{name}: new circuit (not in baseline)")
+
+    for n in notes:
+        print(f"note: {n}")
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+
+    if not regressions:
+        print(f"qor_compare: OK ({len(base)} circuits vs {args.baseline})")
+        return 0
+    if args.enforce:
+        print(f"qor_compare: {len(regressions)} regression(s) — failing "
+              "(--enforce)")
+        return 1
+    print(f"qor_compare: {len(regressions)} regression(s) — warn-only mode, "
+          "not failing the build (pass --enforce to gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

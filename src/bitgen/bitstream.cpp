@@ -6,6 +6,8 @@
 #include <set>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace amdrel::bitgen {
@@ -53,6 +55,7 @@ Bitstream generate_bitstream(const pack::PackedNetlist& packed,
                              const arch::ArchSpec& spec) {
   AMDREL_CHECK_MSG(routing.success, "cannot generate bitstream: unrouted");
   AMDREL_CHECK_MSG(spec.k <= 5, "bitstream frame format supports K <= 5");
+  obs::Span span("bitgen.generate");
   const Network& net = packed.network();
   const auto& nodes = graph.nodes();
 
@@ -185,6 +188,18 @@ Bitstream generate_bitstream(const pack::PackedNetlist& packed,
     }
     bs.clbs.push_back(std::move(clb));
   }
+  const std::uint64_t switches = bs.wire_switches.size() +
+                                 bs.opin_switches.size() +
+                                 bs.ipin_switches.size();
+  static obs::Counter& c_switches = obs::counter("bitgen.switches");
+  static obs::Counter& c_bits = obs::counter("bitgen.config_bits");
+  c_switches.add(switches);
+  c_bits.add(static_cast<std::uint64_t>(bs.config_bits()));
+  if (span.active()) {
+    span.metric("switches", static_cast<double>(switches));
+    span.metric("config_bits", static_cast<double>(bs.config_bits()));
+    span.metric("clbs", static_cast<double>(bs.clbs.size()));
+  }
   return bs;
 }
 
@@ -257,6 +272,7 @@ WireRef get_wire(ByteReader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> serialize(const Bitstream& bs) {
+  obs::Span span("bitgen.serialize");
   ByteWriter w;
   w.u32(kMagic);
   w.str(bs.design);
@@ -311,7 +327,13 @@ std::vector<std::uint8_t> serialize(const Bitstream& bs) {
     w.i32(s.y);
     w.i32(s.pin);
   }
-  return w.take();
+  std::vector<std::uint8_t> bytes = w.take();
+  static obs::Counter& c_bytes = obs::counter("bitgen.bytes");
+  c_bytes.add(bytes.size());
+  if (span.active()) {
+    span.metric("bytes", static_cast<double>(bytes.size()));
+  }
+  return bytes;
 }
 
 Bitstream deserialize(const std::vector<std::uint8_t>& bytes) {

@@ -6,9 +6,12 @@
 // DAGGER bitstream, with equivalence verification at each handoff.
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/arch.hpp"
 #include "bitgen/bitstream.hpp"
@@ -42,11 +45,23 @@ inline constexpr int kNumStages = 7;
 /// Short lower-case stage name ("synth", "map", ..., "bitgen").
 const char* stage_name(Stage stage);
 
-/// Wall time and memory footprint of one executed stage.
+/// Wall time, memory footprint and work counters of one executed stage.
 struct StageMetrics {
   bool ran = false;       ///< stage executed to completion
   double wall_s = 0.0;    ///< stage wall-clock time [s]
   long peak_rss_kb = 0;   ///< process peak RSS when the stage finished [kB]
+  /// Metrics-registry counter deltas attributed to this stage (name →
+  /// increment while the stage ran), name-sorted; only counters that
+  /// actually moved are recorded. See obs/metrics.hpp.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  /// Delta for one registry counter (0 when the stage did not bump it).
+  std::uint64_t counter(const std::string& name) const {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  }
 };
 
 struct FlowOptions {

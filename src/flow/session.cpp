@@ -10,6 +10,7 @@
 #include "netlist/blif.hpp"
 #include "netlist/edif.hpp"
 #include "netlist/simulate.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "route/route_files.hpp"
 #include "synth/lutmap.hpp"
@@ -53,6 +54,18 @@ void barrier(const lint::Report& report, const std::string& stage) {
     throw InfeasibleError("invariant check failed after " + stage + ":\n" +
                           report.to_text());
   }
+}
+
+/// Registry counter increments between two snapshots, name-sorted (the
+/// snapshots are name-sorted already); zero deltas are dropped.
+std::vector<std::pair<std::string, std::uint64_t>> counter_deltas(
+    const obs::MetricsSnapshot& before, const obs::MetricsSnapshot& after) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& c : after.counters) {
+    const std::uint64_t d = c.value - before.counter(c.name);
+    if (d > 0) out.emplace_back(c.name, d);
+  }
+  return out;
 }
 
 }  // namespace
@@ -102,8 +115,13 @@ SessionState FlowSession::run_until(Stage last) {
     }
     const Stage stage = static_cast<Stage>(next_);
     StageMetrics& m = result_.stage_metrics[static_cast<std::size_t>(next_)];
-    obs::Span span(kStageSpans[next_]);
+    const obs::MetricsSnapshot before = obs::snapshot_metrics();
+    // The span shares the stage's wall-clock endpoints (t0 and the
+    // freeze_duration(t1) below), so the traced duration equals
+    // StageMetrics::wall_s exactly — sink I/O, the registry snapshot,
+    // and QoR metric folding are excluded from both measurements.
     const auto t0 = Clock::now();
+    obs::Span span(kStageSpans[next_], t0);
     try {
       run_stage(stage);
     } catch (const CancelledError&) {
@@ -124,14 +142,62 @@ SessionState FlowSession::run_until(Stage last) {
       throw Error(stage_context(stage) + e.what());
     }
     m.ran = true;
-    m.wall_s += std::chrono::duration<double>(Clock::now() - t0).count();
+    const auto t1 = Clock::now();
+    m.wall_s += std::chrono::duration<double>(t1 - t0).count();
+    span.freeze_duration(t1);
     m.peak_rss_kb = obs::peak_rss_kb();
+    m.counters = counter_deltas(before, obs::snapshot_metrics());
     span.metric("wall_s", m.wall_s);
     span.metric("peak_rss_kb", static_cast<double>(m.peak_rss_kb));
+    if (span.active()) {
+      for (const auto& [name, value] : m.counters) {
+        // Counter names are registry literals but m.counters owns copies;
+        // result_ outlives the span, so the c_str pointers stay valid.
+        span.metric(name.c_str(), static_cast<double>(value));
+      }
+      add_qor_span_metrics(stage, span);
+    }
     ++next_;
   }
   if (next_ >= kNumStages) state_ = SessionState::kDone;
   return state_;
+}
+
+/// Per-stage quality-of-results metrics on the flow.<stage> span, so a
+/// trace alone (amdrel_cli trace-report) reconstructs the QoR summary
+/// without the FlowResult object.
+void FlowSession::add_qor_span_metrics(Stage stage, obs::Span& span) const {
+  switch (stage) {
+    case Stage::kSynth:
+      span.metric("gates",
+                  static_cast<double>(result_.synthesized.gates().size()));
+      return;
+    case Stage::kMap:
+      span.metric("luts", result_.map_stats.luts);
+      span.metric("depth", result_.map_stats.depth);
+      return;
+    case Stage::kPack:
+      span.metric("clbs",
+                  static_cast<double>(result_.packed->clusters().size()));
+      return;
+    case Stage::kPlace:
+      span.metric("place_cost", result_.place_stats.final_cost);
+      return;
+    case Stage::kRoute:
+      span.metric("channel_width", result_.channel_width);
+      span.metric("wire_nodes", result_.routing.total_wire_nodes);
+      return;
+    case Stage::kPower:
+      span.metric("critical_path_ns", result_.timing.critical_path_s * 1e9);
+      span.metric("power_mw", result_.power.total_w * 1e3);
+      return;
+    case Stage::kBitgen:
+      span.metric("bitstream_bytes",
+                  static_cast<double>(result_.bitstream_bytes.size()));
+      span.metric("config_bits",
+                  static_cast<double>(result_.bitstream.config_bits()));
+      return;
+  }
 }
 
 void FlowSession::run_stage(Stage stage) {
@@ -148,8 +214,10 @@ void FlowSession::run_stage(Stage stage) {
 
 void FlowSession::run_synth() {
   result_.arch = std::make_unique<arch::ArchSpec>(options_.arch);
+  static obs::Counter& c_gates = obs::counter("synth.gates");
   if (!from_vhdl_) {
     result_.synthesized = std::move(entry_network_);
+    c_gates.add(result_.synthesized.gates().size());
     return;
   }
   // Stage 1-2: parse + synthesize (VHDL Parser + DIVINER). DIVINER emits
@@ -163,6 +231,7 @@ void FlowSession::run_synth() {
     check_equiv(synthesized, from_edif, "EDIF round-trip (DRUID/E2FMT)");
   }
   result_.synthesized = std::move(from_edif);
+  c_gates.add(result_.synthesized.gates().size());
 }
 
 void FlowSession::run_map() {

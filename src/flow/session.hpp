@@ -21,6 +21,7 @@
 #include <string>
 
 #include "flow/flow.hpp"
+#include "obs/obs.hpp"
 
 namespace amdrel::flow {
 
@@ -90,6 +91,7 @@ class FlowSession {
   FlowResult take_result() { return std::move(result_); }
 
  private:
+  void add_qor_span_metrics(Stage stage, obs::Span& span) const;
   void run_stage(Stage stage);
   void run_synth();
   void run_map();

@@ -24,6 +24,12 @@ double trace_now_s() {
 
 void reset_epoch() { g_epoch = std::chrono::steady_clock::now(); }
 
+bool detach_sink(Sink* expected) {
+  return g_sink.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+}
+
 }  // namespace detail
 
 void set_sink(Sink* sink) {
@@ -45,9 +51,11 @@ void point(const char* name, std::initializer_list<Metric> metrics) {
   s->on_event(e);
 }
 
-Span::~Span() {
+void Span::finish() {
   if (sink_ == nullptr) return;
-  const auto end = std::chrono::steady_clock::now();
+  const auto end = end_ != std::chrono::steady_clock::time_point{}
+                       ? end_
+                       : std::chrono::steady_clock::now();
   Event e;
   e.kind = Event::Kind::kSpanEnd;
   e.name = name_;
@@ -56,6 +64,7 @@ Span::~Span() {
   e.metrics = metrics_.data();
   e.n_metrics = metrics_.size();
   sink_->on_event(e);
+  sink_ = nullptr;
 }
 
 namespace {
@@ -71,8 +80,8 @@ const char* kind_label(Event::Kind kind) {
 
 }  // namespace
 
-JsonlSink::JsonlSink(const std::string& path)
-    : file_(std::fopen(path.c_str(), "w")) {
+JsonlSink::JsonlSink(const std::string& path, bool flush_each)
+    : file_(std::fopen(path.c_str(), "w")), flush_each_(flush_each) {
   if (file_ == nullptr) throw Error("cannot open trace file: " + path);
 }
 
@@ -96,7 +105,7 @@ void JsonlSink::on_event(const Event& e) {
     std::fprintf(file_, "}");
   }
   std::fprintf(file_, "}\n");
-  std::fflush(file_);
+  if (flush_each_) std::fflush(file_);
 }
 
 TextSink::TextSink(std::FILE* out) : out_(out) {}

@@ -57,6 +57,10 @@ extern std::atomic<Sink*> g_sink;
 /// Seconds since the current sink was attached.
 double trace_now_s();
 double since_attach_s(std::chrono::steady_clock::time_point tp);
+/// Atomically detaches `expected` if it is the installed sink (a
+/// compare-exchange, so a concurrently installed replacement is never
+/// clobbered). Returns true when this call performed the detach.
+bool detach_sink(Sink* expected);
 }  // namespace detail
 
 /// Attaches `sink` (not owned; nullptr detaches). The trace clock restarts
@@ -77,32 +81,81 @@ void point(const char* name, std::initializer_list<Metric> metrics);
 /// RAII span: emits kSpanBegin at construction and kSpanEnd (with the
 /// accumulated metrics and wall duration) at destruction. When no sink is
 /// attached at construction the span is fully inert.
+///
+/// Movable (so helpers can construct and return a span) but not
+/// copyable: the move transfers ownership of the pending end event and
+/// deactivates the source, so exactly one kSpanEnd is emitted per begun
+/// span. Move-assigning over an active span ends it first.
 class Span {
  public:
   explicit Span(const char* name)
+      : Span(name, std::chrono::steady_clock::now()) {}
+
+  /// Starts the span at a caller-supplied instant. For callers that time
+  /// the region themselves (the flow driver measures each stage's wall
+  /// clock independently of tracing), passing the same timestamps to the
+  /// span via this constructor and freeze_duration() makes the reported
+  /// span duration exactly equal the caller's measurement — otherwise
+  /// the begin-event sink I/O sits inside the span's duration.
+  Span(const char* name, std::chrono::steady_clock::time_point start)
       : sink_(detail::g_sink.load(std::memory_order_relaxed)), name_(name) {
     if (sink_ == nullptr) return;
-    start_ = std::chrono::steady_clock::now();
+    start_ = start;
     Event e;
     e.kind = Event::Kind::kSpanBegin;
     e.name = name_;
     e.t_s = detail::since_attach_s(start_);
     sink_->on_event(e);
   }
-  ~Span();
+  ~Span() { finish(); }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept
+      : sink_(other.sink_),
+        name_(other.name_),
+        start_(other.start_),
+        end_(other.end_),
+        metrics_(std::move(other.metrics_)) {
+    other.sink_ = nullptr;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish();
+      sink_ = other.sink_;
+      name_ = other.name_;
+      start_ = other.start_;
+      end_ = other.end_;
+      metrics_ = std::move(other.metrics_);
+      other.sink_ = nullptr;
+    }
+    return *this;
+  }
 
   /// Attaches a metric to the span-end event. No-op when disabled.
   void metric(const char* key, double value) {
     if (sink_ != nullptr) metrics_.push_back(Metric{key, value});
   }
+
+  /// Freezes the span's end instant at `end` (default: now). Metrics may
+  /// still be attached afterwards; the end event emitted at destruction
+  /// reports the frozen duration. Lets a caller that measures the region
+  /// itself exclude post-region work (metric folding, registry snapshots)
+  /// from the reported duration. No-op when disabled or already frozen.
+  void freeze_duration(std::chrono::steady_clock::time_point end =
+                           std::chrono::steady_clock::now()) {
+    if (sink_ != nullptr && end_ == std::chrono::steady_clock::time_point{})
+      end_ = end;
+  }
   bool active() const { return sink_ != nullptr; }
 
  private:
+  /// Emits the pending kSpanEnd (if active) and deactivates the span.
+  void finish();
+
   Sink* sink_;
   const char* name_;
   std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point end_{};
   std::vector<Metric> metrics_;
 };
 
@@ -115,13 +168,22 @@ class Span {
 class JsonlSink : public Sink {
  public:
   /// Opens `path` for writing (truncates). Throws amdrel::Error on failure.
-  explicit JsonlSink(const std::string& path);
+  ///
+  /// `flush_each` trades throughput for durability: when set, every line
+  /// is fflush()ed as it is written, so the trace of a crashed or killed
+  /// run is complete up to the last event (at the cost of one syscall per
+  /// event — noticeable on point-heavy traces like per-temperature anneal
+  /// stats). Default off: events sit in the stdio buffer and a SIGKILL
+  /// can lose the tail, but a normal exit (including after an exception)
+  /// flushes everything in the destructor.
+  explicit JsonlSink(const std::string& path, bool flush_each = false);
   ~JsonlSink() override;
   void on_event(const Event& event) override;
 
  private:
   std::mutex mu_;
   std::FILE* file_;
+  bool flush_each_;
 };
 
 /// Human-readable progress sink: one line per span begin/end and point,
@@ -159,7 +221,13 @@ class ScopedSink {
 
  private:
   void release() {
-    if (sink_ != nullptr && sink() == sink_.get()) set_sink(nullptr);
+    // Detach-if-ours must be one atomic step (compare-exchange, not a
+    // sink()==ours check followed by set_sink(nullptr)): if the global
+    // sink was replaced in between — e.g. by the right-hand side of a
+    // move-assignment installing its own sink first — a check-then-set
+    // would stomp the replacement with nullptr. Either way the old sink
+    // is guaranteed detached before it is destroyed.
+    if (sink_ != nullptr) detail::detach_sink(sink_.get());
     sink_.reset();
   }
   std::unique_ptr<Sink> sink_;

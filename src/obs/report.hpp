@@ -1,0 +1,108 @@
+#pragma once
+// Trace analyzer: the consumer side of the obs event stream. Parses a
+// JSONL trace (the schema JsonlSink writes; DESIGN.md §8) into a span
+// tree and reduces it to
+//
+//  * per-name aggregates — count, total and self wall time (self =
+//    duration minus in-tree children), exact p50/p95 over span
+//    durations, and the sum of every metric key, for spans and points
+//    alike;
+//  * a flow QoR summary — per-stage wall time from the flow.<stage>
+//    spans plus the headline QoR numbers the paper reports (channel
+//    width, routed wire nodes, LUTs, CLBs, config bits, critical path,
+//    power), read from the span metrics FlowSession attaches.
+//
+// Surfaced as `amdrel_cli trace-report <trace.jsonl> [--json]`; the same
+// analysis backs tests that cross-check span durations against the
+// session's own StageMetrics.
+//
+// Concurrency caveat: the JSONL stream carries no thread ids. Spans
+// emitted concurrently (e.g. route.pathfinder inside min-W probe waves)
+// are paired to the nearest open span with the same name, so their
+// parentage — and therefore the *self* time of whatever span they landed
+// under — is approximate in concurrent sections. Totals, counts and
+// quantiles are exact regardless.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amdrel::obs {
+
+/// One parsed trace event (a "begin"/"span" pair becomes one SpanNode).
+struct TraceEvent {
+  enum class Kind { kBegin, kEnd, kPoint };
+  Kind kind = Kind::kPoint;
+  std::string name;
+  double t_s = 0.0;
+  double dur_s = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Parses one JSONL trace line. Returns false (and leaves *out
+/// unspecified) for lines that are not valid trace events — callers skip
+/// those, so a trace truncated by a crash still analyzes.
+bool parse_trace_line(const std::string& line, TraceEvent* out);
+
+/// A completed span with its nested children (tree order = trace order).
+struct SpanNode {
+  std::string name;
+  double t_s = 0.0;
+  double dur_s = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<SpanNode> children;
+};
+
+/// Aggregate over every span/point sharing a name.
+struct NameAggregate {
+  std::string name;
+  bool is_span = false;    ///< false: point events
+  std::uint64_t count = 0;
+  double total_s = 0.0;    ///< sum of span durations (0 for points)
+  double self_s = 0.0;     ///< total minus time inside child spans
+  double p50_s = 0.0;      ///< exact median span duration
+  double p95_s = 0.0;      ///< exact 95th-percentile span duration
+  std::map<std::string, double> metric_sums;
+};
+
+/// Wall time of one flow stage summed across every flow in the trace.
+struct StageWall {
+  std::uint64_t runs = 0;
+  double wall_s = 0.0;
+};
+
+/// Headline QoR record of the traced flows (see class comment).
+struct FlowQorSummary {
+  std::uint64_t flows = 0;  ///< completed flows (= flow.bitgen spans)
+  std::map<std::string, StageWall> stages;  ///< keyed by stage name
+  double total_wall_s = 0.0;                ///< sum over stage walls
+  double channel_width_max = 0.0;
+  double wire_nodes = 0.0;     ///< summed over flows
+  double luts = 0.0;           ///< summed over flows
+  double clbs = 0.0;           ///< summed over flows
+  double config_bits = 0.0;    ///< summed over flows
+  double bitstream_bytes = 0.0;
+  double critical_path_ns_max = 0.0;
+  double power_mw = 0.0;       ///< summed over flows
+};
+
+struct TraceReport {
+  std::uint64_t events = 0;        ///< parsed events
+  std::uint64_t skipped_lines = 0; ///< unparseable lines (crash tails)
+  std::uint64_t unmatched_ends = 0;///< span ends with no open begin
+  double trace_dur_s = 0.0;        ///< max event timestamp (+dur)
+  std::vector<SpanNode> roots;     ///< top-level spans, trace order
+  std::vector<NameAggregate> aggregates;  ///< sorted by total_s desc
+  FlowQorSummary qor;
+
+  std::string to_text() const;
+  std::string to_json() const;  ///< one JSON object (DESIGN.md §8)
+};
+
+/// Analyzes a trace from a stream / a file on disk. The file variant
+/// throws amdrel::Error when the file cannot be opened.
+TraceReport analyze_trace(std::istream& in);
+TraceReport analyze_trace_file(const std::string& path);
+
+}  // namespace amdrel::obs

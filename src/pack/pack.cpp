@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -22,9 +24,24 @@ PackedNetlist::PackedNetlist(const Network& network,
     AMDREL_CHECK_MSG(g.table.n_inputs() <= spec.k,
                      "gate wider than K; run the LUT mapper first: " + g.name);
   }
+  obs::Span span("pack.cluster");
   form_bles();
   pack_clusters();
   validate();
+  static obs::Counter& c_bles = obs::counter("pack.bles");
+  static obs::Counter& c_clusters = obs::counter("pack.clusters");
+  static obs::Counter& c_absorbed = obs::counter("pack.absorbed");
+  static obs::Counter& c_rollbacks = obs::counter("pack.rollbacks");
+  c_bles.add(bles_.size());
+  c_clusters.add(clusters_.size());
+  c_absorbed.add(absorbed_nets_);
+  c_rollbacks.add(rollbacks_);
+  if (span.active()) {
+    span.metric("bles", static_cast<double>(bles_.size()));
+    span.metric("clusters", static_cast<double>(clusters_.size()));
+    span.metric("absorbed", static_cast<double>(absorbed_nets_));
+    span.metric("rollbacks", static_cast<double>(rollbacks_));
+  }
 }
 
 void PackedNetlist::form_bles() {
@@ -114,6 +131,7 @@ void PackedNetlist::pack_clusters() {
     const Ble& b = bles_[static_cast<std::size_t>(bi)];
     if (static_cast<int>(w.members.size()) >= capacity) return false;
     if (b.clock != kNoSignal && w.clock != kNoSignal && b.clock != w.clock) {
+      ++rollbacks_;
       return false;
     }
     // Recompute external inputs with b added.
@@ -123,11 +141,19 @@ void PackedNetlist::pack_clusters() {
       if (w.internal_outputs.count(in) || in == b.output) continue;
       ext.insert(in);
     }
-    return static_cast<int>(ext.size()) <= max_inputs;
+    if (static_cast<int>(ext.size()) > max_inputs) {
+      ++rollbacks_;
+      return false;
+    }
+    return true;
   };
 
   auto add_to = [&](Work& w, int bi) {
     const Ble& b = bles_[static_cast<std::size_t>(bi)];
+    for (SignalId in : b.inputs) {
+      if (w.internal_outputs.count(in)) ++absorbed_nets_;
+    }
+    if (w.external_inputs.count(b.output)) ++absorbed_nets_;
     w.members.push_back(bi);
     w.internal_outputs.insert(b.output);
     w.external_inputs.erase(b.output);

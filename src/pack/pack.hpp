@@ -7,6 +7,7 @@
 // clock per cluster. Attraction = number of shared nets (the classic
 // T-VPack criterion).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,11 @@ class PackedNetlist {
   /// Statistics line for reports.
   std::string stats() const;
 
+  /// Packing-effort tallies (also published to the metrics registry as
+  /// pack.absorbed / pack.rollbacks).
+  std::uint64_t absorbed_nets() const { return absorbed_nets_; }
+  std::uint64_t rollbacks() const { return rollbacks_; }
+
   /// Verifies every cluster obeys N/I/clock constraints and that every
   /// LUT and FF of the network is packed exactly once. Throws on failure.
   void validate() const;
@@ -60,6 +66,8 @@ class PackedNetlist {
   std::vector<Ble> bles_;
   std::vector<Cluster> clusters_;
   std::vector<int> ble_cluster_;
+  std::uint64_t absorbed_nets_ = 0;  ///< nets internalised during growth
+  std::uint64_t rollbacks_ = 0;      ///< candidate adds rejected by can_add
 };
 
 /// Writes the packed netlist in a T-VPack-style .net text format.

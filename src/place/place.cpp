@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -685,6 +686,12 @@ Placement::AnnealStats Placement::anneal(const AnnealOptions& options) {
     span.metric("initial_cost", stats.initial_cost);
     span.metric("final_cost", stats.final_cost);
   }
+  static obs::Counter& c_moves = obs::counter("place.moves");
+  static obs::Counter& c_accepted = obs::counter("place.accepted");
+  static obs::Counter& c_anneals = obs::counter("place.anneals");
+  c_moves.add(static_cast<std::uint64_t>(stats.moves));
+  c_accepted.add(static_cast<std::uint64_t>(stats.accepted));
+  c_anneals.add(1);
   validate();
   return stats;
 }

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "netlist/simulate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "process/tech018.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -48,6 +50,7 @@ PowerReport estimate_power(const pack::PackedNetlist& packed,
                            const arch::ArchSpec& spec,
                            const PowerOptions& options) {
   const auto& net = packed.network();
+  obs::Span span("power.estimate");
   const auto& tech = process::default_tech();
   const double vdd2 = tech.vdd * tech.vdd;
   const double f = options.clock_hz;
@@ -159,6 +162,14 @@ PowerReport estimate_power(const pack::PackedNetlist& packed,
 
   report.total_w = report.logic_w + report.routing_w + report.clock_w +
                    report.short_circuit_w + report.leakage_w;
+  static obs::Counter& c_steps = obs::counter("power.integration_steps");
+  static obs::Counter& c_runs = obs::counter("power.estimates");
+  c_steps.add(static_cast<std::uint64_t>(options.sim_cycles));
+  c_runs.add(1);
+  if (span.active()) {
+    span.metric("integration_steps", options.sim_cycles);
+    span.metric("power_mw", report.total_w * 1e3);
+  }
   return report;
 }
 

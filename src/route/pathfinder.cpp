@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -156,6 +157,10 @@ class PathFinder {
       span.metric("wire_nodes", result.total_wire_nodes);
       span.metric("success", result.success ? 1.0 : 0.0);
     }
+    static obs::Counter& c_iters = obs::counter("route.iterations");
+    static obs::Counter& c_ripups = obs::counter("route.ripups");
+    c_iters.add(static_cast<std::uint64_t>(result.iterations));
+    c_ripups.add(static_cast<std::uint64_t>(ripups_));
     return result;
   }
 
@@ -564,6 +569,8 @@ bool cancelled(const RouteOptions& options) {
 void note_probe(int width, const RouteResult& result, bool oracle,
                 long long* probes) {
   ++*probes;
+  static obs::Counter& c_probes = obs::counter("route.minw_probes");
+  c_probes.add(1);
   if (obs::enabled()) {
     obs::point("route.minw_probe",
                {{"width", static_cast<double>(width)},

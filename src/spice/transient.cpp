@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 
@@ -740,6 +741,14 @@ TransientResult TransientSim::run(const TransientOptions& options) {
     span.metric("solves",
                 static_cast<double>(nr_stats_.solves - at_entry.solves));
   }
+  static obs::Counter& c_steps = obs::counter("spice.nr_steps");
+  static obs::Counter& c_iters = obs::counter("spice.nr_iters");
+  static obs::Counter& c_solves = obs::counter("spice.solves");
+  c_steps.add(static_cast<std::uint64_t>(nr_stats_.steps - at_entry.steps));
+  c_iters.add(
+      static_cast<std::uint64_t>(nr_stats_.nr_iters - at_entry.nr_iters));
+  c_solves.add(
+      static_cast<std::uint64_t>(nr_stats_.solves - at_entry.solves));
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "synth/opt.hpp"
 #include "util/error.hpp"
 
@@ -58,6 +60,8 @@ bool merge_leaves(const std::vector<SignalId>& a,
 Network map_to_luts(const Network& input, const LutMapOptions& options,
                     LutMapStats* stats) {
   AMDREL_CHECK(options.k >= 2 && options.k <= 8);
+  obs::Span span("synth.lutmap");
+  std::uint64_t cut_enums = 0;  // merge attempts, batched into the registry
   // Gates wider than K cannot be covered by one LUT; decompose first.
   bool needs_decompose = false;
   for (const auto& g : input.gates()) {
@@ -140,6 +144,7 @@ Network map_to_luts(const Network& input, const LutMapOptions& options,
         for (const Cut& a : acc) {
           for (const Cut& b :
                cuts[static_cast<std::size_t>(g.inputs[fi])]) {
+            ++cut_enums;
             if (!merge_leaves(a.leaves, b.leaves, options.k, &merged)) {
               continue;
             }
@@ -305,6 +310,15 @@ Network map_to_luts(const Network& input, const LutMapOptions& options,
   if (stats != nullptr) {
     stats->luts = static_cast<int>(out.gates().size());
     stats->depth = max_depth;
+  }
+  static obs::Counter& c_enums = obs::counter("map.cut_enumerations");
+  static obs::Counter& c_luts = obs::counter("map.luts");
+  c_enums.add(cut_enums);
+  c_luts.add(out.gates().size());
+  if (span.active()) {
+    span.metric("cut_enumerations", static_cast<double>(cut_enums));
+    span.metric("luts", static_cast<double>(out.gates().size()));
+    span.metric("depth", max_depth);
   }
   out.validate();
   return out;

@@ -1,7 +1,10 @@
 #include "timing/timing.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace amdrel::timing {
@@ -80,6 +83,8 @@ TimingReport analyze_timing(const pack::PackedNetlist& packed,
                             const route::RouteResult& routing,
                             const arch::ArchSpec& spec) {
   const auto& net = packed.network();
+  obs::Span span("timing.analyze");
+  std::uint64_t arcs = 0;  // input→output edges evaluated, batched below
   auto net_delays = compute_net_delays(graph, placement, routing, spec);
 
   // Map signal → (placement net index) and signal → producing BLE.
@@ -125,6 +130,7 @@ TimingReport analyze_timing(const pack::PackedNetlist& packed,
     double t = 0.0;
     SignalId pred = kNoSignal;
     for (SignalId in : b.inputs) {
+      ++arcs;
       auto it = arrival.find(in);
       double a = (it != arrival.end()) ? it->second : 0.0;
       a += routed_delay(in, to_block);
@@ -163,6 +169,7 @@ TimingReport analyze_timing(const pack::PackedNetlist& packed,
   }
   // Primary outputs.
   for (SignalId po : net.outputs()) {
+    ++arcs;
     auto it = arrival.find(po);
     double a = (it != arrival.end()) ? it->second : 0.0;
     int pad = placement.block_of_pad(po);
@@ -191,6 +198,14 @@ TimingReport analyze_timing(const pack::PackedNetlist& packed,
     cur = it->second;
   }
   std::reverse(report.critical_path.begin(), report.critical_path.end());
+  static obs::Counter& c_arcs = obs::counter("timing.arcs");
+  static obs::Counter& c_runs = obs::counter("timing.analyses");
+  c_arcs.add(arcs);
+  c_runs.add(1);
+  if (span.active()) {
+    span.metric("arcs", static_cast<double>(arcs));
+    span.metric("critical_path_ns", report.critical_path_s * 1e9);
+  }
   return report;
 }
 

@@ -4,6 +4,8 @@
 #include <optional>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "vhdl/parser.hpp"
@@ -1059,10 +1061,19 @@ class Elaborator {
 }  // namespace
 
 Network synthesize(const DesignFile& design, const std::string& top) {
+  obs::Span span("vhdl.synth");
   Network net;
   Elaborator elab(design, net);
   elab.elaborate_top(top);
   net.validate();
+  static obs::Counter& c_gates = obs::counter("vhdl.gates");
+  static obs::Counter& c_latches = obs::counter("vhdl.latches");
+  c_gates.add(net.gates().size());
+  c_latches.add(net.latches().size());
+  if (span.active()) {
+    span.metric("gates", static_cast<double>(net.gates().size()));
+    span.metric("latches", static_cast<double>(net.latches().size()));
+  }
   return net;
 }
 

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bench_gen/bench_gen.hpp"
+#include "flow/session.hpp"
+#include "json_check.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "util/error.hpp"
+
+namespace amdrel {
+namespace {
+
+using testing::json_valid;
+
+TEST(TraceParse, ParsesSpanEndWithMetrics) {
+  obs::TraceEvent e;
+  ASSERT_TRUE(obs::parse_trace_line(
+      R"({"type":"span","name":"flow.route","t":1.5,"dur":0.25,)"
+      R"("metrics":{"channel_width":12,"wire_nodes":340}})",
+      &e));
+  EXPECT_EQ(e.kind, obs::TraceEvent::Kind::kEnd);
+  EXPECT_EQ(e.name, "flow.route");
+  EXPECT_DOUBLE_EQ(e.t_s, 1.5);
+  EXPECT_DOUBLE_EQ(e.dur_s, 0.25);
+  ASSERT_EQ(e.metrics.size(), 2u);
+  EXPECT_EQ(e.metrics[0].first, "channel_width");
+  EXPECT_DOUBLE_EQ(e.metrics[0].second, 12.0);
+}
+
+TEST(TraceParse, ParsesBeginAndPoint) {
+  obs::TraceEvent e;
+  ASSERT_TRUE(obs::parse_trace_line(
+      R"({"type":"begin","name":"place.anneal","t":0.5})", &e));
+  EXPECT_EQ(e.kind, obs::TraceEvent::Kind::kBegin);
+  ASSERT_TRUE(obs::parse_trace_line(
+      R"({"type":"point","name":"route.minw_probe","t":2})", &e));
+  EXPECT_EQ(e.kind, obs::TraceEvent::Kind::kPoint);
+  EXPECT_EQ(e.name, "route.minw_probe");
+}
+
+TEST(TraceParse, RejectsGarbageAndTruncation) {
+  obs::TraceEvent e;
+  EXPECT_FALSE(obs::parse_trace_line("", &e));
+  EXPECT_FALSE(obs::parse_trace_line("not json", &e));
+  EXPECT_FALSE(obs::parse_trace_line(R"({"type":"span","name":"x)", &e));
+  EXPECT_FALSE(obs::parse_trace_line(R"({"type":"wat","name":"x","t":0})",
+                                     &e));
+  EXPECT_FALSE(obs::parse_trace_line(R"({"name":"x","t":0})", &e));  // no type
+  EXPECT_FALSE(obs::parse_trace_line(
+      R"({"type":"span","name":"x","t":0 "dur":1})", &e));  // missing comma
+}
+
+/// Builds a two-level trace and checks tree shape, aggregates, self time.
+TEST(TraceAnalyze, BuildsSpanTreeWithSelfTimes) {
+  std::istringstream in(
+      R"({"type":"begin","name":"outer","t":0}
+{"type":"begin","name":"inner","t":1}
+{"type":"span","name":"inner","t":1,"dur":2}
+{"type":"point","name":"tick","t":2,"metrics":{"n":3}}
+{"type":"span","name":"outer","t":0,"dur":10}
+)");
+  const obs::TraceReport r = obs::analyze_trace(in);
+  EXPECT_EQ(r.events, 5u);
+  EXPECT_EQ(r.skipped_lines, 0u);
+  EXPECT_EQ(r.unmatched_ends, 0u);
+  ASSERT_EQ(r.roots.size(), 1u);
+  EXPECT_EQ(r.roots[0].name, "outer");
+  ASSERT_EQ(r.roots[0].children.size(), 1u);
+  EXPECT_EQ(r.roots[0].children[0].name, "inner");
+
+  const obs::NameAggregate* outer = nullptr;
+  const obs::NameAggregate* inner = nullptr;
+  const obs::NameAggregate* tick = nullptr;
+  for (const auto& a : r.aggregates) {
+    if (a.name == "outer") outer = &a;
+    if (a.name == "inner") inner = &a;
+    if (a.name == "tick") tick = &a;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(tick, nullptr);
+  EXPECT_DOUBLE_EQ(outer->total_s, 10.0);
+  EXPECT_DOUBLE_EQ(outer->self_s, 8.0);  // 10 minus the nested 2
+  EXPECT_DOUBLE_EQ(inner->total_s, 2.0);
+  EXPECT_DOUBLE_EQ(inner->self_s, 2.0);
+  EXPECT_FALSE(tick->is_span);
+  EXPECT_EQ(tick->count, 1u);
+  EXPECT_DOUBLE_EQ(tick->metric_sums.at("n"), 3.0);
+  // Aggregates come sorted by total time, so "outer" leads.
+  EXPECT_EQ(r.aggregates.front().name, "outer");
+}
+
+TEST(TraceAnalyze, ToleratesCrashTruncatedTraces) {
+  // The trace ends mid-flow: "outer" never closes and the last line is
+  // torn. Completed children must still be reported.
+  std::istringstream in(
+      R"({"type":"begin","name":"outer","t":0}
+{"type":"begin","name":"inner","t":1}
+{"type":"span","name":"inner","t":1,"dur":2}
+{"type":"begin","name":"torn","t":3}
+{"type":"span","name":"torn","t":3,"du)");
+  const obs::TraceReport r = obs::analyze_trace(in);
+  EXPECT_EQ(r.skipped_lines, 1u);  // the torn final line
+  // inner completed under the never-closed outer and got promoted.
+  ASSERT_EQ(r.roots.size(), 1u);
+  EXPECT_EQ(r.roots[0].name, "inner");
+}
+
+TEST(TraceAnalyze, CountsUnmatchedEnds) {
+  std::istringstream in(
+      R"({"type":"span","name":"orphan","t":1,"dur":1}
+)");
+  const obs::TraceReport r = obs::analyze_trace(in);
+  EXPECT_EQ(r.unmatched_ends, 1u);
+  EXPECT_TRUE(r.roots.empty());
+}
+
+TEST(TraceAnalyze, PairsConcurrentSameNameSpansNearestFirst) {
+  // Two interleaved "probe" spans (no thread ids in the stream): each end
+  // closes the nearest open span with that name, so both complete.
+  std::istringstream in(
+      R"({"type":"begin","name":"probe","t":0}
+{"type":"begin","name":"probe","t":1}
+{"type":"span","name":"probe","t":1,"dur":1}
+{"type":"span","name":"probe","t":0,"dur":3}
+)");
+  const obs::TraceReport r = obs::analyze_trace(in);
+  EXPECT_EQ(r.unmatched_ends, 0u);
+  const obs::NameAggregate& a = r.aggregates.front();
+  EXPECT_EQ(a.name, "probe");
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_DOUBLE_EQ(a.total_s, 4.0);
+}
+
+TEST(TraceAnalyze, ExtractsFlowQorFromStageSpans) {
+  std::istringstream in(
+      R"({"type":"begin","name":"flow.route","t":0}
+{"type":"span","name":"flow.route","t":0,"dur":2,"metrics":{"channel_width":12,"wire_nodes":340}}
+{"type":"begin","name":"flow.power","t":2}
+{"type":"span","name":"flow.power","t":2,"dur":1,"metrics":{"critical_path_ns":8.5,"power_mw":1.25}}
+{"type":"begin","name":"flow.bitgen","t":3}
+{"type":"span","name":"flow.bitgen","t":3,"dur":1,"metrics":{"bitstream_bytes":2184,"config_bits":920}}
+)");
+  const obs::TraceReport r = obs::analyze_trace(in);
+  EXPECT_EQ(r.qor.flows, 1u);
+  EXPECT_DOUBLE_EQ(r.qor.channel_width_max, 12.0);
+  EXPECT_DOUBLE_EQ(r.qor.wire_nodes, 340.0);
+  EXPECT_DOUBLE_EQ(r.qor.critical_path_ns_max, 8.5);
+  EXPECT_DOUBLE_EQ(r.qor.power_mw, 1.25);
+  EXPECT_DOUBLE_EQ(r.qor.bitstream_bytes, 2184.0);
+  EXPECT_DOUBLE_EQ(r.qor.config_bits, 920.0);
+  EXPECT_DOUBLE_EQ(r.qor.total_wall_s, 4.0);
+  EXPECT_EQ(r.qor.stages.at("route").runs, 1u);
+  EXPECT_DOUBLE_EQ(r.qor.stages.at("route").wall_s, 2.0);
+}
+
+TEST(TraceAnalyze, TextAndJsonRendering) {
+  std::istringstream in(
+      R"({"type":"begin","name":"flow.bitgen","t":0}
+{"type":"span","name":"flow.bitgen","t":0,"dur":1,"metrics":{"bitstream_bytes":10}}
+)");
+  const obs::TraceReport r = obs::analyze_trace(in);
+  const std::string text = r.to_text();
+  EXPECT_NE(text.find("flow.bitgen"), std::string::npos);
+  EXPECT_NE(text.find("flow QoR summary"), std::string::npos);
+  const std::string json = r.to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"flow_qor\""), std::string::npos);
+}
+
+TEST(TraceAnalyze, FileVariantThrowsOnMissingFile) {
+  EXPECT_THROW(obs::analyze_trace_file("/nonexistent-dir/trace.jsonl"),
+               Error);
+}
+
+/// End-to-end cross-check: trace a real flow and verify the analyzer's
+/// per-stage wall times agree with the session's own StageMetrics. The
+/// session pins the span to the same clock readings it uses for wall_s
+/// (Span's explicit-start constructor plus freeze_duration), so the two
+/// agree to JSONL print precision (%.9g) even on a loaded machine.
+TEST(TraceAnalyze, StageWallsMatchSessionStageMetrics) {
+  bench_gen::BenchSpec spec;
+  spec.n_gates = 120;
+  spec.n_latches = 8;
+  spec.seed = 78;
+  const auto net = bench_gen::generate(spec);
+  flow::FlowOptions opt;
+  opt.verify_each_stage = false;
+
+  const std::string path = ::testing::TempDir() + "/report_cross.jsonl";
+  flow::FlowResult result;
+  {
+    obs::ScopedSink guard(std::make_unique<obs::JsonlSink>(path));
+    flow::FlowSession session(net, opt);
+    session.resume();
+    result = session.take_result();
+  }
+  const obs::TraceReport r = obs::analyze_trace_file(path);
+  EXPECT_EQ(r.qor.flows, 1u);
+  for (int s = 0; s < flow::kNumStages; ++s) {
+    const auto stage = static_cast<flow::Stage>(s);
+    const flow::StageMetrics& m = result.metrics(stage);
+    ASSERT_TRUE(m.ran);
+    auto it = r.qor.stages.find(flow::stage_name(stage));
+    ASSERT_NE(it, r.qor.stages.end()) << flow::stage_name(stage);
+    EXPECT_EQ(it->second.runs, 1u);
+    const double diff = std::abs(it->second.wall_s - m.wall_s);
+    EXPECT_LE(diff, std::max(1e-6 * m.wall_s, 1e-9))
+        << flow::stage_name(stage) << ": span " << it->second.wall_s
+        << "s vs StageMetrics " << m.wall_s << "s";
+  }
+  // The QoR summary reproduces the flow result's headline numbers.
+  EXPECT_DOUBLE_EQ(r.qor.channel_width_max, result.channel_width);
+  EXPECT_DOUBLE_EQ(r.qor.luts, result.map_stats.luts);
+  EXPECT_DOUBLE_EQ(
+      r.qor.clbs, static_cast<double>(result.packed->clusters().size()));
+  EXPECT_DOUBLE_EQ(r.qor.bitstream_bytes,
+                   static_cast<double>(result.bitstream_bytes.size()));
+  std::remove(path.c_str());
+}
+
+/// Each flow stage attributes at least one registry counter delta.
+TEST(StageCounters, EveryStageRecordsCounterDeltas) {
+  bench_gen::BenchSpec spec;
+  spec.n_gates = 120;
+  spec.n_latches = 8;
+  spec.seed = 78;
+  const auto net = bench_gen::generate(spec);
+  flow::FlowOptions opt;
+  opt.verify_each_stage = false;
+  flow::FlowSession session(net, opt);
+  session.resume();
+  const flow::FlowResult& result = session.result();
+
+  EXPECT_GE(result.metrics(flow::Stage::kSynth).counter("synth.gates"), 1u);
+  EXPECT_GE(result.metrics(flow::Stage::kMap).counter("map.cut_enumerations"),
+            1u);
+  EXPECT_GE(result.metrics(flow::Stage::kMap).counter("map.luts"), 1u);
+  EXPECT_GE(result.metrics(flow::Stage::kPack).counter("pack.bles"), 1u);
+  EXPECT_GE(result.metrics(flow::Stage::kPack).counter("pack.clusters"), 1u);
+  EXPECT_GE(result.metrics(flow::Stage::kPlace).counter("place.moves"), 1u);
+  EXPECT_GE(result.metrics(flow::Stage::kRoute).counter("route.iterations"),
+            1u);
+  EXPECT_GE(
+      result.metrics(flow::Stage::kPower).counter("power.integration_steps"),
+      1u);
+  EXPECT_GE(result.metrics(flow::Stage::kPower).counter("timing.arcs"), 1u);
+  EXPECT_GE(result.metrics(flow::Stage::kBitgen).counter("bitgen.bytes"), 1u);
+  // Deltas are attributed to the stage that did the work, not smeared:
+  // the pack stage runs no placement moves.
+  EXPECT_EQ(result.metrics(flow::Stage::kPack).counter("place.moves"), 0u);
+}
+
+}  // namespace
+}  // namespace amdrel

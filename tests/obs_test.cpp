@@ -5,6 +5,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "json_check.hpp"
@@ -167,6 +169,169 @@ TEST(Obs, TextSinkIndentsByDepth) {
 
 TEST(Obs, PeakRssIsReported) {
   EXPECT_GT(obs::peak_rss_kb(), 0);
+}
+
+TEST(Obs, SpanMoveConstructTransfersTheEndEvent) {
+  CaptureSink sink;
+  obs::set_sink(&sink);
+  {
+    obs::Span a("test.moved");
+    a.metric("m", 7.0);
+    obs::Span b(std::move(a));
+    EXPECT_FALSE(a.active());  // moved-from span is inert
+    EXPECT_TRUE(b.active());
+    // a's destructor runs at scope exit too — it must emit nothing.
+  }
+  obs::set_sink(nullptr);
+  ASSERT_EQ(sink.events.size(), 2u);  // one begin, ONE end
+  EXPECT_EQ(sink.events[1].kind, obs::Event::Kind::kSpanEnd);
+  EXPECT_EQ(sink.events[1].name, "test.moved");
+  ASSERT_EQ(sink.events[1].metrics.size(), 1u);
+  EXPECT_EQ(sink.events[1].metrics[0].first, "m");
+}
+
+TEST(Obs, SpanMoveAssignFinishesTheOverwrittenSpan) {
+  CaptureSink sink;
+  obs::set_sink(&sink);
+  {
+    obs::Span a("test.first");
+    obs::Span b("test.second");
+    a = std::move(b);  // "first" must end here, before "second" takes over
+    EXPECT_FALSE(b.active());
+    ASSERT_EQ(sink.events.size(), 3u);
+    EXPECT_EQ(sink.events[2].kind, obs::Event::Kind::kSpanEnd);
+    EXPECT_EQ(sink.events[2].name, "test.first");
+  }
+  obs::set_sink(nullptr);
+  ASSERT_EQ(sink.events.size(), 4u);
+  EXPECT_EQ(sink.events[3].name, "test.second");
+}
+
+TEST(Obs, SpanSelfMoveAssignIsANoOp) {
+  CaptureSink sink;
+  obs::set_sink(&sink);
+  {
+    obs::Span a("test.self");
+    obs::Span& alias = a;
+    a = std::move(alias);
+    EXPECT_TRUE(a.active());
+  }
+  obs::set_sink(nullptr);
+  ASSERT_EQ(sink.events.size(), 2u);  // begin + end exactly once
+}
+
+// Regression test for the ScopedSink move-assignment hazard: the RHS
+// guard installs its sink first (construction), then the assignment
+// destroys the LHS guard's state. The LHS release() must not clobber the
+// just-installed replacement — detach-if-ours has to be one atomic
+// compare-exchange, not a sink()==ours check followed by set_sink(null).
+TEST(Obs, ScopedSinkMoveAssignKeepsTheReplacementInstalled) {
+  obs::ScopedSink guard(std::make_unique<CaptureSink>());
+  ASSERT_TRUE(obs::enabled());
+  guard = obs::ScopedSink(std::make_unique<CaptureSink>());
+  // The replacement sink (installed by the RHS temporary before the old
+  // guard was torn down) must still be attached.
+  EXPECT_TRUE(obs::enabled());
+  obs::Sink* replacement = obs::sink();
+  ASSERT_NE(replacement, nullptr);
+  { obs::Span span("test.on-replacement"); }
+  EXPECT_EQ(static_cast<CaptureSink*>(replacement)->events.size(), 2u);
+  guard = obs::ScopedSink();  // empty guard assignment detaches cleanly
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(Obs, ScopedSinkReleaseLeavesAForeignSinkAlone) {
+  CaptureSink foreign;
+  {
+    obs::ScopedSink guard(std::make_unique<CaptureSink>());
+    // Someone replaces the global sink while the guard is alive; the
+    // guard's destructor must not detach the foreign sink.
+    obs::set_sink(&foreign);
+  }
+  EXPECT_EQ(obs::sink(), &foreign);
+  obs::set_sink(nullptr);
+}
+
+TEST(Obs, JsonlSinkFlushEachWritesLinesImmediately) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_test_flush.jsonl";
+  obs::JsonlSink sink(path, /*flush_each=*/true);
+  obs::set_sink(&sink);
+  obs::point("test.durable", {{"v", 1.0}});
+  obs::set_sink(nullptr);
+  // With flush-after-every-line the event is on disk while the sink is
+  // still open — that is the crash-durability contract of the flag.
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(json_valid(line)) << line;
+  EXPECT_EQ(json_field(line, "name").value_or(""), "test.durable");
+  std::remove(path.c_str());
+}
+
+TEST(Obs, TextSinkConcurrentSpansStayLineAtomicAndDepthNonNegative) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_test_text_mt.txt";
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 25;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    obs::TextSink sink(f);
+    obs::set_sink(&sink);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([] {
+        for (int i = 0; i < kRepeats; ++i) {
+          obs::Span outer("mt.outer");
+          obs::Span inner("mt.inner");
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    obs::set_sink(nullptr);
+    std::fclose(f);
+  }
+  std::ifstream in(path);
+  int lines = 0;
+  for (std::string line; std::getline(in, line); ++lines) {
+    // Line-atomic output: every line is one complete event record, even
+    // under concurrent writers (the sink serializes under its mutex).
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line[0], '[') << line;
+    EXPECT_TRUE(line.find("> mt.") != std::string::npos ||
+                line.find("< mt.") != std::string::npos)
+        << line;
+    // Interleaved begin/end from other threads may shrink the shared
+    // depth, but it must never underflow into garbage indentation: the
+    // event marker appears within the plausible indent range.
+    const std::size_t marker = line.find_first_of("><", 11);
+    ASSERT_NE(marker, std::string::npos) << line;
+    // "[%8.3fs] " is 12 columns; depth can reach 2 spans × kThreads.
+    EXPECT_LE(marker, 12u + 2u * 2u * kThreads) << line;
+  }
+  EXPECT_EQ(lines, kThreads * kRepeats * 4);  // begin+end × outer+inner
+  std::remove(path.c_str());
+}
+
+TEST(Obs, SpanWithSuppliedTimestampsReportsExactDuration) {
+  CaptureSink sink;
+  obs::set_sink(&sink);
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    obs::Span span("test.pinned", t0);
+    const auto t1 = t0 + std::chrono::milliseconds(250);
+    span.freeze_duration(t1);
+    // Metrics attached after the freeze still land on the end event, and
+    // a second freeze is ignored.
+    span.metric("after_freeze", 1.0);
+    span.freeze_duration(t1 + std::chrono::seconds(5));
+  }
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.events[1].dur_s, 0.25);
+  ASSERT_EQ(sink.events[1].metrics.size(), 1u);
+  EXPECT_EQ(sink.events[1].metrics[0].first, "after_freeze");
+  obs::set_sink(nullptr);
 }
 
 }  // namespace
