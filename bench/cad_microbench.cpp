@@ -84,7 +84,7 @@ BENCHMARK(BM_Route)->Arg(300)->Unit(benchmark::kMillisecond);
 void BM_BitstreamCodec(benchmark::State& state) {
   auto mapped = make_mapped(250, 16);
   flow::FlowOptions options;
-  options.verify_each_stage = false;
+  options.verify_mode = flow::VerifyMode::kOff;
   auto r = flow::run_flow_from_network(mapped, options);
   for (auto _ : state) {
     auto bytes = bitgen::serialize(r.bitstream);

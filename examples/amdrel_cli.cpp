@@ -3,6 +3,7 @@
 // matching the paper's "modularity" requirement §4.1.iii).
 //
 //   amdrel_cli flow      <design.vhd|design.blif> <top> [outdir]
+//                        [--verify off|random|formal|both]
 //   amdrel_cli synth     <design.vhd> <top>         # VHDL → EDIF on stdout
 //   amdrel_cli e2fmt     <design.edif>              # EDIF → BLIF on stdout
 //   amdrel_cli map       <design.blif> [K]          # BLIF → K-LUT BLIF
@@ -12,6 +13,9 @@
 //   amdrel_cli power     <mapped.blif>              # PowerModel report
 //   amdrel_cli dagger    <mapped.blif> <out.bit>    # bitstream file
 //   amdrel_cli lint      <design> [top] [--json]    # netlist lint report
+//   amdrel_cli lint      <design A> <design B>      # equivalence lint (EQ0xx)
+//   amdrel_cli verify    <design A> <design B> [--json] [--seed N]
+//                        [--mode random|formal|both] [--time-limit S]
 //   amdrel_cli trace-report <trace.jsonl> [--json]  # analyze an obs trace
 //
 // Global flags (any command, removed from argv before dispatch):
@@ -19,21 +23,32 @@
 //   --progress      human-readable trace spans on stderr while running
 //   --metrics FILE  write the metrics-registry snapshot (JSON) on exit
 //
+// Designs load by extension: .vhd/.vhdl (synthesized), .edif, .bit
+// (deserialized + fabric-decoded) and BLIF otherwise — so `verify` can
+// prove e.g. a source BLIF against its programmed bitstream directly.
+//
 // `lint` exits 0 when the design is clean (or has only warnings/notes)
 // and 1 when any error-severity diagnostic fires; --json emits the
-// machine-readable report.
+// machine-readable report. `verify` exits 0 when the designs are proven
+// equivalent, 1 on a proven mismatch and 4 when the result is
+// inconclusive within the solver budget.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <sstream>
+#include <vector>
 
+#include "bitgen/bitstream.hpp"
 #include "flow/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "lint/equiv_rules.hpp"
 #include "lint/netlist_rules.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/edif.hpp"
@@ -55,19 +70,36 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
+std::vector<std::uint8_t> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open: " + path);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
 netlist::Network load_design(const std::string& path, const std::string& top) {
   if (ends_with(path, ".vhd") || ends_with(path, ".vhdl")) {
     return vhdl::synthesize_vhdl(read_file(path), top, path);
   }
   if (ends_with(path, ".edif")) return netlist::read_edif_file(path);
+  if (ends_with(path, ".bit")) {
+    return bitgen::decode_to_network(bitgen::deserialize(read_binary_file(path)));
+  }
   return netlist::read_blif_file(path);
+}
+
+/// True when `arg` names a loadable design (pair-mode detection for lint).
+bool looks_like_design(const std::string& arg) {
+  return ends_with(arg, ".vhd") || ends_with(arg, ".vhdl") ||
+         ends_with(arg, ".edif") || ends_with(arg, ".bit") ||
+         ends_with(arg, ".blif");
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: amdrel_cli "
                "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger|lint|"
-               "trace-report} "
+               "verify|trace-report} "
                "args... [--trace FILE] [--progress] [--metrics FILE]\n"
                "see the header of examples/amdrel_cli.cpp\n");
   return 2;
@@ -129,9 +161,19 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "flow") {
-      if (argc < 4) return usage();
       flow::FlowOptions options;
       options.search_min_channel_width = true;
+      // Pull --verify MODE out before the positional arguments.
+      int out = 2;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--verify") == 0 && i + 1 < argc) {
+          options.verify_mode = flow::parse_verify_mode(argv[++i]);
+        } else {
+          argv[out++] = argv[i];
+        }
+      }
+      argc = out;
+      if (argc < 4) return usage();
       if (argc > 4) options.artifact_dir = argv[4];
       auto net = load_design(argv[2], argv[3]);
       flow::FlowSession session(net, options);
@@ -187,18 +229,67 @@ int main(int argc, char** argv) {
       if (argc < 3) return usage();
       bool json = false;
       std::string top = "top";
+      std::string other;  // second design ⇒ equivalence lint
       for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) json = true;
+        else if (looks_like_design(argv[i])) other = argv[i];
         else top = argv[i];
       }
       auto net = load_design(argv[2], top);
       lint::Report report;
-      report.set_stage("netlist");
-      lint::lint_network(net, &report);
+      if (other.empty()) {
+        report.set_stage("netlist");
+        lint::lint_network(net, &report);
+      } else {
+        auto net_b = load_design(other, top);
+        report.set_stage("equiv");
+        lint::EquivCheckOptions options;
+        lint::check_equivalence_pair(net, net_b, options, &report);
+      }
       std::printf("%s", json ? report.to_json().c_str()
                              : report.to_text().c_str());
       if (json) std::printf("\n");
       return report.has_errors() ? 1 : 0;
+    }
+    if (cmd == "verify") {
+      if (argc < 4) return usage();
+      bool json = false;
+      lint::EquivCheckOptions options;
+      options.run_random = false;
+      for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+          json = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+          options.formal.seed = std::stoull(argv[++i]);
+        } else if (std::strcmp(argv[i], "--time-limit") == 0 && i + 1 < argc) {
+          options.formal.time_limit_s = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+          const flow::VerifyMode mode = flow::parse_verify_mode(argv[++i]);
+          options.run_random = mode == flow::VerifyMode::kRandom ||
+                               mode == flow::VerifyMode::kBoth;
+          options.run_formal = mode == flow::VerifyMode::kFormal ||
+                               mode == flow::VerifyMode::kBoth;
+          if (mode == flow::VerifyMode::kOff) return usage();
+        } else {
+          return usage();
+        }
+      }
+      auto net_a = load_design(argv[2], "top");
+      auto net_b = load_design(argv[3], "top");
+      lint::Report report;
+      report.set_stage("equiv");
+      const verify::EquivResult result =
+          lint::check_equivalence_pair(net_a, net_b, options, &report);
+      std::printf("%s", json ? result.to_json().c_str()
+                             : result.to_text().c_str());
+      if (json) std::printf("\n");
+      else if (!report.empty()) std::printf("%s", report.to_text().c_str());
+      switch (result.status) {
+        case verify::EquivStatus::kEquivalent: return 0;
+        case verify::EquivStatus::kNotEquivalent: return 1;
+        case verify::EquivStatus::kUnknown: return 4;
+      }
+      return 4;
     }
     if (cmd == "trace-report") {
       if (argc < 3) return usage();
@@ -217,7 +308,7 @@ int main(int argc, char** argv) {
       auto net = netlist::read_blif_file(argv[2]);
       flow::FlowOptions options;
       options.search_min_channel_width = true;
-      options.verify_each_stage = false;
+      options.verify_mode = flow::VerifyMode::kOff;
       flow::FlowSession session(net, options);
       // `power` needs nothing past the power/timing stage; the other two
       // report on (or write) the programming file.

@@ -32,7 +32,7 @@ int main() {
         flow::FlowOptions options;
         options.arch.k = k;
         options.arch.n = n;
-        options.verify_each_stage = false;
+        options.verify_mode = flow::VerifyMode::kOff;
         options.search_min_channel_width = true;
         auto r = flow::run_flow_from_network(net, options);
         table.add_row({std::to_string(k), std::to_string(n),

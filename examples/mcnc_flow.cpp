@@ -24,7 +24,7 @@ int main() {
     try {
       auto net = bench_gen::generate(spec);
       flow::FlowOptions options;
-      options.verify_each_stage = false;  // speed; covered by tests
+      options.verify_mode = flow::VerifyMode::kOff;  // speed; covered by tests
       options.search_min_channel_width = true;
       auto r = flow::run_flow_from_network(net, options);
       table.add_row(

@@ -46,7 +46,7 @@ end rtl;
 
 int main(int argc, char** argv) {
   amdrel::flow::FlowOptions options;
-  options.verify_each_stage = true;
+  options.verify_mode = amdrel::flow::VerifyMode::kBoth;  // random + formal proof
   options.search_min_channel_width = true;
   if (argc > 1) options.artifact_dir = argv[1];
 

@@ -79,7 +79,7 @@ int main() {
   std::printf("traffic-light FSM on the AMDREL FPGA\n\n");
 
   flow::FlowOptions options;
-  options.verify_each_stage = true;
+  options.verify_mode = flow::VerifyMode::kBoth;  // random vectors + formal proof
   auto result = flow::run_flow_from_vhdl(kTrafficVhdl, "traffic", options);
   std::printf("%s\n", result.report().c_str());
 

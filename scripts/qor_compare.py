@@ -21,7 +21,9 @@ Regression policy, per circuit:
   * runtime_s       — > --wall-tolerance % (default 50; wall clock on
                       shared CI runners is noisy) counts as a regression;
   * verified        — a circuit that was equivalence-verified in the
-                      baseline must stay verified.
+                      baseline must stay verified;
+  * formally_verified — a circuit whose seven stage hand-offs were
+                      SAT-proven in the baseline must stay proven.
 Improvements and new circuits are reported but never fail.
 
 Exit status: 0 when clean; 0 with warnings by default ("warn-only first
@@ -91,6 +93,9 @@ def main():
         check("runtime_s", args.wall_tolerance)
         if b.get("verified") and not c.get("verified"):
             regressions.append(f"{name}: equivalence verification now fails")
+        if b.get("formally_verified") and not c.get("formally_verified"):
+            regressions.append(
+                f"{name}: formal hand-off verification now fails")
 
     for name in sorted(set(cur) - set(base)):
         notes.append(f"{name}: new circuit (not in baseline)")

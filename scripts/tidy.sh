@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# clang-tidy wrapper: runs the repo's .clang-tidy profile over the
+# sources, with warnings-as-errors on a conservative bugprone subset
+# (the checks clean today); the rest of the profile reports but does
+# not fail. Skips gracefully (exit 0) when clang-tidy is not installed,
+# so local builds in minimal containers are not blocked; CI installs
+# clang-tidy and gets the real pass.
+#
+#   scripts/tidy.sh [build-dir]   # build dir must hold compile_commands.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy: clang-tidy not found; skipping (install it for the real pass)"
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "tidy: $build_dir/compile_commands.json missing; configure with" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+# Enforced subset: each of these flags a genuine bug pattern with
+# near-zero false positives on this codebase. Grow it as more of the
+# .clang-tidy profile is verified clean.
+errors="bugprone-use-after-move,bugprone-dangling-handle,\
+bugprone-string-constructor,bugprone-undefined-memory-manipulation,\
+bugprone-unused-raii,bugprone-copy-constructor-init,\
+bugprone-incorrect-roundings"
+
+mapfile -t sources < <(git ls-files 'src/*.cpp' 'examples/*.cpp')
+echo "tidy: checking ${#sources[@]} files (.clang-tidy profile," \
+     "errors on: $errors)"
+clang-tidy -p "$build_dir" --quiet --warnings-as-errors="$errors" \
+  "${sources[@]}"
+echo "tidy: clean"

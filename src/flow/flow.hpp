@@ -64,10 +64,30 @@ struct StageMetrics {
   }
 };
 
+/// How stage hand-offs are equivalence-verified (FlowOptions::verify_mode).
+enum class VerifyMode : int {
+  kOff = 0,  ///< no equivalence checking
+  kRandom,   ///< random-vector simulation at the legacy check points
+  kFormal,   ///< SAT-based proof of all seven hand-offs (src/verify)
+  kBoth,     ///< random vectors plus the formal proof
+};
+/// Lower-case mode name ("off", "random", "formal", "both").
+const char* verify_mode_name(VerifyMode mode);
+/// Parses a verify mode name; throws Error on anything else.
+VerifyMode parse_verify_mode(const std::string& name);
+
 struct FlowOptions {
   arch::ArchSpec arch;
   std::uint64_t seed = 1;
-  bool verify_each_stage = true;   ///< random-vector equivalence checks
+  /// Equivalence verification at stage hand-offs. kRandom (the default)
+  /// runs the fast random-vector checks at the legacy points (EDIF
+  /// round-trip, LUT mapping, bitstream decode). kFormal / kBoth prove
+  /// every hand-off — synth round-trip, mapping, packing, placement,
+  /// routing (via an in-memory fabric decode), power-analysis inputs and
+  /// the final bitstream — with the SAT-based checker in src/verify.
+  VerifyMode verify_mode = VerifyMode::kRandom;
+  std::uint64_t verify_seed = 1;      ///< seeds random vectors + SAT sweeps
+  double verify_time_limit_s = 60.0;  ///< formal wall budget per hand-off
   /// Run the lint/invariant barriers after every stage (netlist lint on
   /// the mapped design, RR-graph lint, post-pack/place/route/bitgen
   /// checks). Error-severity findings abort the flow with an

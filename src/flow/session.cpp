@@ -17,6 +17,7 @@
 #include "synth/opt.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "verify/equiv.hpp"
 #include "vhdl/synth.hpp"
 
 namespace amdrel::flow {
@@ -40,11 +41,11 @@ void write_artifact(const std::string& dir, const std::string& name,
   out << content;
 }
 
-void check_equiv(const netlist::Network& a, const netlist::Network& b,
-                 const std::string& stage) {
-  auto r = netlist::check_equivalence(a, b, 4, 48);
-  AMDREL_CHECK_MSG(r.equivalent,
-                   "equivalence lost at stage '" + stage + "': " + r.message);
+bool wants_random(VerifyMode mode) {
+  return mode == VerifyMode::kRandom || mode == VerifyMode::kBoth;
+}
+bool wants_formal(VerifyMode mode) {
+  return mode == VerifyMode::kFormal || mode == VerifyMode::kBoth;
 }
 
 /// Invariant barrier: error-severity findings stop the flow right at the
@@ -72,6 +73,78 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_deltas(
 
 const char* stage_name(Stage stage) {
   return kStageNames[static_cast<int>(stage)];
+}
+
+const char* verify_mode_name(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff: return "off";
+    case VerifyMode::kRandom: return "random";
+    case VerifyMode::kFormal: return "formal";
+    case VerifyMode::kBoth: return "both";
+  }
+  return "?";
+}
+
+VerifyMode parse_verify_mode(const std::string& name) {
+  if (name == "off") return VerifyMode::kOff;
+  if (name == "random") return VerifyMode::kRandom;
+  if (name == "formal") return VerifyMode::kFormal;
+  if (name == "both") return VerifyMode::kBoth;
+  throw Error("unknown verify mode '" + name +
+              "' (expected off, random, formal or both)");
+}
+
+void FlowSession::verify_handoff(const std::string& handoff,
+                                 const netlist::Network& ref,
+                                 const netlist::Network& impl,
+                                 bool legacy_random_point) {
+  const VerifyMode mode = options_.verify_mode;
+  if (wants_random(mode) &&
+      (legacy_random_point || mode == VerifyMode::kBoth)) {
+    static obs::Counter& c_random = obs::counter("verify.random_checks");
+    auto r = netlist::check_equivalence(ref, impl, 4, 48,
+                                        options_.verify_seed);
+    c_random.add(1);
+    AMDREL_CHECK_MSG(r.equivalent, "equivalence lost at stage '" + handoff +
+                                       "': " + r.message);
+  }
+  if (!wants_formal(mode)) return;
+  static obs::Counter& c_formal = obs::counter("verify.formal_checks");
+  static obs::Counter& c_vars = obs::counter("verify.sat_vars");
+  static obs::Counter& c_clauses = obs::counter("verify.sat_clauses");
+  static obs::Counter& c_conflicts = obs::counter("verify.sat_conflicts");
+  static obs::Counter& c_decisions = obs::counter("verify.sat_decisions");
+  static obs::Counter& c_props = obs::counter("verify.sat_propagations");
+  static obs::Counter& c_us = obs::counter("verify.sat_us");
+  obs::Span span("verify.formal");
+  verify::EquivOptions eopt;
+  eopt.seed = options_.verify_seed;
+  eopt.time_limit_s = options_.verify_time_limit_s;
+  const verify::EquivResult res = verify::prove_equivalence(ref, impl, eopt);
+  c_formal.add(1);
+  c_vars.add(static_cast<std::uint64_t>(res.stats.vars));
+  c_clauses.add(static_cast<std::uint64_t>(res.stats.clauses));
+  c_conflicts.add(res.stats.conflicts);
+  c_decisions.add(res.stats.decisions);
+  c_props.add(res.stats.propagations);
+  c_us.add(static_cast<std::uint64_t>(res.stats.wall_s * 1e6));
+  if (span.active()) {
+    span.metric("sat_vars", static_cast<double>(res.stats.vars));
+    span.metric("sat_clauses", static_cast<double>(res.stats.clauses));
+    span.metric("sat_conflicts", static_cast<double>(res.stats.conflicts));
+    span.metric("proved_outputs", static_cast<double>(res.proved_outputs));
+    span.metric("merged_points", static_cast<double>(res.merged_points));
+  }
+  if (res.status == verify::EquivStatus::kNotEquivalent) {
+    std::string msg = "formal equivalence lost at stage '" + handoff +
+                      "': " + res.message;
+    if (res.cex.has_value()) msg += "\n" + res.cex->to_text();
+    throw InfeasibleError(msg);
+  }
+  if (res.status == verify::EquivStatus::kUnknown) {
+    throw Error("formal equivalence inconclusive at stage '" + handoff +
+                "': " + res.message);
+  }
 }
 
 FlowSession::FlowSession(const netlist::Network& network,
@@ -217,6 +290,15 @@ void FlowSession::run_synth() {
   static obs::Counter& c_gates = obs::counter("synth.gates");
   if (!from_vhdl_) {
     result_.synthesized = std::move(entry_network_);
+    if (wants_formal(options_.verify_mode)) {
+      // Network entry has no EDIF round-trip; prove the BLIF writer/parser
+      // pair instead so the synth hand-off is still covered. The artifact
+      // itself stays the entry network.
+      const netlist::Network round_trip = netlist::read_blif_string(
+          netlist::write_blif_string(result_.synthesized));
+      verify_handoff("BLIF round-trip (E2FMT)", result_.synthesized,
+                     round_trip, /*legacy_random_point=*/false);
+    }
     c_gates.add(result_.synthesized.gates().size());
     return;
   }
@@ -227,9 +309,8 @@ void FlowSession::run_synth() {
   std::string edif = netlist::write_edif_string(synthesized);
   write_artifact(options_.artifact_dir, top_ + ".edif", edif);
   netlist::Network from_edif = netlist::read_edif_string(edif);
-  if (options_.verify_each_stage) {
-    check_equiv(synthesized, from_edif, "EDIF round-trip (DRUID/E2FMT)");
-  }
+  verify_handoff("EDIF round-trip (DRUID/E2FMT)", synthesized, from_edif,
+                 /*legacy_random_point=*/true);
   result_.synthesized = std::move(from_edif);
   c_gates.add(result_.synthesized.gates().size());
 }
@@ -242,9 +323,8 @@ void FlowSession::run_map() {
   synth::sweep_dead_logic(opt);
   result_.mapped = std::make_unique<netlist::Network>(synth::map_to_luts(
       opt, synth::LutMapOptions{aspec.k, 8}, &result_.map_stats));
-  if (options_.verify_each_stage) {
-    check_equiv(network, *result_.mapped, "LUT mapping (SIS)");
-  }
+  verify_handoff("LUT mapping (SIS)", network, *result_.mapped,
+                 /*legacy_random_point=*/true);
   if (options_.check_invariants) {
     result_.lint.set_stage("mapping");
     lint::lint_network(*result_.mapped, &result_.lint);
@@ -263,6 +343,11 @@ void FlowSession::run_pack() {
     result_.lint.set_stage("pack");
     lint::check_post_pack(*result_.packed, &result_.lint);
     barrier(result_.lint, "packing");
+  }
+  if (wants_formal(options_.verify_mode)) {
+    verify_handoff("packing (T-VPack)", *result_.mapped,
+                   pack::reconstruct_network(*result_.packed),
+                   /*legacy_random_point=*/false);
   }
   write_artifact(options_.artifact_dir, result_.synthesized.name() + ".net",
                  pack::write_net_string(*result_.packed));
@@ -283,6 +368,11 @@ void FlowSession::run_place() {
     result_.lint.set_stage("place");
     lint::check_post_place(*result_.placement, &result_.lint);
     barrier(result_.lint, "placement");
+  }
+  if (wants_formal(options_.verify_mode)) {
+    verify_handoff("placement (VPR)", *result_.mapped,
+                   place::reconstruct_network(*result_.placement),
+                   /*legacy_random_point=*/false);
   }
 }
 
@@ -327,6 +417,17 @@ void FlowSession::run_route() {
                  route::write_route_string(*result_.rr_graph,
                                            *result_.placement,
                                            result_.routing));
+  if (wants_formal(options_.verify_mode)) {
+    // The routed design has no netlist form of its own; interpret it
+    // through the fabric (an in-memory bitstream decode) so a swapped or
+    // misattributed route shows up as a functional difference.
+    const bitgen::Bitstream bits = bitgen::generate_bitstream(
+        *result_.packed, *result_.placement, *result_.rr_graph,
+        result_.routing, aspec);
+    verify_handoff("routing (VPR)", *result_.mapped,
+                   bitgen::decode_to_network(bits),
+                   /*legacy_random_point=*/false);
+  }
 }
 
 void FlowSession::run_power() {
@@ -339,6 +440,14 @@ void FlowSession::run_power() {
   result_.timing =
       timing::analyze_timing(*result_.packed, *result_.placement,
                              *result_.rr_graph, result_.routing, aspec);
+  if (wants_formal(options_.verify_mode)) {
+    // Power/timing consume the packed structure; prove it transitively
+    // against the original synthesized design (end-to-end across synth +
+    // map + pack), so the analyses demonstrably model the entry netlist.
+    verify_handoff("power analysis inputs (PowerModel)", result_.synthesized,
+                   pack::reconstruct_network(*result_.packed),
+                   /*legacy_random_point=*/false);
+  }
 }
 
 void FlowSession::run_bitgen() {
@@ -361,13 +470,15 @@ void FlowSession::run_bitgen() {
                             &result_.lint);
     barrier(result_.lint, "bitstream generation");
   }
-  if (options_.verify_each_stage) {
-    // The strongest check in the flow: interpret the bitstream back into a
-    // netlist and prove sequential equivalence with the mapped design.
+  if (options_.verify_mode != VerifyMode::kOff) {
+    // The strongest check in the flow: interpret the serialized bitstream
+    // back into a netlist and prove sequential equivalence with the
+    // mapped design.
     bitgen::Bitstream reparsed =
         bitgen::deserialize(result_.bitstream_bytes);
     netlist::Network fabric = bitgen::decode_to_network(reparsed);
-    check_equiv(*result_.mapped, fabric, "bitstream (DAGGER)");
+    verify_handoff("bitstream (DAGGER)", *result_.mapped, fabric,
+                   /*legacy_random_point=*/true);
   }
 }
 

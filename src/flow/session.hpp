@@ -43,7 +43,7 @@ class FlowSession {
 
   /// VHDL entry point: stage kSynth parses + synthesizes (DIVINER) and
   /// round-trips through EDIF (DRUID/E2FMT), with the usual equivalence
-  /// check when options.verify_each_stage is set.
+  /// check when options.verify_mode is not kOff.
   FlowSession(std::string vhdl_source, std::string top,
               const FlowOptions& options = {});
 
@@ -92,6 +92,18 @@ class FlowSession {
 
  private:
   void add_qor_span_metrics(Stage stage, obs::Span& span) const;
+  /// Equivalence barrier between a reference network and a stage's result,
+  /// honoring options_.verify_mode. `legacy_random_point` marks the three
+  /// historical random-vector check sites (EDIF round-trip, LUT mapping,
+  /// bitstream decode), which are the only ones kRandom runs; the formal
+  /// modes verify every call site. Throws InfeasibleError on a proven
+  /// mismatch (with the counterexample) and Error when the formal proof
+  /// is inconclusive within budget. SAT effort lands on the registry's
+  /// verify.* counters, so it folds into the stage's StageMetrics.
+  void verify_handoff(const std::string& handoff,
+                      const netlist::Network& ref,
+                      const netlist::Network& impl,
+                      bool legacy_random_point);
   void run_stage(Stage stage);
   void run_synth();
   void run_map();

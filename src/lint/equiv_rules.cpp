@@ -1,0 +1,86 @@
+#include "lint/equiv_rules.hpp"
+
+#include <string>
+#include <utility>
+
+#include "netlist/simulate.hpp"
+
+namespace amdrel::lint {
+
+namespace {
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// The checker's one-line verdicts are stable API (tests match on them);
+/// route each failure class to its EQ rule.
+void report_formal(const verify::EquivResult& result, Report* report) {
+  switch (result.status) {
+    case verify::EquivStatus::kEquivalent:
+      return;
+    case verify::EquivStatus::kNotEquivalent: {
+      if (contains(result.message, "name sets differ")) {
+        report->add(rules::kEqInterface, "", result.message);
+        return;
+      }
+      std::string object;
+      std::string message = result.message;
+      if (result.cex.has_value()) {
+        object = result.cex->diverging_output;
+        message += "\n" + result.cex->to_text();
+      }
+      report->add(rules::kEqMiterSat, std::move(object), std::move(message));
+      return;
+    }
+    case verify::EquivStatus::kUnknown:
+      if (contains(result.message, "register")) {
+        report->add(rules::kEqRegisterMatch, "", result.message);
+      } else {
+        report->add(rules::kEqInconclusive, "", result.message);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+verify::EquivResult check_equivalence_pair(const netlist::Network& a,
+                                           const netlist::Network& b,
+                                           const EquivCheckOptions& options,
+                                           Report* report) {
+  bool random_diverged = false;
+  std::string random_message;
+  if (options.run_random) {
+    const netlist::EquivalenceResult r = netlist::check_equivalence(
+        a, b, options.random_runs, options.random_cycles,
+        options.formal.seed);
+    if (!r.equivalent) {
+      random_diverged = true;
+      random_message = r.message;
+      report->add(rules::kEqRandomMismatch, "", r.message);
+    }
+  }
+
+  if (options.run_formal) {
+    verify::EquivResult result = verify::prove_equivalence(a, b,
+                                                           options.formal);
+    report_formal(result, report);
+    return result;
+  }
+
+  // Random-only mode: synthesize a result so callers see one shape.
+  verify::EquivResult result;
+  if (random_diverged) {
+    result.status = verify::EquivStatus::kNotEquivalent;
+    result.message = std::move(random_message);
+  } else {
+    result.status = verify::EquivStatus::kUnknown;
+    result.message = options.run_random
+                         ? "random vectors agree (no formal proof attempted)"
+                         : "no check requested";
+  }
+  return result;
+}
+
+}  // namespace amdrel::lint

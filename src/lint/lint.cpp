@@ -70,6 +70,17 @@ const std::vector<RuleInfo>& rule_registry() {
        "bitstream does not decode back to the routed configuration"},
       {rules::kBitgenMalformed, Severity::kError, "flow",
        "bitstream fails to deserialize or is internally inconsistent"},
+      // formal equivalence
+      {rules::kEqMiterSat, Severity::kError, "equiv",
+       "formal miter satisfiable: designs provably differ"},
+      {rules::kEqInconclusive, Severity::kWarning, "equiv",
+       "equivalence proof inconclusive within the solver budget"},
+      {rules::kEqInterface, Severity::kError, "equiv",
+       "primary input/output interfaces do not match"},
+      {rules::kEqRegisterMatch, Severity::kError, "equiv",
+       "registers cannot be matched across the two designs"},
+      {rules::kEqRandomMismatch, Severity::kError, "equiv",
+       "random simulation vectors produce diverging outputs"},
   };
   return kRegistry;
 }

@@ -51,13 +51,19 @@ inline constexpr const char* kRouteDisconnected = "FL302";
 inline constexpr const char* kRouteBadEdge = "FL303";
 inline constexpr const char* kBitgenRoundtrip = "FL401";
 inline constexpr const char* kBitgenMalformed = "FL402";
+// --- formal equivalence family (EQ0xx) ---
+inline constexpr const char* kEqMiterSat = "EQ001";
+inline constexpr const char* kEqInconclusive = "EQ002";
+inline constexpr const char* kEqInterface = "EQ003";
+inline constexpr const char* kEqRegisterMatch = "EQ004";
+inline constexpr const char* kEqRandomMismatch = "EQ005";
 }  // namespace rules
 
 /// One registered rule: identity, default severity, one-line summary.
 struct RuleInfo {
   const char* id;
   Severity severity;
-  const char* family;   ///< "netlist" | "rr-graph" | "flow"
+  const char* family;   ///< "netlist" | "rr-graph" | "flow" | "equiv"
   const char* summary;
 };
 

@@ -338,4 +338,45 @@ std::string write_net_string(const PackedNetlist& packed) {
   return out.str();
 }
 
+netlist::Network reconstruct_network(const PackedNetlist& packed) {
+  const netlist::Network& src = packed.network();
+  netlist::Network out(src.name());
+  const auto sig = [&](SignalId s) {
+    return out.get_or_add_signal(src.signal_name(s));
+  };
+  for (const SignalId s : src.inputs()) out.add_input(sig(s));
+  for (const Cluster& cluster : packed.clusters()) {
+    for (const int bi : cluster.bles) {
+      const Ble& ble = packed.bles()[static_cast<std::size_t>(bi)];
+      if (ble.lut_gate >= 0) {
+        const netlist::Gate& g =
+            src.gates()[static_cast<std::size_t>(ble.lut_gate)];
+        AMDREL_CHECK_MSG(ble.inputs.size() == g.inputs.size(),
+                         "BLE input arity disagrees with its LUT");
+        std::vector<SignalId> inputs;
+        inputs.reserve(ble.inputs.size());
+        for (const SignalId s : ble.inputs) inputs.push_back(sig(s));
+        // A latched BLE's external output is the FF Q; the LUT then
+        // drives the FF's D signal internally.
+        const SignalId lut_out =
+            ble.latch >= 0
+                ? src.latches()[static_cast<std::size_t>(ble.latch)].d
+                : ble.output;
+        out.add_gate(g.name, g.table, std::move(inputs), sig(lut_out));
+      }
+      if (ble.latch >= 0) {
+        const netlist::Latch& l =
+            src.latches()[static_cast<std::size_t>(ble.latch)];
+        const SignalId d = ble.lut_gate >= 0 ? l.d : ble.inputs.at(0);
+        out.add_latch(l.name, sig(d), sig(ble.output),
+                      ble.clock == kNoSignal ? kNoSignal : sig(ble.clock),
+                      l.init);
+      }
+    }
+  }
+  for (const SignalId s : src.outputs()) out.add_output(sig(s));
+  out.validate();
+  return out;
+}
+
 }  // namespace amdrel::pack

@@ -74,4 +74,11 @@ class PackedNetlist {
 void write_net_file(const PackedNetlist& packed, std::ostream& out);
 std::string write_net_string(const PackedNetlist& packed);
 
+/// Rebuilds a Network from the packed cluster/BLE structure alone (BLE
+/// input/output/clock signals; LUT truth tables looked up by gate index).
+/// Signal names are preserved, so the result can be checked for
+/// equivalence against the mapped network — a lost FF, a dropped BLE or a
+/// miswired BLE input shows up as non-equivalence.
+netlist::Network reconstruct_network(const PackedNetlist& packed);
+
 }  // namespace amdrel::pack

@@ -715,4 +715,75 @@ void Placement::validate() const {
   }
 }
 
+netlist::Network reconstruct_network(const Placement& placement) {
+  const pack::PackedNetlist& packed = placement.packed();
+  const netlist::Network& src = packed.network();
+  netlist::Network out(src.name());
+  const auto sig = [&](SignalId s) {
+    return out.get_or_add_signal(src.signal_name(s));
+  };
+  // Global clocks are not placed as pads; re-add them as inputs first so
+  // the PI set matches the source network.
+  std::set<SignalId> clocks;
+  for (const auto& l : src.latches()) {
+    if (l.clock != kNoSignal) clocks.insert(l.clock);
+  }
+  for (const SignalId s : src.inputs()) {
+    if (clocks.count(s) != 0) out.add_input(sig(s));
+  }
+  std::set<int> placed_clusters;
+  std::set<SignalId> output_pads;
+  for (const Block& block : placement.blocks()) {
+    switch (block.kind) {
+      case BlockKind::kInputPad:
+        out.add_input(sig(block.signal));
+        break;
+      case BlockKind::kOutputPad:
+        output_pads.insert(block.signal);  // emitted in source order below
+        break;
+      case BlockKind::kClb: {
+        AMDREL_CHECK_MSG(placed_clusters.insert(block.index).second,
+                         "cluster placed twice");
+        const pack::Cluster& cluster =
+            packed.clusters()[static_cast<std::size_t>(block.index)];
+        for (const int bi : cluster.bles) {
+          const pack::Ble& ble =
+              packed.bles()[static_cast<std::size_t>(bi)];
+          if (ble.lut_gate >= 0) {
+            const netlist::Gate& g =
+                src.gates()[static_cast<std::size_t>(ble.lut_gate)];
+            std::vector<SignalId> inputs;
+            inputs.reserve(ble.inputs.size());
+            for (const SignalId s : ble.inputs) inputs.push_back(sig(s));
+            const SignalId lut_out =
+                ble.latch >= 0
+                    ? src.latches()[static_cast<std::size_t>(ble.latch)].d
+                    : ble.output;
+            out.add_gate(g.name, g.table, std::move(inputs), sig(lut_out));
+          }
+          if (ble.latch >= 0) {
+            const netlist::Latch& l =
+                src.latches()[static_cast<std::size_t>(ble.latch)];
+            const SignalId d = ble.lut_gate >= 0 ? l.d : ble.inputs.at(0);
+            out.add_latch(l.name, sig(d), sig(ble.output),
+                          ble.clock == kNoSignal ? kNoSignal
+                                                 : sig(ble.clock),
+                          l.init);
+          }
+        }
+        break;
+      }
+    }
+  }
+  AMDREL_CHECK_MSG(placed_clusters.size() == packed.clusters().size(),
+                   "placement lost a cluster");
+  for (const SignalId s : src.outputs()) {
+    AMDREL_CHECK_MSG(output_pads.count(s) != 0 || clocks.count(s) != 0,
+                     "placement lost an output pad");
+    out.add_output(sig(s));
+  }
+  out.validate();
+  return out;
+}
+
 }  // namespace amdrel::place

@@ -121,4 +121,11 @@ class Placement {
   std::vector<std::vector<BlockNet>> block_nets_;
 };
 
+/// Rebuilds a Network from the placement's block list: logic from each
+/// placed CLB's BLEs, primary inputs/outputs from the placed IO pads
+/// (plus the unplaced global clock inputs). A cluster or pad lost or
+/// duplicated by placement shows up as a validation or equivalence
+/// failure against the mapped network.
+netlist::Network reconstruct_network(const Placement& placement);
+
 }  // namespace amdrel::place

@@ -1,0 +1,78 @@
+#include "verify/cnf.hpp"
+
+#include "util/error.hpp"
+
+namespace amdrel::verify {
+
+namespace {
+
+using netlist::Gate;
+using netlist::Network;
+using netlist::SignalId;
+using netlist::TruthTable;
+
+Var var_for(SignalVars* vars, Solver* solver, SignalId s) {
+  Var& v = vars->var[static_cast<std::size_t>(s)];
+  if (v < 0) v = solver->new_var();
+  return v;
+}
+
+/// One clause per row of the (support-restricted) table: "inputs == row
+/// implies output == table(row)", written as a disjunction.
+int encode_gate(const Gate& gate, Solver* solver, SignalVars* vars) {
+  // Restrict to the support so unused LUT pins do not double the rows.
+  TruthTable table = gate.table;
+  std::vector<Var> inputs;
+  inputs.reserve(gate.inputs.size());
+  for (int i = 0; i < static_cast<int>(gate.inputs.size()); ++i) {
+    if (gate.table.depends_on(i)) {
+      inputs.push_back(var_for(vars, solver, gate.inputs[i]));
+    }
+  }
+  for (int i = static_cast<int>(gate.inputs.size()) - 1; i >= 0; --i) {
+    if (!gate.table.depends_on(i)) table = table.cofactor(i, false);
+  }
+  AMDREL_CHECK(static_cast<std::size_t>(table.n_inputs()) == inputs.size());
+
+  const Var out = var_for(vars, solver, gate.output);
+  int added = 0;
+  std::vector<Lit> clause;
+  for (std::uint64_t row = 0; row < table.n_rows(); ++row) {
+    clause.clear();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      // Literal satisfied when input i differs from its value in `row`.
+      clause.push_back(mk_lit(inputs[i], (row >> i) & 1));
+    }
+    clause.push_back(mk_lit(out, !table.get(row)));
+    solver->add_clause(clause);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace
+
+void resize_signal_vars(const Network& net, SignalVars* vars) {
+  vars->var.assign(static_cast<std::size_t>(net.num_signals()), -1);
+}
+
+int encode_network(const Network& net, Solver* solver, SignalVars* vars) {
+  AMDREL_CHECK(vars->var.size() ==
+               static_cast<std::size_t>(net.num_signals()));
+  // Leaves first, so unbound PIs / latch outputs get stable variables.
+  for (const SignalId s : net.inputs()) var_for(vars, solver, s);
+  for (const auto& latch : net.latches()) var_for(vars, solver, latch.q);
+  int clauses = 0;
+  for (const int gi : net.topo_order()) {
+    clauses += encode_gate(net.gates()[static_cast<std::size_t>(gi)], solver,
+                           vars);
+  }
+  return clauses;
+}
+
+void add_equal(Solver* solver, Var a, Var b, bool complement) {
+  solver->add_clause({mk_lit(a, false), mk_lit(b, !complement)});
+  solver->add_clause({mk_lit(a, true), mk_lit(b, complement)});
+}
+
+}  // namespace amdrel::verify

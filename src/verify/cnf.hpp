@@ -1,0 +1,44 @@
+#pragma once
+// Tseitin encoding of netlist::Network combinational logic into CNF.
+//
+// Every signal of the network gets a solver variable; each gate
+// contributes one clause per row of its support-restricted truth table
+// (inputs the function does not depend on are cofactored away first, so a
+// K-LUT wired with unused pins costs 2^support rows, not 2^K). Cone
+// leaves — primary inputs and latch Q outputs — can be pre-bound to
+// existing variables, which is how the equivalence checker shares PI and
+// cut-point variables between the two sides of a miter.
+
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "verify/solver.hpp"
+
+namespace amdrel::verify {
+
+/// SignalId → solver variable map for one encoded network (-1 = none).
+struct SignalVars {
+  std::vector<Var> var;
+
+  Var of(netlist::SignalId s) const {
+    return var[static_cast<std::size_t>(s)];
+  }
+  /// Pre-binds `s` to an existing solver variable (before encoding).
+  void bind(netlist::SignalId s, Var v) {
+    var[static_cast<std::size_t>(s)] = v;
+  }
+};
+
+/// Encodes all gates of `net` into `solver`. `vars` must be sized by
+/// resize_for(); leaves without a pre-bound variable get fresh ones.
+/// Returns the number of clauses added.
+int encode_network(const netlist::Network& net, Solver* solver,
+                   SignalVars* vars);
+
+/// Sizes (or clears) `vars` for `net`.
+void resize_signal_vars(const netlist::Network& net, SignalVars* vars);
+
+/// Adds clauses asserting a == b (or a == !b when `complement`).
+void add_equal(Solver* solver, Var a, Var b, bool complement = false);
+
+}  // namespace amdrel::verify

@@ -1,0 +1,879 @@
+#include "verify/equiv.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "netlist/simulate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "verify/cnf.hpp"
+
+namespace amdrel::verify {
+
+namespace {
+
+using netlist::Latch;
+using netlist::LatchInit;
+using netlist::Network;
+using netlist::SignalId;
+using Clock = std::chrono::steady_clock;
+
+const char* kNextStatePrefix = "next-state(";
+
+bool init_bit(LatchInit init) { return init == LatchInit::kOne; }
+
+std::set<std::string> names_of(const Network& n,
+                               const std::vector<SignalId>& sigs) {
+  std::set<std::string> out;
+  for (const SignalId s : sigs) out.insert(n.signal_name(s));
+  return out;
+}
+
+/// Combinational evaluation of `net` from explicit leaf values (primary
+/// inputs and latch Q signals); absent leaves default to 0. Returns the
+/// full value vector indexed by SignalId.
+std::vector<char> eval_combinational(
+    const Network& net, const std::unordered_map<SignalId, bool>& leaves) {
+  std::vector<char> values(static_cast<std::size_t>(net.num_signals()), 0);
+  for (const auto& [s, v] : leaves) {
+    values[static_cast<std::size_t>(s)] = v ? 1 : 0;
+  }
+  for (const int gi : net.topo_order()) {
+    const auto& g = net.gates()[static_cast<std::size_t>(gi)];
+    std::uint64_t row = 0;
+    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+      if (values[static_cast<std::size_t>(g.inputs[i])]) row |= 1ull << i;
+    }
+    values[static_cast<std::size_t>(g.output)] = g.table.get(row) ? 1 : 0;
+  }
+  return values;
+}
+
+/// Per-signal depth (0 at PIs / latch outputs, 1 + max(inputs) at gates).
+std::vector<int> signal_depths(const Network& net) {
+  std::vector<int> depth(static_cast<std::size_t>(net.num_signals()), 0);
+  for (const int gi : net.topo_order()) {
+    const auto& g = net.gates()[static_cast<std::size_t>(gi)];
+    int d = 0;
+    for (const SignalId in : g.inputs) {
+      d = std::max(d, depth[static_cast<std::size_t>(in)]);
+    }
+    depth[static_cast<std::size_t>(g.output)] = d + 1;
+  }
+  return depth;
+}
+
+/// 64-bit-parallel evaluation of all signals from per-leaf pattern words.
+void simulate_words(const Network& net,
+                    const std::vector<std::uint64_t>& leaf_words,
+                    std::vector<std::uint64_t>* words) {
+  *words = leaf_words;
+  for (const int gi : net.topo_order()) {
+    const auto& g = net.gates()[static_cast<std::size_t>(gi)];
+    std::uint64_t out = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+      std::uint64_t row = 0;
+      for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+        row |= ((words->at(static_cast<std::size_t>(g.inputs[i])) >> bit) &
+                1ull)
+               << i;
+      }
+      if (g.table.get(row)) out |= 1ull << bit;
+    }
+    (*words)[static_cast<std::size_t>(g.output)] = out;
+  }
+}
+
+/// The name-sorted PI list shared by both networks (the interface check
+/// has already passed).
+std::vector<std::string> sorted_input_names(const Network& a) {
+  const auto set = names_of(a, a.inputs());
+  return {set.begin(), set.end()};
+}
+
+/// Sorted PI names in the transitive fanin of `root` — the matching
+/// tiebreak signature for latches whose state signatures stay identical.
+std::vector<std::string> cone_input_names(const Network& net, SignalId root) {
+  std::vector<std::string> out;
+  std::vector<char> visited(static_cast<std::size_t>(net.num_signals()), 0);
+  std::vector<SignalId> stack{root};
+  while (!stack.empty()) {
+    const SignalId s = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<std::size_t>(s)]) continue;
+    visited[static_cast<std::size_t>(s)] = 1;
+    if (net.is_input(s)) {
+      out.push_back(net.signal_name(s));
+      continue;
+    }
+    const int gi = net.driver_gate(s);
+    if (gi >= 0) {
+      for (const SignalId in :
+           net.gates()[static_cast<std::size_t>(gi)].inputs) {
+        stack.push_back(in);
+      }
+    }
+    // Latch outputs are cut points: stop there.
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct LatchMatch {
+  /// Uniquely determined pairs: (latch index in A, latch index in B).
+  std::vector<std::pair<int, int>> pairs;
+  /// Ambiguous signature buckets: the A latches could map to any
+  /// permutation of the B latches (B pre-ordered by D-cone tiebreak so
+  /// the identity assignment is the best guess).
+  std::vector<std::pair<std::vector<int>, std::vector<int>>> groups;
+  bool failed = false;
+  std::string message;
+  /// Set when lock-step simulation already distinguished an output.
+  std::optional<Counterexample> sim_divergence;
+};
+
+/// Matches registers across the two networks by lock-step random
+/// simulation signatures (doubling the cycle count while buckets stay
+/// ambiguous), then by D-cone input support, then arbitrarily (flagged).
+LatchMatch match_latches(const Network& a, const Network& b,
+                         const EquivOptions& options) {
+  LatchMatch match;
+  if (a.latches().size() != b.latches().size()) {
+    match.failed = true;
+    match.message = strprintf("register counts differ (%zu vs %zu)",
+                              a.latches().size(), b.latches().size());
+    return match;
+  }
+  if (a.latches().empty()) return match;
+
+  const std::vector<std::string> input_names = sorted_input_names(a);
+  const int n_latches = static_cast<int>(a.latches().size());
+
+  // Fast path: register output names survive every flow stage except
+  // fabric decode, and an identical Q-name set pins the bijection exactly.
+  {
+    std::map<std::string, int> q_of_b;
+    for (int i = 0; i < n_latches; ++i) {
+      q_of_b[b.signal_name(b.latches()[static_cast<std::size_t>(i)].q)] = i;
+    }
+    bool all_named = static_cast<int>(q_of_b.size()) == n_latches;
+    for (int i = 0; all_named && i < n_latches; ++i) {
+      const auto it = q_of_b.find(
+          a.signal_name(a.latches()[static_cast<std::size_t>(i)].q));
+      if (it == q_of_b.end()) {
+        all_named = false;
+      } else {
+        match.pairs.emplace_back(i, it->second);
+      }
+    }
+    if (all_named) return match;
+    match.pairs.clear();
+  }
+
+  using Signature = std::vector<std::uint64_t>;
+  std::vector<Signature> sig_a(static_cast<std::size_t>(n_latches));
+  std::vector<Signature> sig_b(static_cast<std::size_t>(n_latches));
+
+  int cycles = options.signature_cycles;
+  for (int attempt = 0; attempt < 4; ++attempt, cycles *= 2) {
+    for (auto& s : sig_a) s.assign(static_cast<std::size_t>(cycles + 63) / 64, 0);
+    for (auto& s : sig_b) s.assign(static_cast<std::size_t>(cycles + 63) / 64, 0);
+    netlist::Simulator sim_a(a), sim_b(b);
+    Rng rng(options.seed + static_cast<std::uint64_t>(attempt));
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      for (int i = 0; i < n_latches; ++i) {
+        if (sim_a.value(a.latches()[static_cast<std::size_t>(i)].q)) {
+          sig_a[static_cast<std::size_t>(i)][static_cast<std::size_t>(cycle / 64)] |=
+              1ull << (cycle % 64);
+        }
+        if (sim_b.value(b.latches()[static_cast<std::size_t>(i)].q)) {
+          sig_b[static_cast<std::size_t>(i)][static_cast<std::size_t>(cycle / 64)] |=
+              1ull << (cycle % 64);
+        }
+      }
+      std::vector<std::pair<std::string, bool>> cycle_inputs;
+      for (const auto& name : input_names) {
+        const bool v = rng.next_bool();
+        cycle_inputs.emplace_back(name, v);
+        sim_a.set_input_by_name(name, v);
+        sim_b.set_input_by_name(name, v);
+      }
+      sim_a.propagate();
+      sim_b.propagate();
+      for (const SignalId out : a.outputs()) {
+        const std::string& name = a.signal_name(out);
+        const bool va = sim_a.value(out);
+        const bool vb = sim_b.value(b.find_signal(name));
+        if (va != vb) {
+          Counterexample cex;
+          cex.inputs = std::move(cycle_inputs);
+          for (const auto& latch : a.latches()) {
+            cex.registers.emplace_back(latch.name, sim_a.value(latch.q));
+          }
+          cex.diverging_output = name;
+          cex.value_a = va;
+          cex.value_b = vb;
+          match.sim_divergence = std::move(cex);
+          match.failed = true;
+          match.message = strprintf(
+              "output '%s' differs in lock-step simulation at cycle %d",
+              name.c_str(), cycle);
+          return match;
+        }
+      }
+      sim_a.step_clock();
+      sim_b.step_clock();
+    }
+
+    // Bucket by signature and match.
+    std::map<Signature, std::vector<int>> buckets_a, buckets_b;
+    for (int i = 0; i < n_latches; ++i) {
+      buckets_a[sig_a[static_cast<std::size_t>(i)]].push_back(i);
+      buckets_b[sig_b[static_cast<std::size_t>(i)]].push_back(i);
+    }
+    bool mismatch = false, ambiguous = false;
+    for (const auto& [sig, in_a] : buckets_a) {
+      const auto it = buckets_b.find(sig);
+      if (it == buckets_b.end() || it->second.size() != in_a.size()) {
+        mismatch = true;
+        break;
+      }
+      if (in_a.size() > 1) ambiguous = true;
+    }
+    if (mismatch) {
+      if (attempt < 3) continue;  // more cycles may separate them
+      match.failed = true;
+      match.message =
+          "register state signatures do not correspond under lock-step "
+          "simulation";
+      return match;
+    }
+    if (!ambiguous || attempt == 3) {
+      // Final matching. Multi-latch buckets stay ambiguous: they are
+      // returned as groups and the caller enumerates the in-bucket
+      // permutations (any trace-consistent bijection proving UNSAT is a
+      // valid proof). The D-cone tiebreak only pre-orders the B side so
+      // the first permutation tried is the most likely one.
+      match.pairs.clear();
+      match.groups.clear();
+      for (const auto& [sig, in_a] : buckets_a) {
+        const auto& in_b = buckets_b[sig];
+        if (in_a.size() == 1) {
+          match.pairs.emplace_back(in_a[0], in_b[0]);
+          continue;
+        }
+        std::vector<int> ordered_b;
+        std::vector<int> rest_b = in_b;
+        for (const int ia : in_a) {
+          const auto support_a = cone_input_names(
+              a, a.latches()[static_cast<std::size_t>(ia)].d);
+          std::size_t chosen = 0;
+          for (std::size_t k = 0; k < rest_b.size(); ++k) {
+            if (cone_input_names(
+                    b, b.latches()[static_cast<std::size_t>(rest_b[k])].d) ==
+                support_a) {
+              chosen = k;
+              break;
+            }
+          }
+          ordered_b.push_back(rest_b[chosen]);
+          rest_b.erase(rest_b.begin() + static_cast<std::ptrdiff_t>(chosen));
+        }
+        match.groups.emplace_back(in_a, std::move(ordered_b));
+      }
+      return match;
+    }
+  }
+  return match;  // unreachable: the loop always returns by attempt 3
+}
+
+/// One internal equivalence candidate for SAT sweeping.
+struct SweepEntry {
+  int depth = 0;
+  int net = 0;  ///< 0 = A, 1 = B
+  SignalId signal = netlist::kNoSignal;
+  Var var = -1;
+  bool negated = false;  ///< signature was canonicalized by complement
+};
+
+struct Obligation {
+  std::string label;
+  Var var_a = -1;
+  Var var_b = -1;
+};
+
+Var ensure_var(Solver* solver, SignalVars* vars, SignalId s) {
+  Var v = vars->of(s);
+  if (v < 0) {
+    v = solver->new_var();
+    vars->bind(s, v);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* equiv_status_name(EquivStatus s) {
+  switch (s) {
+    case EquivStatus::kEquivalent: return "equivalent";
+    case EquivStatus::kNotEquivalent: return "not-equivalent";
+    case EquivStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string Counterexample::to_text() const {
+  std::ostringstream os;
+  os << "counterexample: output '" << diverging_output << "' = "
+     << (value_a ? 1 : 0) << " vs " << (value_b ? 1 : 0) << " under";
+  bool first = true;
+  for (const auto& [name, value] : inputs) {
+    os << (first ? " " : ", ") << name << "=" << (value ? 1 : 0);
+    first = false;
+  }
+  for (const auto& [name, value] : registers) {
+    os << (first ? " " : ", ") << name << ".Q=" << (value ? 1 : 0);
+    first = false;
+  }
+  if (!care_inputs.empty()) {
+    os << " (essential: ";
+    for (std::size_t i = 0; i < care_inputs.size(); ++i) {
+      if (i) os << ", ";
+      os << care_inputs[i];
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+class EquivChecker {
+ public:
+  EquivChecker(const Network& a, const Network& b, const EquivOptions& options)
+      : a_(a), b_(b), options_(options) {}
+
+  EquivResult run() {
+    const auto t0 = Clock::now();
+    deadline_ =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(options_.time_limit_s));
+    EquivResult result = check();
+    result.seed = options_.seed;
+    result.stats = agg_stats_;
+    result.stats.wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return result;
+  }
+
+ private:
+  EquivResult check() {
+    EquivResult result;
+    // ---- interface ----
+    if (names_of(a_, a_.inputs()) != names_of(b_, b_.inputs())) {
+      result.status = EquivStatus::kNotEquivalent;
+      result.message = "primary input name sets differ";
+      return result;
+    }
+    if (names_of(a_, a_.outputs()) != names_of(b_, b_.outputs())) {
+      result.status = EquivStatus::kNotEquivalent;
+      result.message = "primary output name sets differ";
+      return result;
+    }
+
+    // ---- register matching / reset states ----
+    LatchMatch match = match_latches(a_, b_, options_);
+    if (match.failed) {
+      if (match.sim_divergence.has_value()) {
+        result.status = EquivStatus::kNotEquivalent;
+        result.cex = std::move(match.sim_divergence);
+      } else {
+        result.status = EquivStatus::kUnknown;
+      }
+      result.message = match.message;
+      return result;
+    }
+    // ---- candidate bijections: fixed pairs × in-bucket permutations ----
+    // Any trace-consistent bijection proving every miter UNSAT is a valid
+    // equivalence proof, so ambiguity is resolved by enumeration. Beyond
+    // the cap only the best-guess pairing is tried and a SAT answer
+    // degrades to "unknown" instead of claiming non-equivalence.
+    constexpr std::uint64_t kMaxBijections = 16;
+    std::uint64_t total = 1;
+    for (const auto& [ga, gb] : match.groups) {
+      for (std::size_t k = 2; k <= ga.size() && total <= kMaxBijections; ++k) {
+        total *= k;
+      }
+      if (total > kMaxBijections) break;
+    }
+    const bool capped = total > kMaxBijections;
+    std::vector<std::vector<std::pair<int, int>>> candidates;
+    candidates.push_back(match.pairs);
+    for (const auto& [ga, gb] : match.groups) {
+      std::vector<int> order(gb.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<int>(i);
+      }
+      std::vector<std::vector<std::pair<int, int>>> expanded;
+      do {
+        for (const auto& base : candidates) {
+          auto cur = base;
+          for (std::size_t i = 0; i < ga.size(); ++i) {
+            cur.emplace_back(ga[i],
+                             gb[static_cast<std::size_t>(order[i])]);
+          }
+          expanded.push_back(std::move(cur));
+        }
+      } while (!capped && std::next_permutation(order.begin(), order.end()));
+      candidates = std::move(expanded);
+    }
+    result.matched_registers = static_cast<int>(candidates.front().size());
+
+    std::optional<EquivResult> refuted;
+    for (const auto& pairs : candidates) {
+      EquivResult attempt = result;
+      const EquivStatus st = prove_with_pairs(pairs, &attempt);
+      if (st == EquivStatus::kEquivalent || st == EquivStatus::kUnknown) {
+        return attempt;
+      }
+      if (!refuted.has_value()) refuted = std::move(attempt);
+    }
+    EquivResult final_result = std::move(*refuted);
+    if (capped) {
+      final_result.status = EquivStatus::kUnknown;
+      final_result.message =
+          "miter satisfiable under the best-guess register matching, but "
+          "the ambiguity was too large to enumerate; random-vector "
+          "verification recommended";
+      final_result.cex.reset();
+    } else if (candidates.size() > 1) {
+      final_result.message += strprintf(
+          " (all %zu trace-consistent register pairings refuted)",
+          candidates.size());
+    }
+    return final_result;
+  }
+
+  /// Proves the combinational cut under one concrete register bijection
+  /// with a fresh solver. kEquivalent / kNotEquivalent are definitive for
+  /// this bijection; kUnknown means budget exhaustion (give up overall).
+  EquivStatus prove_with_pairs(const std::vector<std::pair<int, int>>& pairs,
+                               EquivResult* result) {
+    solver_ = Solver();
+    pi_vars_.clear();
+    reg_vars_.clear();
+    latch_b_of_a_.clear();
+
+    for (const auto& [ia, ib] : pairs) {
+      const Latch& la = a_.latches()[static_cast<std::size_t>(ia)];
+      const Latch& lb = b_.latches()[static_cast<std::size_t>(ib)];
+      if (init_bit(la.init) != init_bit(lb.init)) {
+        result->status = EquivStatus::kNotEquivalent;
+        result->message = strprintf(
+            "reset states differ: latch '%s' inits to %d, '%s' to %d",
+            la.name.c_str(), init_bit(la.init) ? 1 : 0, lb.name.c_str(),
+            init_bit(lb.init) ? 1 : 0);
+        return result->status;
+      }
+    }
+
+    // ---- encode the miter over shared leaves ----
+    resize_signal_vars(a_, &vars_a_);
+    resize_signal_vars(b_, &vars_b_);
+    for (const SignalId s : a_.inputs()) {
+      const Var v = solver_.new_var();
+      vars_a_.bind(s, v);
+      const SignalId sb = b_.find_signal(a_.signal_name(s));
+      vars_b_.bind(sb, v);
+      pi_vars_.emplace_back(a_.signal_name(s), v);
+    }
+    std::sort(pi_vars_.begin(), pi_vars_.end());
+    for (const auto& [ia, ib] : pairs) {
+      const Latch& la = a_.latches()[static_cast<std::size_t>(ia)];
+      const Latch& lb = b_.latches()[static_cast<std::size_t>(ib)];
+      const Var v = solver_.new_var();
+      vars_a_.bind(la.q, v);
+      vars_b_.bind(lb.q, v);
+      reg_vars_.emplace_back(la.name, v);
+      latch_b_of_a_[ia] = ib;
+    }
+    encode_network(a_, &solver_, &vars_a_);
+    encode_network(b_, &solver_, &vars_b_);
+
+    // ---- proof obligations: POs, then next-state functions ----
+    std::vector<Obligation> obligations;
+    for (const auto& name : names_of(a_, a_.outputs())) {
+      obligations.push_back(
+          {name, ensure_var(&solver_, &vars_a_, a_.find_signal(name)),
+           ensure_var(&solver_, &vars_b_, b_.find_signal(name))});
+    }
+    for (const auto& [ia, ib] : pairs) {
+      const Latch& la = a_.latches()[static_cast<std::size_t>(ia)];
+      const Latch& lb = b_.latches()[static_cast<std::size_t>(ib)];
+      obligations.push_back({std::string(kNextStatePrefix) + la.name + ")",
+                             ensure_var(&solver_, &vars_a_, la.d),
+                             ensure_var(&solver_, &vars_b_, lb.d)});
+    }
+
+    // ---- SAT sweeping ----
+    result->merged_points = sweep();
+
+    // ---- output miters ----
+    solver_.set_conflict_budget(options_.conflict_limit);
+    solver_.set_deadline(deadline_);
+    result->proved_outputs = 0;
+    for (const Obligation& ob : obligations) {
+      for (const int phase : {0, 1}) {
+        const Solver::Result r = solver_.solve(
+            {mk_lit(ob.var_a, phase == 1), mk_lit(ob.var_b, phase == 0)});
+        if (r == Solver::Result::kUnknown) {
+          result->status = EquivStatus::kUnknown;
+          result->message = strprintf(
+              "budget exhausted proving '%s' (%llu conflicts so far)",
+              ob.label.c_str(),
+              static_cast<unsigned long long>(solver_.stats().conflicts));
+          accumulate_stats();
+          return result->status;
+        }
+        if (r == Solver::Result::kSat) {
+          *result = found_counterexample(ob, std::move(*result));
+          accumulate_stats();
+          return result->status;
+        }
+      }
+      ++result->proved_outputs;
+    }
+    result->status = EquivStatus::kEquivalent;
+    result->message = strprintf(
+        "%d output(s) and %d next-state function(s) proven equivalent",
+        static_cast<int>(names_of(a_, a_.outputs()).size()),
+        result->matched_registers);
+    accumulate_stats();
+    return result->status;
+  }
+
+  void accumulate_stats() {
+    agg_stats_.vars = std::max(agg_stats_.vars, solver_.num_vars());
+    agg_stats_.clauses = std::max(agg_stats_.clauses, solver_.num_clauses());
+    const SolverStats& s = solver_.stats();
+    agg_stats_.conflicts += s.conflicts;
+    agg_stats_.decisions += s.decisions;
+    agg_stats_.propagations += s.propagations;
+    agg_stats_.restarts += s.restarts;
+    agg_stats_.learned_clauses += s.learned_clauses;
+    agg_stats_.solves += s.solves;
+  }
+
+  /// Simulation-guided internal-point merging: candidates with equal (or
+  /// complementary) 64-bit signatures are proven pairwise under a small
+  /// conflict budget and, when UNSAT, tied together with equality clauses.
+  int sweep() {
+    // Random pattern words per leaf solver var (shared leaves share
+    // patterns by construction).
+    Rng rng(options_.seed ^ 0x5eedf00dull);
+    std::vector<std::vector<std::uint64_t>> leaf_words(
+        static_cast<std::size_t>(options_.sim_words));
+    for (auto& w : leaf_words) {
+      w.assign(static_cast<std::size_t>(solver_.num_vars()), 0);
+      for (auto& x : w) x = rng.next_u64();
+    }
+    const auto leaf_word = [&](int round, Var v) {
+      return leaf_words[static_cast<std::size_t>(round)]
+                       [static_cast<std::size_t>(v)];
+    };
+
+    // Signature per (net, signal): sim_words words, canonicalized.
+    std::map<std::vector<std::uint64_t>, std::vector<SweepEntry>> buckets;
+    const Network* nets[2] = {&a_, &b_};
+    const SignalVars* vars[2] = {&vars_a_, &vars_b_};
+    for (int ni = 0; ni < 2; ++ni) {
+      const Network& net = *nets[ni];
+      const std::vector<int> depth = signal_depths(net);
+      std::vector<std::vector<std::uint64_t>> words(
+          static_cast<std::size_t>(options_.sim_words));
+      for (int round = 0; round < options_.sim_words; ++round) {
+        std::vector<std::uint64_t> leaves(
+            static_cast<std::size_t>(net.num_signals()), 0);
+        for (SignalId s = 0; s < net.num_signals(); ++s) {
+          const Var v = vars[ni]->of(s);
+          if (v >= 0 && net.driver_gate(s) < 0) {
+            leaves[static_cast<std::size_t>(s)] = leaf_word(round, v);
+          }
+        }
+        simulate_words(net, leaves, &words[static_cast<std::size_t>(round)]);
+      }
+      for (SignalId s = 0; s < net.num_signals(); ++s) {
+        const Var v = vars[ni]->of(s);
+        if (v < 0) continue;
+        std::vector<std::uint64_t> sig(
+            static_cast<std::size_t>(options_.sim_words));
+        for (int round = 0; round < options_.sim_words; ++round) {
+          sig[static_cast<std::size_t>(round)] =
+              words[static_cast<std::size_t>(round)]
+                   [static_cast<std::size_t>(s)];
+        }
+        SweepEntry e{depth[static_cast<std::size_t>(s)], ni, s, v, false};
+        if (sig[0] & 1ull) {
+          for (auto& x : sig) x = ~x;
+          e.negated = true;
+        }
+        buckets[sig].push_back(e);
+      }
+    }
+
+    // Prove within buckets, shallow cones first.
+    std::vector<std::vector<SweepEntry>*> work;
+    for (auto& [sig, entries] : buckets) {
+      if (entries.size() < 2) continue;
+      std::sort(entries.begin(), entries.end(),
+                [](const SweepEntry& x, const SweepEntry& y) {
+                  return std::tie(x.depth, x.net, x.signal) <
+                         std::tie(y.depth, y.net, y.signal);
+                });
+      work.push_back(&entries);
+    }
+    std::sort(work.begin(), work.end(),
+              [](const auto* x, const auto* y) {
+                return std::tie(x->front().depth, x->front().net,
+                                x->front().signal) <
+                       std::tie(y->front().depth, y->front().net,
+                                y->front().signal);
+              });
+
+    int merged = 0;
+    solver_.set_conflict_budget(options_.sweep_conflict_limit);
+    solver_.set_deadline(deadline_);
+    for (auto* entries : work) {
+      const SweepEntry& rep = entries->front();
+      for (std::size_t i = 1; i < entries->size(); ++i) {
+        if (Clock::now() >= deadline_) return merged;
+        const SweepEntry& e = (*entries)[i];
+        if (e.var == rep.var) continue;  // already the same variable
+        const bool complement = (e.negated != rep.negated);
+        // rep == e (xor complement) iff both difference phases are UNSAT.
+        const Solver::Result r1 = solver_.solve(
+            {mk_lit(rep.var, false), mk_lit(e.var, !complement)});
+        if (r1 != Solver::Result::kUnsat) continue;
+        const Solver::Result r2 = solver_.solve(
+            {mk_lit(rep.var, true), mk_lit(e.var, complement)});
+        if (r2 != Solver::Result::kUnsat) continue;
+        add_equal(&solver_, rep.var, e.var, complement);
+        ++merged;
+      }
+    }
+    return merged;
+  }
+
+  EquivResult found_counterexample(const Obligation& ob, EquivResult result) {
+    // Extract the distinguishing assignment from the model.
+    std::vector<std::pair<std::string, bool>> inputs, registers;
+    for (const auto& [name, v] : pi_vars_) {
+      inputs.emplace_back(name, solver_.model_value(v));
+    }
+    for (const auto& [name, v] : reg_vars_) {
+      registers.emplace_back(name, solver_.model_value(v));
+    }
+
+    const auto diverges = [&](const std::vector<std::pair<std::string, bool>>& in,
+                              const std::vector<std::pair<std::string, bool>>& regs,
+                              bool* va, bool* vb) {
+      return replay_diverges(ob, in, regs, va, vb);
+    };
+
+    bool va = false, vb = false;
+    if (!diverges(inputs, registers, &va, &vb)) {
+      result.status = EquivStatus::kUnknown;
+      result.message =
+          "internal error: model does not replay through simulation";
+      return result;
+    }
+
+    // Minimize: canonicalize non-essential leaves to 0, then record the
+    // leaves whose value the divergence actually depends on.
+    const auto minimize = [&](std::vector<std::pair<std::string, bool>>* vec) {
+      for (auto& [name, value] : *vec) {
+        if (!value) continue;
+        value = false;
+        bool xa = false, xb = false;
+        if (!diverges(inputs, registers, &xa, &xb)) value = true;
+      }
+    };
+    minimize(&inputs);
+    minimize(&registers);
+    Counterexample cex;
+    cex.inputs = inputs;
+    cex.registers = registers;
+    for (auto& [name, value] : cex.inputs) {
+      value = !value;
+      bool xa = false, xb = false;
+      const bool still = replay_diverges(ob, cex.inputs, cex.registers, &xa, &xb);
+      value = !value;
+      if (!still) cex.care_inputs.push_back(name);
+    }
+    replay_diverges(ob, cex.inputs, cex.registers, &va, &vb);
+    cex.diverging_output = ob.label;
+    cex.value_a = va;
+    cex.value_b = vb;
+    result.status = EquivStatus::kNotEquivalent;
+    result.message = "miter satisfiable at '" + ob.label + "'";
+    result.cex = std::move(cex);
+    return result;
+  }
+
+  /// Replays an assignment through both networks (two-value simulation of
+  /// the combinational cut) and reports whether `ob` diverges.
+  bool replay_diverges(const Obligation& ob,
+                       const std::vector<std::pair<std::string, bool>>& inputs,
+                       const std::vector<std::pair<std::string, bool>>& registers,
+                       bool* va, bool* vb) {
+    std::unordered_map<SignalId, bool> leaves_a, leaves_b;
+    for (const auto& [name, value] : inputs) {
+      leaves_a[a_.find_signal(name)] = value;
+      leaves_b[b_.find_signal(name)] = value;
+    }
+    for (const auto& [ia, ib] : latch_b_of_a_) {
+      const Latch& la = a_.latches()[static_cast<std::size_t>(ia)];
+      const Latch& lb = b_.latches()[static_cast<std::size_t>(ib)];
+      for (const auto& [name, value] : registers) {
+        if (name == la.name) {
+          leaves_a[la.q] = value;
+          leaves_b[lb.q] = value;
+          break;
+        }
+      }
+    }
+    const std::vector<char> values_a = eval_combinational(a_, leaves_a);
+    const std::vector<char> values_b = eval_combinational(b_, leaves_b);
+
+    SignalId sa = netlist::kNoSignal, sb = netlist::kNoSignal;
+    if (ob.label.rfind(kNextStatePrefix, 0) == 0) {
+      const std::string latch_name =
+          ob.label.substr(std::string(kNextStatePrefix).size(),
+                          ob.label.size() -
+                              std::string(kNextStatePrefix).size() - 1);
+      for (const auto& [ia, ib] : latch_b_of_a_) {
+        const Latch& la = a_.latches()[static_cast<std::size_t>(ia)];
+        if (la.name == latch_name) {
+          sa = la.d;
+          sb = b_.latches()[static_cast<std::size_t>(ib)].d;
+          break;
+        }
+      }
+    } else {
+      sa = a_.find_signal(ob.label);
+      sb = b_.find_signal(ob.label);
+    }
+    AMDREL_CHECK(sa != netlist::kNoSignal && sb != netlist::kNoSignal);
+    *va = values_a[static_cast<std::size_t>(sa)] != 0;
+    *vb = values_b[static_cast<std::size_t>(sb)] != 0;
+    return *va != *vb;
+  }
+
+  const Network& a_;
+  const Network& b_;
+  EquivOptions options_;
+  Clock::time_point deadline_;
+  Solver solver_;
+  SatStats agg_stats_;  ///< summed over all candidate-bijection attempts
+  SignalVars vars_a_, vars_b_;
+  std::vector<std::pair<std::string, Var>> pi_vars_;
+  std::vector<std::pair<std::string, Var>> reg_vars_;  ///< by A latch name
+  std::map<int, int> latch_b_of_a_;
+};
+
+EquivResult prove_equivalence(const Network& a, const Network& b,
+                              const EquivOptions& options) {
+  return EquivChecker(a, b, options).run();
+}
+
+std::string EquivResult::to_text() const {
+  std::ostringstream os;
+  os << "formal: " << equiv_status_name(status);
+  if (!message.empty()) os << " — " << message;
+  os << "\n";
+  if (cex.has_value()) os << cex->to_text() << "\n";
+  os << strprintf(
+      "sat: %d vars, %d clauses, %llu conflicts, %llu decisions, %llu "
+      "propagations, %llu learned, %llu restarts, %llu solves, %d merges, "
+      "%.3f s (seed %llu)\n",
+      stats.vars, stats.clauses,
+      static_cast<unsigned long long>(stats.conflicts),
+      static_cast<unsigned long long>(stats.decisions),
+      static_cast<unsigned long long>(stats.propagations),
+      static_cast<unsigned long long>(stats.learned_clauses),
+      static_cast<unsigned long long>(stats.restarts),
+      static_cast<unsigned long long>(stats.solves), merged_points,
+      stats.wall_s, static_cast<unsigned long long>(seed));
+  return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << strprintf("\\u%04x", c);
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string EquivResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"status\":\"" << equiv_status_name(status) << "\",\"message\":";
+  json_escape(os, message);
+  os << ",\"seed\":" << seed << ",\"matched_registers\":" << matched_registers
+     << ",\"proved_outputs\":" << proved_outputs
+     << ",\"merged_points\":" << merged_points << ",\"sat\":{\"vars\":"
+     << stats.vars << ",\"clauses\":" << stats.clauses
+     << ",\"conflicts\":" << stats.conflicts
+     << ",\"decisions\":" << stats.decisions
+     << ",\"propagations\":" << stats.propagations
+     << ",\"restarts\":" << stats.restarts
+     << ",\"learned\":" << stats.learned_clauses
+     << ",\"solves\":" << stats.solves
+     << ",\"wall_s\":" << strprintf("%.6f", stats.wall_s) << "}";
+  if (cex.has_value()) {
+    os << ",\"counterexample\":{\"diverging_output\":";
+    json_escape(os, cex->diverging_output);
+    os << ",\"value_a\":" << (cex->value_a ? "true" : "false")
+       << ",\"value_b\":" << (cex->value_b ? "true" : "false")
+       << ",\"inputs\":{";
+    for (std::size_t i = 0; i < cex->inputs.size(); ++i) {
+      if (i) os << ",";
+      json_escape(os, cex->inputs[i].first);
+      os << ":" << (cex->inputs[i].second ? "true" : "false");
+    }
+    os << "},\"registers\":{";
+    for (std::size_t i = 0; i < cex->registers.size(); ++i) {
+      if (i) os << ",";
+      json_escape(os, cex->registers[i].first);
+      os << ":" << (cex->registers[i].second ? "true" : "false");
+    }
+    os << "},\"care_inputs\":[";
+    for (std::size_t i = 0; i < cex->care_inputs.size(); ++i) {
+      if (i) os << ",";
+      json_escape(os, cex->care_inputs[i]);
+    }
+    os << "]}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace amdrel::verify

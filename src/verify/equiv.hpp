@@ -1,0 +1,100 @@
+#pragma once
+// Formal (SAT-based) equivalence checking between two networks.
+//
+// Combinational designs are proven directly: both networks are Tseitin-
+// encoded over shared primary-input variables and every primary-output
+// pair is proven equal with two assumption-activated miter solves.
+// Sequential designs are cut at the register boundary: latches are
+// matched across the two networks (simulation signatures over lock-step
+// random runs, refined until unique, with a D-cone-support tiebreak),
+// matched Q pairs become shared pseudo-inputs, and the proof obligations
+// extend to every matched pair's next-state (D) function. Unsatisfiable
+// miters for any register bijection with matching reset states prove
+// sequential equivalence; a satisfiable miter yields a counterexample
+// that is minimized and replayed through the two-value simulator before
+// the pair is declared non-equivalent.
+//
+// Before the output miters run, a SAT-sweeping pass merges internal
+// equivalence candidates (64-bit parallel random simulation signatures,
+// conflict-limited pairwise proofs in topological order), which keeps
+// structurally different netlists — e.g. pre- vs post-LUT-mapping —
+// tractable for the CDCL core.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "verify/solver.hpp"
+
+namespace amdrel::verify {
+
+/// Size and effort numbers of one equivalence proof attempt.
+struct SatStats {
+  int vars = 0;
+  int clauses = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t solves = 0;
+  double wall_s = 0.0;
+};
+
+enum class EquivStatus {
+  kEquivalent,     ///< every miter proven UNSAT
+  kNotEquivalent,  ///< a replay-confirmed counterexample exists
+  kUnknown,        ///< budget exhausted or register matching unresolved
+};
+const char* equiv_status_name(EquivStatus s);
+
+/// A distinguishing input assignment for the combinational cut: primary
+/// inputs plus (for sequential designs) one state bit per matched
+/// register pair. Minimized: non-care inputs are canonicalized to 0 and
+/// listed out of `care_inputs`.
+struct Counterexample {
+  std::vector<std::pair<std::string, bool>> inputs;     ///< PI name → value
+  std::vector<std::pair<std::string, bool>> registers;  ///< latch name → Q
+  std::vector<std::string> care_inputs;  ///< inputs the divergence needs
+  std::string diverging_output;  ///< PO name or "next-state(<latch>)"
+  bool value_a = false;          ///< the two sides' values at divergence
+  bool value_b = false;
+
+  std::string to_text() const;
+};
+
+struct EquivOptions {
+  double time_limit_s = 60.0;           ///< whole-proof wall budget
+  std::uint64_t conflict_limit = 0;     ///< per output miter (0 = none)
+  std::uint64_t sweep_conflict_limit = 2000;  ///< per sweep candidate
+  int sim_words = 8;        ///< 64-bit pattern words for sweep signatures
+  int signature_cycles = 64;  ///< base lock-step cycles for FF matching
+  std::uint64_t seed = 1;
+};
+
+struct EquivResult {
+  EquivStatus status = EquivStatus::kUnknown;
+  std::string message;       ///< one-line verdict / failure reason
+  std::uint64_t seed = 0;    ///< RNG seed the check ran with (reproducibility)
+  SatStats stats;
+  int matched_registers = 0;
+  int proved_outputs = 0;    ///< output + next-state pairs proven UNSAT
+  int merged_points = 0;     ///< internal pairs merged by SAT sweeping
+  std::optional<Counterexample> cex;
+
+  bool equivalent() const { return status == EquivStatus::kEquivalent; }
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Proves (or refutes) sequential equivalence of `a` and `b` at the
+/// register boundary. Inputs/outputs are matched by name, like
+/// netlist::check_equivalence.
+EquivResult prove_equivalence(const netlist::Network& a,
+                              const netlist::Network& b,
+                              const EquivOptions& options = {});
+
+}  // namespace amdrel::verify

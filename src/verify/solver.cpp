@@ -1,0 +1,453 @@
+#include "verify/solver.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace amdrel::verify {
+
+namespace {
+
+constexpr double kVarDecay = 1.0 / 0.95;
+constexpr double kClauseDecay = 1.0 / 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr int kRestartBase = 100;  ///< conflicts per Luby unit
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence containing index i and its size.
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return 1ull << seq;
+}
+
+}  // namespace
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = num_vars();
+  watches_.emplace_back();
+  watches_.emplace_back();
+  assigns_.push_back(0);
+  model_.push_back(0);
+  polarity_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  heap_index_.push_back(-1);
+  seen_.push_back(0);
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  AMDREL_CHECK_MSG(trail_lim_.empty(), "add_clause during search");
+  // Normalize: sort, drop duplicates, detect tautologies and lits already
+  // decided at the root level.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    AMDREL_CHECK_MSG(var_of(l) < num_vars(), "literal for unknown var");
+    if (i + 1 < lits.size() && lits[i + 1] == negate(l)) return true;  // taut
+    if (!out.empty() && out.back() == l) continue;
+    const signed char v = value_lit(l);
+    if (v == 1) return true;   // satisfied at root
+    if (v == -1) continue;     // falsified at root: drop
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], -1);
+    if (propagate() != -1) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  const int ci = static_cast<int>(clauses_.size());
+  clauses_.push_back(Clause{std::move(out), 0.0, false});
+  attach_clause(ci);
+  ++n_problem_clauses_;
+  return true;
+}
+
+void Solver::attach_clause(int ci) {
+  const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+  watches_[static_cast<std::size_t>(negate(c.lits[0]))].push_back(ci);
+  watches_[static_cast<std::size_t>(negate(c.lits[1]))].push_back(ci);
+}
+
+void Solver::enqueue(Lit l, int reason) {
+  const Var v = var_of(l);
+  assigns_[static_cast<std::size_t>(v)] = is_negated(l) ? -1 : 1;
+  level_[static_cast<std::size_t>(v)] =
+      static_cast<int>(trail_lim_.size());
+  reason_[static_cast<std::size_t>(v)] = reason;
+  trail_.push_back(l);
+}
+
+int Solver::propagate() {
+  while (propagate_head_ < static_cast<int>(trail_.size())) {
+    const Lit p = trail_[static_cast<std::size_t>(propagate_head_++)];
+    ++stats_.propagations;
+    // Clauses watching ~p: p just became true, so the watch on ~p must
+    // move or the clause is unit/conflicting.
+    std::vector<int>& ws = watches_[static_cast<std::size_t>(p)];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      const int ci = ws[wi];
+      Clause& c = clauses_[static_cast<std::size_t>(ci)];
+      const Lit false_lit = negate(p);
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      // c.lits[1] == false_lit now.
+      if (value_lit(c.lits[0]) == 1) {
+        ws[keep++] = ci;  // satisfied by the other watch
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value_lit(c.lits[k]) != -1) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>(negate(c.lits[1]))].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[keep++] = ci;
+      if (value_lit(c.lits[0]) == -1) {
+        // Conflict: keep the remaining watches, return the clause.
+        for (std::size_t k = wi + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        propagate_head_ = static_cast<int>(trail_.size());
+        return ci;
+      }
+      enqueue(c.lits[0], ci);
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump_var(Var v) {
+  double& a = activity_[static_cast<std::size_t>(v)];
+  a += var_inc_;
+  if (a > kRescaleLimit) {
+    for (double& x : activity_) x *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  const int hi = heap_index_[static_cast<std::size_t>(v)];
+  if (hi >= 0) heap_percolate_up(hi);
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > kRescaleLimit) {
+    for (Clause& cl : clauses_) {
+      if (cl.learnt) cl.activity *= 1e-100;
+    }
+    clause_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_activities() {
+  var_inc_ *= kVarDecay;
+  clause_inc_ *= kClauseDecay;
+}
+
+/// First-UIP conflict analysis: resolves the conflict clause backwards
+/// along the trail until exactly one literal of the current decision level
+/// remains; that literal (asserted on backjump) comes first in `learnt`.
+void Solver::analyze(int conflict, std::vector<Lit>* learnt,
+                     int* backtrack_level) {
+  learnt->clear();
+  learnt->push_back(kUndefLit);  // slot for the asserting literal
+  const int current_level = static_cast<int>(trail_lim_.size());
+  int counter = 0;
+  Lit p = kUndefLit;
+  int index = static_cast<int>(trail_.size()) - 1;
+  int ci = conflict;
+  do {
+    Clause& c = clauses_[static_cast<std::size_t>(ci)];
+    if (c.learnt) bump_clause(c);
+    const std::size_t start = (p == kUndefLit) ? 0 : 1;
+    for (std::size_t k = start; k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const Var v = var_of(q);
+      if (seen_[static_cast<std::size_t>(v)] ||
+          level_[static_cast<std::size_t>(v)] == 0) {
+        continue;
+      }
+      seen_[static_cast<std::size_t>(v)] = 1;
+      bump_var(v);
+      if (level_[static_cast<std::size_t>(v)] >= current_level) {
+        ++counter;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    // Next literal of the current level to resolve on.
+    while (!seen_[static_cast<std::size_t>(var_of(
+        trail_[static_cast<std::size_t>(index)]))]) {
+      --index;
+    }
+    p = trail_[static_cast<std::size_t>(index)];
+    seen_[static_cast<std::size_t>(var_of(p))] = 0;
+    ci = reason_[static_cast<std::size_t>(var_of(p))];
+    --counter;
+    --index;
+  } while (counter > 0);
+  (*learnt)[0] = negate(p);
+
+  // Backtrack level = highest level among the other literals; move that
+  // literal to the second watch position.
+  *backtrack_level = 0;
+  for (std::size_t k = 1; k < learnt->size(); ++k) {
+    const int lvl = level_[static_cast<std::size_t>(var_of((*learnt)[k]))];
+    if (lvl > *backtrack_level) {
+      *backtrack_level = lvl;
+      std::swap((*learnt)[1], (*learnt)[k]);
+    }
+  }
+  for (const Lit l : *learnt) seen_[static_cast<std::size_t>(var_of(l))] = 0;
+}
+
+void Solver::cancel_until(int level) {
+  if (static_cast<int>(trail_lim_.size()) <= level) return;
+  const int bound = trail_lim_[static_cast<std::size_t>(level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Var v = var_of(trail_[static_cast<std::size_t>(i)]);
+    polarity_[static_cast<std::size_t>(v)] =
+        static_cast<char>(assigns_[static_cast<std::size_t>(v)] == 1);
+    assigns_[static_cast<std::size_t>(v)] = 0;
+    reason_[static_cast<std::size_t>(v)] = -1;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  propagate_head_ = bound;
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (assigns_[static_cast<std::size_t>(v)] == 0) {
+      return mk_lit(v, polarity_[static_cast<std::size_t>(v)] == 0);
+    }
+  }
+  return kUndefLit;
+}
+
+/// Drops the less-active half of the learnt clauses (keeping binary
+/// clauses and current reasons) and rebuilds the watch lists.
+void Solver::reduce_learnts() {
+  std::vector<double> acts;
+  for (const Clause& c : clauses_) {
+    if (c.learnt && c.lits.size() > 2) acts.push_back(c.activity);
+  }
+  if (acts.size() < 2) return;
+  std::nth_element(acts.begin(), acts.begin() + acts.size() / 2, acts.end());
+  const double median = acts[acts.size() / 2];
+
+  std::vector<char> is_reason(clauses_.size(), 0);
+  for (const int r : reason_) {
+    if (r >= 0) is_reason[static_cast<std::size_t>(r)] = 1;
+  }
+  std::vector<int> remap(clauses_.size(), -1);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    Clause& c = clauses_[i];
+    const bool drop = c.learnt && c.lits.size() > 2 && !is_reason[i] &&
+                      c.activity < median;
+    if (drop) continue;
+    remap[i] = static_cast<int>(out);
+    if (out != i) clauses_[out] = std::move(c);
+    ++out;
+  }
+  clauses_.resize(out);
+  for (int& r : reason_) {
+    if (r >= 0) r = remap[static_cast<std::size_t>(r)];
+  }
+  rebuild_watches();
+}
+
+void Solver::rebuild_watches() {
+  for (auto& w : watches_) w.clear();
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    attach_clause(static_cast<int>(i));
+  }
+}
+
+Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
+  ++stats_.solves;
+  if (!ok_) return Result::kUnsat;
+  AMDREL_CHECK(trail_lim_.empty());
+  std::uint64_t conflicts_this_solve = 0;
+  std::uint64_t restart_seq = 0;
+  std::uint64_t restart_limit = kRestartBase * luby(restart_seq);
+  std::uint64_t conflicts_since_restart = 0;
+  std::vector<Lit> learnt;
+
+  const auto out_of_budget = [&]() {
+    if (conflict_budget_ > 0 && conflicts_this_solve >= conflict_budget_) {
+      return true;
+    }
+    return has_deadline_ && (conflicts_this_solve % 256 == 0) &&
+           std::chrono::steady_clock::now() >= deadline_;
+  };
+
+  for (;;) {
+    const int conflict = propagate();
+    if (conflict != -1) {
+      ++stats_.conflicts;
+      ++conflicts_this_solve;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) {
+        ok_ = false;  // conflict with no decisions: globally unsat
+        return Result::kUnsat;
+      }
+      int backtrack_level = 0;
+      analyze(conflict, &learnt, &backtrack_level);
+      cancel_until(backtrack_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        const int ci = static_cast<int>(clauses_.size());
+        clauses_.push_back(Clause{learnt, clause_inc_, true});
+        attach_clause(ci);
+        ++stats_.learned_clauses;
+        enqueue(learnt[0], ci);
+      }
+      decay_activities();
+      if (stats_.learned_clauses > 0 &&
+          stats_.learned_clauses % learnt_limit_ == 0) {
+        reduce_learnts();
+      }
+      if (out_of_budget()) {
+        cancel_until(0);
+        return Result::kUnknown;
+      }
+      continue;
+    }
+    if (conflicts_since_restart >= restart_limit &&
+        static_cast<int>(trail_lim_.size()) >
+            static_cast<int>(assumptions.size())) {
+      ++stats_.restarts;
+      ++restart_seq;
+      restart_limit = kRestartBase * luby(restart_seq);
+      conflicts_since_restart = 0;
+      // Keep the assumption prefix (the first assumptions.size() levels
+      // are assumption decisions or their dummy placeholders).
+      cancel_until(static_cast<int>(assumptions.size()));
+      continue;
+    }
+    // Next decision: assumptions first, then VSIDS.
+    Lit next = kUndefLit;
+    while (static_cast<std::size_t>(trail_lim_.size()) <
+           assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      const signed char v = value_lit(a);
+      if (v == 1) {
+        trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+        continue;
+      }
+      if (v == -1) {
+        cancel_until(0);
+        return Result::kUnsat;  // assumptions contradict the formula
+      }
+      next = a;
+      break;
+    }
+    if (next == kUndefLit) {
+      next = pick_branch_lit();
+      if (next == kUndefLit) {
+        // All variables assigned: model found.
+        model_ = assigns_;
+        cancel_until(0);
+        return Result::kSat;
+      }
+      ++stats_.decisions;
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(next, -1);
+  }
+}
+
+// ---- indexed max-heap over activity_ ----
+
+void Solver::heap_insert(Var v) {
+  heap_index_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_percolate_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void Solver::heap_percolate_up(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const double a = activity_[static_cast<std::size_t>(v)];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    const Var pv = heap_[static_cast<std::size_t>(parent)];
+    if (activity_[static_cast<std::size_t>(pv)] >= a) break;
+    heap_[static_cast<std::size_t>(i)] = pv;
+    heap_index_[static_cast<std::size_t>(pv)] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_index_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_percolate_down(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const double a = activity_[static_cast<std::size_t>(v)];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[static_cast<std::size_t>(
+            heap_[static_cast<std::size_t>(child + 1)])] >
+            activity_[static_cast<std::size_t>(
+                heap_[static_cast<std::size_t>(child)])]) {
+      ++child;
+    }
+    const Var cv = heap_[static_cast<std::size_t>(child)];
+    if (a >= activity_[static_cast<std::size_t>(cv)]) break;
+    heap_[static_cast<std::size_t>(i)] = cv;
+    heap_index_[static_cast<std::size_t>(cv)] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_index_[static_cast<std::size_t>(v)] = i;
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_index_[static_cast<std::size_t>(top)] = -1;
+  const Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_index_[static_cast<std::size_t>(last)] = 0;
+    heap_percolate_down(0);
+  }
+  return top;
+}
+
+}  // namespace amdrel::verify

@@ -1,0 +1,149 @@
+#pragma once
+// Small CDCL SAT solver for the formal equivalence checker.
+//
+// A classic conflict-driven clause-learning core in the MiniSat lineage:
+// two-literal watching, VSIDS-style variable activities kept in an
+// indexed max-heap, first-UIP clause learning with activity-guided
+// learnt-database reduction, Luby restarts and phase saving. Solves are
+// incremental (the clause database only grows between calls) and take
+// assumption literals, which is how the equivalence checker activates one
+// miter output at a time while reusing everything learnt so far.
+//
+// Budgets: a per-solve conflict limit and a wall-clock deadline, both
+// optional; an exhausted budget yields kUnknown and leaves the solver
+// usable for further solve() calls.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace amdrel::verify {
+
+using Var = int;
+/// Literal encoding: lit = 2*var + (negated ? 1 : 0).
+using Lit = int;
+constexpr Lit kUndefLit = -1;
+
+inline Lit mk_lit(Var v, bool negated = false) {
+  return 2 * v + (negated ? 1 : 0);
+}
+inline Lit negate(Lit l) { return l ^ 1; }
+inline Var var_of(Lit l) { return l >> 1; }
+inline bool is_negated(Lit l) { return (l & 1) != 0; }
+
+/// Cumulative search-effort counters (across all solve() calls).
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t solves = 0;
+};
+
+class Solver {
+ public:
+  enum class Result { kSat, kUnsat, kUnknown };
+
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+  Solver(Solver&&) = default;
+  Solver& operator=(Solver&&) = default;
+
+  Var new_var();
+  int num_vars() const { return static_cast<int>(activity_.size()); }
+  int num_clauses() const { return n_problem_clauses_; }
+
+  /// Adds a problem clause. Returns false if the formula became
+  /// unsatisfiable at the root level (the solver stays in that state).
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Solves the formula under the given assumption literals. kUnsat means
+  /// unsatisfiable *under the assumptions* (or globally, if none given).
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model value of `v` after a kSat result.
+  bool model_value(Var v) const {
+    return model_[static_cast<std::size_t>(v)] == 1;
+  }
+
+  /// Per-solve conflict budget (0 = unlimited).
+  void set_conflict_budget(std::uint64_t max_conflicts) {
+    conflict_budget_ = max_conflicts;
+  }
+  /// Absolute wall-clock deadline for all further solving (optional).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void clear_deadline() { has_deadline_ = false; }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+  };
+
+  // Assignment values: 0 = unassigned, 1 = true, -1 = false.
+  signed char value_lit(Lit l) const {
+    signed char v = assigns_[static_cast<std::size_t>(var_of(l))];
+    return is_negated(l) ? static_cast<signed char>(-v) : v;
+  }
+
+  void enqueue(Lit l, int reason);
+  int propagate();  ///< returns conflicting clause index, -1 if none
+  void analyze(int conflict, std::vector<Lit>* learnt, int* backtrack_level);
+  void cancel_until(int level);
+  Lit pick_branch_lit();
+  void attach_clause(int ci);
+  void rebuild_watches();
+  void reduce_learnts();
+  void bump_var(Var v);
+  void bump_clause(Clause& c);
+  void decay_activities();
+
+  // Indexed max-heap over variable activities.
+  void heap_insert(Var v);
+  void heap_percolate_up(int i);
+  void heap_percolate_down(int i);
+  Var heap_pop();
+  bool heap_contains(Var v) const {
+    return heap_index_[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  ///< per literal: clause indices
+  std::vector<signed char> assigns_;       ///< per var
+  std::vector<signed char> model_;
+  std::vector<char> polarity_;             ///< saved phases
+  std::vector<int> level_;                 ///< per var decision level
+  std::vector<int> reason_;                ///< per var clause index, -1
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  int propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<int> heap_index_;
+
+  std::vector<char> seen_;  ///< scratch for analyze()
+
+  bool ok_ = true;  ///< false once root-level unsat
+  int n_problem_clauses_ = 0;
+  std::uint64_t learnt_limit_ = 8192;  ///< reduce_learnts() threshold
+
+  std::uint64_t conflict_budget_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+
+  SolverStats stats_;
+};
+
+}  // namespace amdrel::verify

@@ -1,5 +1,5 @@
 #pragma once
-// AST for the synthesizable VHDL-93 subset (see DESIGN.md §9 for scope).
+// AST for the synthesizable VHDL-93 subset (see DESIGN.md §10 for scope).
 
 #include <memory>
 #include <string>

@@ -36,7 +36,7 @@ netlist::Network small_design() {
 
 flow::FlowOptions fast_options() {
   flow::FlowOptions opt;
-  opt.verify_each_stage = false;  // keep the 8 flows below quick
+  opt.verify_mode = flow::VerifyMode::kOff;  // keep the 8 flows below quick
   return opt;
 }
 

@@ -37,7 +37,7 @@ end rtl;
 
 TEST(Flow, VhdlToBitstreamWithVerification) {
   flow::FlowOptions opt;
-  opt.verify_each_stage = true;  // includes the bitstream equivalence check
+  opt.verify_mode = flow::VerifyMode::kBoth;  // includes the formal bitstream proof
   auto result = flow::run_flow_from_vhdl(kCounterVhdl, "counter", opt);
   EXPECT_TRUE(result.routing.success);
   EXPECT_GT(result.bitstream_bytes.size(), 0u);
@@ -90,7 +90,7 @@ TEST(Flow, ClockGatingReducesClockPower) {
   auto net = bench_gen::generate(spec);
   flow::FlowOptions opt;
   opt.power.input_activity = 0.05;  // mostly idle
-  opt.verify_each_stage = false;
+  opt.verify_mode = flow::VerifyMode::kOff;
   auto result = flow::run_flow_from_network(net, opt);
   EXPECT_LT(result.power.clock_w, result.power.clock_ungated_w);
 }
@@ -102,7 +102,7 @@ TEST(Bitstream, SerializeRoundTrip) {
   spec.seed = 80;
   auto net = bench_gen::generate(spec);
   flow::FlowOptions opt;
-  opt.verify_each_stage = false;
+  opt.verify_mode = flow::VerifyMode::kOff;
   auto result = flow::run_flow_from_network(net, opt);
 
   auto bytes = bitgen::serialize(result.bitstream);
@@ -120,7 +120,7 @@ TEST(Bitstream, DecodedFabricIsSequentiallyEquivalent) {
   spec.seed = 81;
   auto net = bench_gen::generate(spec);
   flow::FlowOptions opt;
-  opt.verify_each_stage = false;
+  opt.verify_mode = flow::VerifyMode::kOff;
   auto result = flow::run_flow_from_network(net, opt);
 
   auto fabric = bitgen::decode_to_network(result.bitstream);
@@ -134,7 +134,7 @@ TEST(Bitstream, RejectsCorruptedBytes) {
   spec.seed = 82;
   auto net = bench_gen::generate(spec);
   flow::FlowOptions opt;
-  opt.verify_each_stage = false;
+  opt.verify_mode = flow::VerifyMode::kOff;
   auto result = flow::run_flow_from_network(net, opt);
   auto bytes = result.bitstream_bytes;
   bytes[0] ^= 0xff;  // clobber magic
@@ -150,7 +150,7 @@ TEST(Timing, NetDelaysArePositiveAndBounded) {
   spec.seed = 83;
   auto net = bench_gen::generate(spec);
   flow::FlowOptions opt;
-  opt.verify_each_stage = false;
+  opt.verify_mode = flow::VerifyMode::kOff;
   auto result = flow::run_flow_from_network(net, opt);
   auto delays = timing::compute_net_delays(*result.rr_graph,
                                            *result.placement, result.routing,
@@ -173,7 +173,7 @@ TEST(Power, ScalesWithFrequency) {
   spec.seed = 84;
   auto net = bench_gen::generate(spec);
   flow::FlowOptions opt;
-  opt.verify_each_stage = false;
+  opt.verify_mode = flow::VerifyMode::kOff;
   auto result = flow::run_flow_from_network(net, opt);
 
   power::PowerOptions p1, p2;

@@ -28,16 +28,18 @@ std::string fixture(const std::string& name) {
 // ---------- engine ----------
 
 TEST(LintEngine, RegistryCoversAllFamilies) {
-  int netlist = 0, rr = 0, flow = 0;
+  int netlist = 0, rr = 0, flow = 0, equiv = 0;
   for (const auto& r : lint::rule_registry()) {
     if (std::string(r.family) == "netlist") ++netlist;
     else if (std::string(r.family) == "rr-graph") ++rr;
     else if (std::string(r.family) == "flow") ++flow;
+    else if (std::string(r.family) == "equiv") ++equiv;
     else FAIL() << "unknown family " << r.family;
   }
   EXPECT_EQ(netlist, 8);
   EXPECT_EQ(rr, 5);
   EXPECT_EQ(flow, 11);
+  EXPECT_EQ(equiv, 5);
   EXPECT_NE(lint::find_rule(lint::rules::kCombCycle), nullptr);
   EXPECT_EQ(lint::find_rule("XX999"), nullptr);
 }

@@ -192,7 +192,7 @@ TEST(TraceAnalyze, StageWallsMatchSessionStageMetrics) {
   spec.seed = 78;
   const auto net = bench_gen::generate(spec);
   flow::FlowOptions opt;
-  opt.verify_each_stage = false;
+  opt.verify_mode = flow::VerifyMode::kOff;
 
   const std::string path = ::testing::TempDir() + "/report_cross.jsonl";
   flow::FlowResult result;
@@ -234,7 +234,7 @@ TEST(StageCounters, EveryStageRecordsCounterDeltas) {
   spec.seed = 78;
   const auto net = bench_gen::generate(spec);
   flow::FlowOptions opt;
-  opt.verify_each_stage = false;
+  opt.verify_mode = flow::VerifyMode::kOff;
   flow::FlowSession session(net, opt);
   session.resume();
   const flow::FlowResult& result = session.result();

@@ -19,7 +19,7 @@ flow::FlowResult routed_design(int gates, int latches, std::uint64_t seed,
   auto net = bench_gen::generate(bspec);
   flow::FlowOptions options;
   options.arch = spec;
-  options.verify_each_stage = false;
+  options.verify_mode = flow::VerifyMode::kOff;
   options.search_min_channel_width = true;
   return flow::run_flow_from_network(net, options);
 }
