@@ -28,6 +28,8 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "spice/transient.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace amdrel::bench {
 
@@ -59,7 +61,12 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
     } else if (std::strcmp(argv[i], "--dense") == 0) {
       args.dense = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      args.threads = std::atoi(argv[++i]);
+      try {
+        args.threads = parse_int(argv[++i], "--threads");
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s: error: %s\n", argv[0], e.what());
+        std::exit(2);
+      }
       if (args.threads < 0) args.threads = 0;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       args.trace = argv[++i];

@@ -16,6 +16,8 @@
 //   amdrel_cli lint      <design A> <design B>      # equivalence lint (EQ0xx)
 //   amdrel_cli verify    <design A> <design B> [--json] [--seed N]
 //                        [--mode random|formal|both] [--time-limit S]
+//   amdrel_cli eco       <base> <edited> [--json]   # incremental recompile
+//   amdrel_cli bench_gen <name> <gates> [latches] [seed] [--edit N]
 //   amdrel_cli trace-report <trace.jsonl> [--json]  # analyze an obs trace
 //
 // Global flags (any command, removed from argv before dispatch):
@@ -32,7 +34,16 @@
 // machine-readable report. `verify` exits 0 when the designs are proven
 // equivalent, 1 on a proven mismatch and 4 when the result is
 // inconclusive within the solver budget.
+//
+// `eco` compiles <base> from scratch, incrementally recompiles <edited>
+// against the base artifacts (src/eco), formally proves the recompiled
+// bitstream equivalent to <edited>, and reports the reuse statistics and
+// speedup. Exit 0 when proven equivalent, 1 otherwise. `bench_gen` emits
+// a deterministic synthetic circuit as BLIF on stdout; with --edit N it
+// applies N small edits (retunes/rewires/added LUTs) to that circuit
+// first — generate the base, then the edited copy, and feed both to eco.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -43,7 +54,9 @@
 #include <sstream>
 #include <vector>
 
+#include "bench_gen/bench_gen.hpp"
 #include "bitgen/bitstream.hpp"
+#include "eco/eco.hpp"
 #include "flow/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -56,6 +69,7 @@
 #include "synth/lutmap.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "verify/equiv.hpp"
 #include "vhdl/synth.hpp"
 
 namespace {
@@ -99,7 +113,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: amdrel_cli "
                "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger|lint|"
-               "verify|trace-report} "
+               "verify|eco|bench_gen|trace-report} "
                "args... [--trace FILE] [--progress] [--metrics FILE]\n"
                "see the header of examples/amdrel_cli.cpp\n");
   return 2;
@@ -201,7 +215,7 @@ int main(int argc, char** argv) {
       if (argc < 3) return usage();
       auto net = netlist::read_blif_file(argv[2]);
       synth::LutMapOptions options;
-      if (argc > 3) options.k = std::stoi(argv[3]);
+      if (argc > 3) options.k = parse_int(argv[3], "map K");
       synth::LutMapStats stats;
       auto mapped = synth::map_to_luts(net, options, &stats);
       std::fprintf(stderr, "# %d LUTs, depth %d\n", stats.luts, stats.depth);
@@ -219,9 +233,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "dutys") {
       arch::ArchSpec spec;
-      if (argc > 2) spec.k = std::stoi(argv[2]);
-      if (argc > 3) spec.n = std::stoi(argv[3]);
-      if (argc > 4) spec.channel_width = std::stoi(argv[4]);
+      if (argc > 2) spec.k = parse_int(argv[2], "dutys K");
+      if (argc > 3) spec.n = parse_int(argv[3], "dutys N");
+      if (argc > 4) spec.channel_width = parse_int(argv[4], "dutys W");
       arch::write_arch(spec, std::cout);
       return 0;
     }
@@ -260,9 +274,10 @@ int main(int argc, char** argv) {
         if (std::strcmp(argv[i], "--json") == 0) {
           json = true;
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-          options.formal.seed = std::stoull(argv[++i]);
+          options.formal.seed = parse_u64(argv[++i], "--seed");
         } else if (std::strcmp(argv[i], "--time-limit") == 0 && i + 1 < argc) {
-          options.formal.time_limit_s = std::stod(argv[++i]);
+          options.formal.time_limit_s =
+              parse_double(argv[++i], "--time-limit");
         } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
           const flow::VerifyMode mode = flow::parse_verify_mode(argv[++i]);
           options.run_random = mode == flow::VerifyMode::kRandom ||
@@ -290,6 +305,108 @@ int main(int argc, char** argv) {
         case verify::EquivStatus::kUnknown: return 4;
       }
       return 4;
+    }
+    if (cmd == "bench_gen") {
+      if (argc < 4) return usage();
+      bench_gen::BenchSpec spec;
+      spec.name = argv[2];
+      spec.n_gates = parse_int(argv[3], "bench_gen gates");
+      int edits = 0;
+      int pos = 0;  // positional: [latches] [seed]
+      for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--edit") == 0 && i + 1 < argc) {
+          edits = parse_int(argv[++i], "--edit");
+        } else if (pos == 0) {
+          spec.n_latches = parse_int(argv[i], "bench_gen latches");
+          ++pos;
+        } else if (pos == 1) {
+          spec.seed = parse_u64(argv[i], "bench_gen seed");
+          ++pos;
+        } else {
+          return usage();
+        }
+      }
+      auto net = bench_gen::generate(spec);
+      if (edits > 0) {
+        bench_gen::EditSpec edit;
+        edit.flips = (edits + 2) / 3;
+        edit.rewires = (edits + 1) / 3;
+        edit.added_luts = edits / 3;
+        edit.seed = spec.seed + 1;
+        net = bench_gen::perturb(net, edit);
+      }
+      netlist::write_blif(net, std::cout);
+      return 0;
+    }
+    if (cmd == "eco") {
+      if (argc < 4) return usage();
+      bool json = false;
+      for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+        else return usage();
+      }
+      auto base = load_design(argv[2], "top");
+      auto edited = load_design(argv[3], "top");
+
+      flow::FlowOptions options;
+      options.search_min_channel_width = true;
+      options.verify_mode = flow::VerifyMode::kOff;  // proven below instead
+      using clock = std::chrono::steady_clock;
+      const auto t0 = clock::now();
+      flow::FlowSession session(base, options);
+      if (session.resume() != flow::SessionState::kDone) {
+        throw Error("eco: base compile did not complete");
+      }
+      const auto t1 = clock::now();
+      eco::EcoStats stats;
+      if (session.resume_with_edit(edited, &stats) !=
+          flow::SessionState::kDone) {
+        throw Error("eco: incremental recompile did not complete");
+      }
+      const auto t2 = clock::now();
+
+      // The safety net: the recompiled bitstream must implement the edit.
+      // The packing/placement-derived register map pins FF matching.
+      const netlist::Network fabric =
+          bitgen::decode_to_network(session.result().bitstream);
+      verify::EquivOptions vopt;
+      vopt.register_map = flow::fabric_register_map(session.result());
+      const verify::EquivResult eq =
+          verify::prove_equivalence(edited, fabric, vopt);
+      const double base_s = std::chrono::duration<double>(t1 - t0).count();
+      const double eco_s = std::chrono::duration<double>(t2 - t1).count();
+      const double speedup = eco_s > 0.0 ? base_s / eco_s : 0.0;
+      if (json) {
+        std::printf(
+            "{\"cmd\": \"eco\", \"base\": \"%s\", \"edited\": \"%s\", "
+            "\"base_s\": %.6f, \"eco_s\": %.6f, \"speedup\": %.2f, "
+            "\"dirty_pct\": %.4f, \"reuse_ratio\": %.4f, "
+            "\"incremental_map\": %s, \"luts_reused\": %d, "
+            "\"clusters_reused\": %d, \"blocks_matched\": %d, "
+            "\"nets_seeded\": %d, \"nets_rerouted\": %d, "
+            "\"channel_width\": %d, \"fallbacks\": %d, "
+            "\"verified\": %s}\n",
+            argv[2], argv[3], base_s, eco_s, speedup,
+            stats.entry_diff.dirty_pct(), stats.reuse_ratio(),
+            stats.incremental_map ? "true" : "false", stats.luts_reused,
+            stats.clusters_reused, stats.blocks_matched, stats.nets_seeded,
+            stats.nets_rerouted, stats.channel_width, stats.fallbacks,
+            eq.equivalent() ? "true" : "false");
+      } else {
+        std::printf("base compile   %.3fs (W=%d)\n", base_s,
+                    stats.channel_width);
+        std::printf("eco recompile  %.3fs (%.1fx speedup)\n", eco_s, speedup);
+        std::printf("edit           %.2f%% of cells dirty\n",
+                    100.0 * stats.entry_diff.dirty_pct());
+        std::printf("reuse          %.1f%% (luts %d/%d, clusters %d/%d, "
+                    "blocks %d/%d, nets %d/%d seeded)\n",
+                    100.0 * stats.reuse_ratio(), stats.luts_reused,
+                    stats.luts_total, stats.clusters_reused,
+                    stats.clusters_total, stats.blocks_matched,
+                    stats.blocks_total, stats.nets_seeded, stats.nets_total);
+        std::printf("equivalence    %s\n", eq.message.c_str());
+      }
+      return eq.equivalent() ? 0 : 1;
     }
     if (cmd == "trace-report") {
       if (argc < 3) return usage();

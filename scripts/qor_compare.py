@@ -1,17 +1,28 @@
 #!/usr/bin/env python3
-"""Compare a flow_qor --json run against a committed QoR baseline.
+"""Compare bench --json runs against a committed QoR baseline.
 
 Usage:
-    qor_compare.py CURRENT.json [--baseline scripts/qor_baseline.json]
-                   [--enforce] [--wall-tolerance PCT] [--wire-tolerance PCT]
+    qor_compare.py CURRENT.json [MORE.json ...]
+                   [--baseline scripts/qor_baseline.json]
+                   [--enforce] [--update-baseline]
+                   [--wall-tolerance PCT] [--wire-tolerance PCT]
+                   [--reuse-tolerance PTS]
 
-The baseline is a verbatim `flow_qor --json` capture (see
-scripts/qor_baseline.json, regenerated with:
-    build/bench/flow_qor --json > scripts/qor_baseline.json
-on any machine — every compared metric except wall time is deterministic
-for a given seed).
+Each CURRENT.json is a verbatim `--json` capture from one of the bench
+binaries; its top-level "bench" field ("flow_qor", "eco_bench", ...)
+selects which baseline section it is compared against. The baseline file
+holds one section per bench:
 
-Regression policy, per circuit:
+    {"benches": {"flow_qor": {...capture...}, "eco_bench": {...}}}
+
+A legacy flat capture (a bare flow_qor run) is still accepted as a
+flow_qor-only baseline. Regenerate with:
+    build/bench/flow_qor --json > /tmp/q.json
+    build/bench/eco_bench --json > /tmp/e.json
+    scripts/qor_compare.py /tmp/q.json /tmp/e.json --update-baseline
+(every compared metric except wall time is deterministic for a seed).
+
+Regression policy, per flow_qor circuit:
   * channel_width   — any increase is a regression (the headline QoR
                       number of the paper's CAD comparison);
   * wires           — routed wire nodes, > --wire-tolerance % (default 5)
@@ -20,14 +31,28 @@ Regression policy, per circuit:
                       increase is a regression;
   * runtime_s       — > --wall-tolerance % (default 50; wall clock on
                       shared CI runners is noisy) counts as a regression;
-  * verified        — a circuit that was equivalence-verified in the
-                      baseline must stay verified;
-  * formally_verified — a circuit whose seven stage hand-offs were
-                      SAT-proven in the baseline must stay proven.
+  * verified / formally_verified — once true in the baseline, must stay
+                      true.
+
+Per eco_bench circuit:
+  * formally_verified — must be true, unconditionally: the ECO result is
+                      only trustworthy with the SAT proof attached;
+  * reuse_ratio     — dropping more than --reuse-tolerance percentage
+                      points (default 5) below baseline is a regression
+                      (reuse is the point of the ECO flow);
+  * channel_width   — any increase is a regression;
+  * speedup         — wall-clock derived, so a decrease is reported as a
+                      note, never a failure.
+
+A metric present in the baseline but missing from the current run is a
+named regression (a silently dropped metric must not pass the gate), as
+is a baseline section with no matching current file.
+
 Improvements and new circuits are reported but never fail.
 
 Exit status: 0 when clean; 0 with warnings by default ("warn-only first
-landing" mode for CI); 1 when --enforce is given and any regression fired.
+landing" mode for CI); 1 when --enforce is given and any regression
+fired; 2 on malformed input.
 """
 
 import argparse
@@ -44,76 +69,181 @@ def load(path):
         sys.exit(2)
 
 
-def by_name(run):
-    return {c["name"]: c for c in run.get("circuits", [])}
+def by_name(capture):
+    return {c["name"]: c for c in capture.get("circuits", [])}
+
+
+def baseline_sections(raw):
+    """Sectioned baseline, or a legacy flat flow_qor capture."""
+    if "benches" in raw:
+        return dict(raw["benches"])
+    if "circuits" in raw:
+        return {raw.get("bench", "flow_qor"): raw}
+    return {}
+
+
+class Gate:
+    def __init__(self, args):
+        self.args = args
+        self.regressions = []
+        self.notes = []
+
+    def check_metric(self, name, b, c, metric, tolerance_pct):
+        bv, cv = b.get(metric), c.get(metric)
+        if bv is None:
+            return
+        if cv is None:
+            self.regressions.append(
+                f"{name}: metric '{metric}' missing from current run "
+                f"(baseline has {bv:g})")
+            return
+        limit = bv * (1.0 + tolerance_pct / 100.0)
+        if cv > limit:
+            self.regressions.append(
+                f"{name}: {metric} {bv:g} -> {cv:g} "
+                f"(+{100.0 * (cv - bv) / bv if bv else 0:.1f}%, "
+                f"tolerance {tolerance_pct:g}%)")
+        elif cv < bv:
+            self.notes.append(f"{name}: {metric} improved {bv:g} -> {cv:g}")
+
+    def compare_flow_qor(self, base, cur):
+        for name, b in sorted(base.items()):
+            c = cur.get(name)
+            if c is None:
+                self.regressions.append(
+                    f"{name}: circuit missing from current run")
+                continue
+            self.check_metric(name, b, c, "channel_width", 0.0)
+            self.check_metric(name, b, c, "wires", self.args.wire_tolerance)
+            self.check_metric(name, b, c, "luts", 0.0)
+            self.check_metric(name, b, c, "clbs", 0.0)
+            self.check_metric(name, b, c, "config_bits", 0.0)
+            self.check_metric(name, b, c, "runtime_s",
+                              self.args.wall_tolerance)
+            if b.get("verified") and not c.get("verified"):
+                self.regressions.append(
+                    f"{name}: equivalence verification now fails")
+            if b.get("formally_verified") and not c.get("formally_verified"):
+                self.regressions.append(
+                    f"{name}: formal hand-off verification now fails")
+        for name in sorted(set(cur) - set(base)):
+            self.notes.append(f"{name}: new circuit (not in baseline)")
+
+    def compare_eco(self, base, cur):
+        for name, b in sorted(base.items()):
+            c = cur.get(name)
+            if c is None:
+                self.regressions.append(
+                    f"{name}: circuit missing from current run")
+                continue
+            if not c.get("formally_verified"):
+                self.regressions.append(
+                    f"{name}: ECO result not formally verified "
+                    f"({c.get('error', 'miter not proven')})")
+            self.check_metric(name, b, c, "channel_width", 0.0)
+            br, cr = b.get("reuse_ratio"), c.get("reuse_ratio")
+            if br is not None:
+                if cr is None:
+                    self.regressions.append(
+                        f"{name}: metric 'reuse_ratio' missing from current "
+                        f"run (baseline has {br:.3f})")
+                elif cr < br - self.args.reuse_tolerance / 100.0:
+                    self.regressions.append(
+                        f"{name}: reuse_ratio {br:.3f} -> {cr:.3f} "
+                        f"(tolerance {self.args.reuse_tolerance:g} points)")
+                elif cr > br:
+                    self.notes.append(
+                        f"{name}: reuse_ratio improved {br:.3f} -> {cr:.3f}")
+            bs, cs = b.get("speedup"), c.get("speedup")
+            if bs is not None and cs is not None and cs < bs:
+                self.notes.append(
+                    f"{name}: speedup {bs:.1f}x -> {cs:.1f}x (wall-clock "
+                    "metric, informational only)")
+        for name in sorted(set(cur) - set(base)):
+            self.notes.append(f"{name}: new circuit (not in baseline)")
+
+    def compare(self, bench, base_capture, cur_capture):
+        base, cur = by_name(base_capture), by_name(cur_capture)
+        if bench == "eco_bench":
+            self.compare_eco(base, cur)
+        else:
+            self.compare_flow_qor(base, cur)
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("current", help="flow_qor --json output to check")
+    ap.add_argument("current", nargs="+",
+                    help="bench --json output(s) to check")
     ap.add_argument("--baseline", default="scripts/qor_baseline.json")
     ap.add_argument("--enforce", action="store_true",
                     help="exit 1 on regressions (default: warn only)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline sections from the current "
+                         "files instead of comparing")
     ap.add_argument("--wall-tolerance", type=float, default=50.0,
                     help="allowed runtime_s increase in %% (default 50)")
     ap.add_argument("--wire-tolerance", type=float, default=5.0,
                     help="allowed wire-node increase in %% (default 5)")
+    ap.add_argument("--reuse-tolerance", type=float, default=5.0,
+                    help="allowed eco reuse_ratio drop in percentage "
+                         "points (default 5)")
     args = ap.parse_args()
 
-    base = by_name(load(args.baseline))
-    cur = by_name(load(args.current))
+    currents = {}
+    for path in args.current:
+        capture = load(path)
+        bench = capture.get("bench", "flow_qor")
+        if bench in currents:
+            print(f"qor_compare: duplicate '{bench}' capture ({path})",
+                  file=sys.stderr)
+            return 2
+        currents[bench] = capture
 
-    regressions = []
-    notes = []
+    if args.update_baseline:
+        try:
+            sections = baseline_sections(load(args.baseline))
+        except SystemExit:
+            sections = {}
+        sections.update(currents)
+        with open(args.baseline, "w") as f:
+            json.dump({"benches": sections}, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"qor_compare: baseline {args.baseline} updated "
+              f"({', '.join(sorted(sections))})")
+        return 0
 
-    for name, b in sorted(base.items()):
-        c = cur.get(name)
-        if c is None:
-            regressions.append(f"{name}: circuit missing from current run")
+    sections = baseline_sections(load(args.baseline))
+    if not sections:
+        print(f"qor_compare: {args.baseline} has no baseline sections",
+              file=sys.stderr)
+        return 2
+
+    gate = Gate(args)
+    for bench, base_capture in sorted(sections.items()):
+        cur_capture = currents.get(bench)
+        if cur_capture is None:
+            gate.regressions.append(
+                f"{bench}: no current capture for this baseline section")
             continue
+        gate.compare(bench, base_capture, cur_capture)
+    for bench in sorted(set(currents) - set(sections)):
+        gate.notes.append(f"{bench}: new bench (not in baseline)")
 
-        def check(metric, tolerance_pct):
-            bv, cv = b.get(metric), c.get(metric)
-            if bv is None or cv is None:
-                return
-            limit = bv * (1.0 + tolerance_pct / 100.0)
-            if cv > limit:
-                regressions.append(
-                    f"{name}: {metric} {bv:g} -> {cv:g} "
-                    f"(+{100.0 * (cv - bv) / bv if bv else 0:.1f}%, "
-                    f"tolerance {tolerance_pct:g}%)")
-            elif cv < bv:
-                notes.append(f"{name}: {metric} improved {bv:g} -> {cv:g}")
-
-        check("channel_width", 0.0)
-        check("wires", args.wire_tolerance)
-        check("luts", 0.0)
-        check("clbs", 0.0)
-        check("config_bits", 0.0)
-        check("runtime_s", args.wall_tolerance)
-        if b.get("verified") and not c.get("verified"):
-            regressions.append(f"{name}: equivalence verification now fails")
-        if b.get("formally_verified") and not c.get("formally_verified"):
-            regressions.append(
-                f"{name}: formal hand-off verification now fails")
-
-    for name in sorted(set(cur) - set(base)):
-        notes.append(f"{name}: new circuit (not in baseline)")
-
-    for n in notes:
+    for n in gate.notes:
         print(f"note: {n}")
-    for r in regressions:
+    for r in gate.regressions:
         print(f"REGRESSION: {r}")
 
-    if not regressions:
-        print(f"qor_compare: OK ({len(base)} circuits vs {args.baseline})")
+    if not gate.regressions:
+        print(f"qor_compare: OK ({len(sections)} bench section(s) vs "
+              f"{args.baseline})")
         return 0
     if args.enforce:
-        print(f"qor_compare: {len(regressions)} regression(s) — failing "
-              "(--enforce)")
+        print(f"qor_compare: {len(gate.regressions)} regression(s) — "
+              "failing (--enforce)")
         return 1
-    print(f"qor_compare: {len(regressions)} regression(s) — warn-only mode, "
-          "not failing the build (pass --enforce to gate)")
+    print(f"qor_compare: {len(gate.regressions)} regression(s) — warn-only "
+          "mode, not failing the build (pass --enforce to gate)")
     return 0
 
 

@@ -100,6 +100,93 @@ Network generate(const BenchSpec& spec) {
   return net;
 }
 
+netlist::Network perturb(const netlist::Network& base, const EditSpec& spec) {
+  Rng rng(spec.seed);
+  Network net = base;
+  const int n_gates = static_cast<int>(net.gates().size());
+  AMDREL_CHECK_MSG(n_gates > 0, "cannot perturb a gate-free network");
+
+  // Safe rewire sources: PIs and latch outputs (never a clock) — feeding
+  // a gate from one of these can never create a combinational cycle.
+  std::vector<SignalId> safe_sources;
+  {
+    std::vector<char> is_clock;
+    is_clock.assign(static_cast<std::size_t>(net.num_signals()), 0);
+    for (const auto& l : net.latches()) {
+      if (l.clock != kNoSignal) is_clock[static_cast<std::size_t>(l.clock)] = 1;
+    }
+    for (SignalId s : net.inputs()) {
+      if (!is_clock[static_cast<std::size_t>(s)]) safe_sources.push_back(s);
+    }
+    for (const auto& l : net.latches()) safe_sources.push_back(l.q);
+  }
+
+  // Random nontrivial table of the same arity, different from `old`.
+  auto retune = [&](const TruthTable& old) {
+    const int k = old.n_inputs();
+    for (;;) {
+      std::uint64_t bits = rng.next_below(1ull << (1 << k));
+      TruthTable t = TruthTable::from_bits(k, bits);
+      if (t.is_constant() || t == old) continue;
+      bool full = true;
+      for (int i = 0; i < k; ++i) full = full && t.depends_on(i);
+      if (full) return t;
+    }
+  };
+
+  for (int i = 0; i < spec.flips; ++i) {
+    netlist::Gate& g = net.gate(static_cast<int>(rng.next_below(
+        static_cast<std::size_t>(n_gates))));
+    g.table = retune(g.table);
+  }
+
+  for (int i = 0; i < spec.rewires && !safe_sources.empty(); ++i) {
+    netlist::Gate& g = net.gate(static_cast<int>(rng.next_below(
+        static_cast<std::size_t>(n_gates))));
+    const std::size_t slot = rng.next_below(g.inputs.size());
+    SignalId repl = kNoSignal;
+    for (int guard = 0; guard < 32; ++guard) {
+      SignalId cand = safe_sources[static_cast<std::size_t>(
+          rng.next_below(safe_sources.size()))];
+      if (std::find(g.inputs.begin(), g.inputs.end(), cand) ==
+          g.inputs.end()) {
+        repl = cand;
+        break;
+      }
+    }
+    if (repl != kNoSignal) g.inputs[slot] = repl;
+  }
+
+  for (int i = 0; i < spec.added_luts; ++i) {
+    // Splice: new_sig = old_out XOR pi, then retarget one gate-consumer of
+    // old_out to new_sig. Both fanins of the new gate already exist, and
+    // the consumer was downstream of old_out before, so no cycle forms.
+    std::vector<std::pair<int, std::size_t>> consumers;  // (gate, slot)
+    const netlist::Gate& src = net.gates()[rng.next_below(
+        static_cast<std::size_t>(n_gates))];
+    const SignalId old_out = src.output;
+    for (int gi = 0; gi < static_cast<int>(net.gates().size()); ++gi) {
+      const auto& ins = net.gates()[static_cast<std::size_t>(gi)].inputs;
+      for (std::size_t k = 0; k < ins.size(); ++k) {
+        if (ins[k] == old_out) consumers.emplace_back(gi, k);
+      }
+    }
+    if (consumers.empty() || safe_sources.empty()) continue;
+    const auto [ci, slot] =
+        consumers[static_cast<std::size_t>(rng.next_below(consumers.size()))];
+    const SignalId pi = safe_sources[static_cast<std::size_t>(
+        rng.next_below(safe_sources.size()))];
+    std::string name = "eco_add" + std::to_string(i);
+    while (net.find_signal(name) != kNoSignal) name += "_";
+    const SignalId fresh = net.add_signal(name);
+    net.add_gate(name, TruthTable::from_bits(2, 0b0110), {old_out, pi}, fresh);
+    net.gate(ci).inputs[slot] = fresh;
+  }
+
+  net.validate();
+  return net;
+}
+
 std::vector<BenchSpec> mcnc_like_suite() {
   // Sizes loosely follow the LGSynth93 range the paper's tools target.
   std::vector<BenchSpec> suite;

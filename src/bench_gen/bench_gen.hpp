@@ -31,4 +31,18 @@ netlist::Network generate(const BenchSpec& spec);
 /// A fixed suite of MCNC-like benchmarks (small → large), deterministic.
 std::vector<BenchSpec> mcnc_like_suite();
 
+/// A deterministic small edit applied to a generated circuit — the ECO
+/// workload model (interactive iteration touches ~1% of a design).
+struct EditSpec {
+  int flips = 0;       ///< truth-table retunes (same wiring, new function)
+  int rewires = 0;     ///< swap one gate fanin to another existing signal
+  int added_luts = 0;  ///< new gates spliced into an existing net
+  std::uint64_t seed = 1;
+};
+
+/// Returns a copy of `base` with the requested edits applied. Primary
+/// inputs/outputs and latch count are preserved, no combinational cycles
+/// are introduced, and the result passes Network::validate().
+netlist::Network perturb(const netlist::Network& base, const EditSpec& spec);
+
 }  // namespace amdrel::bench_gen

@@ -67,4 +67,32 @@ FlowResult run_flow_from_network(const netlist::Network& network,
   return session.take_result();
 }
 
+std::vector<std::pair<std::string, std::string>> fabric_register_map(
+    const netlist::Network& mapped, const pack::PackedNetlist& packed,
+    const place::Placement& placement) {
+  std::vector<std::pair<std::string, std::string>> map;
+  for (std::size_t ci = 0; ci < packed.clusters().size(); ++ci) {
+    const pack::Cluster& cluster = packed.clusters()[ci];
+    const place::Loc& loc = placement.location(
+        placement.block_of_cluster(static_cast<int>(ci)));
+    for (std::size_t slot = 0; slot < cluster.bles.size(); ++slot) {
+      const pack::Ble& ble =
+          packed.bles()[static_cast<std::size_t>(cluster.bles[slot])];
+      if (ble.latch < 0) continue;
+      map.emplace_back(
+          mapped.signal_name(
+              mapped.latches()[static_cast<std::size_t>(ble.latch)].q),
+          strprintf("clb%d_%d_b%zu", loc.x, loc.y, slot));
+    }
+  }
+  return map;
+}
+
+std::vector<std::pair<std::string, std::string>> fabric_register_map(
+    const FlowResult& result) {
+  if (!result.mapped || !result.packed || !result.placement) return {};
+  return fabric_register_map(*result.mapped, *result.packed,
+                             *result.placement);
+}
+
 }  // namespace amdrel::flow

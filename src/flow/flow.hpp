@@ -154,4 +154,17 @@ FlowResult run_flow_from_vhdl(const std::string& vhdl_source,
 FlowResult run_flow_from_network(const netlist::Network& network,
                                  const FlowOptions& options = {});
 
+/// Ground-truth register correspondence between the mapped netlist and
+/// the decoded fabric: packing pins each FF to a BLE slot, placement
+/// pins the cluster to a tile, and those coordinates are exactly the
+/// name the fabric decoder gives the FF's Q output ("clbX_Y_bS"). Feed
+/// to verify::EquivOptions::register_map so sequential matching against
+/// bitgen::decode_to_network output is pinned instead of guessed.
+/// Requires result.mapped / result.packed / result.placement.
+std::vector<std::pair<std::string, std::string>> fabric_register_map(
+    const netlist::Network& mapped, const pack::PackedNetlist& packed,
+    const place::Placement& placement);
+std::vector<std::pair<std::string, std::string>> fabric_register_map(
+    const FlowResult& result);
+
 }  // namespace amdrel::flow

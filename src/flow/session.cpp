@@ -94,10 +94,10 @@ VerifyMode parse_verify_mode(const std::string& name) {
               "' (expected off, random, formal or both)");
 }
 
-void FlowSession::verify_handoff(const std::string& handoff,
-                                 const netlist::Network& ref,
-                                 const netlist::Network& impl,
-                                 bool legacy_random_point) {
+void FlowSession::verify_handoff(
+    const std::string& handoff, const netlist::Network& ref,
+    const netlist::Network& impl, bool legacy_random_point,
+    const std::vector<std::pair<std::string, std::string>>& register_map) {
   const VerifyMode mode = options_.verify_mode;
   if (wants_random(mode) &&
       (legacy_random_point || mode == VerifyMode::kBoth)) {
@@ -120,6 +120,7 @@ void FlowSession::verify_handoff(const std::string& handoff,
   verify::EquivOptions eopt;
   eopt.seed = options_.verify_seed;
   eopt.time_limit_s = options_.verify_time_limit_s;
+  eopt.register_map = register_map;
   const verify::EquivResult res = verify::prove_equivalence(ref, impl, eopt);
   c_formal.add(1);
   c_vars.add(static_cast<std::uint64_t>(res.stats.vars));
@@ -182,7 +183,7 @@ SessionState FlowSession::run_until(Stage last) {
                    "run_until on a failed FlowSession");
   state_ = SessionState::kReady;
   while (next_ <= static_cast<int>(last) && next_ < kNumStages) {
-    if (cancel_requested_.exchange(false, std::memory_order_relaxed)) {
+    if (cancel_requested_.exchange(false, std::memory_order_acq_rel)) {
       state_ = SessionState::kCancelled;
       return state_;
     }
@@ -202,7 +203,7 @@ SessionState FlowSession::run_until(Stage last) {
       // commit their artifacts only on success), so the session stays
       // well-formed at the previous boundary. Consume the request.
       m.wall_s += std::chrono::duration<double>(Clock::now() - t0).count();
-      cancel_requested_.store(false, std::memory_order_relaxed);
+      cancel_requested_.exchange(false, std::memory_order_acq_rel);
       state_ = SessionState::kCancelled;
       return state_;
     } catch (const InfeasibleError& e) {
@@ -233,6 +234,18 @@ SessionState FlowSession::run_until(Stage last) {
     ++next_;
   }
   if (next_ >= kNumStages) state_ = SessionState::kDone;
+  // A cancel that landed after the final requested stage's last
+  // cancellation point (e.g. from a sink callback on that stage's end
+  // span) used to be silently dropped here: the loop exited without
+  // re-checking the flag and a later run_until was spuriously cancelled
+  // by the stale request. Observe and consume it now — the completed
+  // work is kept (completed() reflects it) and the caller sees
+  // kCancelled unless the whole flow finished, where there is nothing
+  // left to cancel.
+  if (cancel_requested_.exchange(false, std::memory_order_acq_rel) &&
+      state_ != SessionState::kDone) {
+    state_ = SessionState::kCancelled;
+  }
   return state_;
 }
 
@@ -426,7 +439,8 @@ void FlowSession::run_route() {
         result_.routing, aspec);
     verify_handoff("routing (VPR)", *result_.mapped,
                    bitgen::decode_to_network(bits),
-                   /*legacy_random_point=*/false);
+                   /*legacy_random_point=*/false,
+                   fabric_register_map(result_));
   }
 }
 
@@ -448,6 +462,95 @@ void FlowSession::run_power() {
                    pack::reconstruct_network(*result_.packed),
                    /*legacy_random_point=*/false);
   }
+}
+
+SessionState FlowSession::resume_with_edit(const netlist::Network& edited,
+                                           eco::EcoStats* stats_out) {
+  AMDREL_CHECK_MSG(state_ == SessionState::kDone,
+                   "resume_with_edit requires a completed session");
+  StageMetrics m;
+  const obs::MetricsSnapshot before = obs::snapshot_metrics();
+  const auto t0 = Clock::now();
+  obs::Span span("flow.eco", t0);
+  try {
+    eco::EcoOptions eopt;
+    eopt.seed = options_.seed;
+    eopt.lutmap = synth::LutMapOptions{result_.arch->k, 8};
+    eopt.route.cancel = &cancel_requested_;
+    eopt.power = options_.power;
+    eco::EcoResult er = eco::recompile(
+        edited, result_.synthesized, *result_.mapped, *result_.packed,
+        *result_.placement, *result_.rr_graph, result_.routing,
+        result_.channel_width, *result_.arch, eopt);
+    // The same invariant barriers the full flow runs, over every
+    // recompiled artifact; failures leave the base artifacts in place.
+    if (options_.check_invariants) {
+      result_.lint.set_stage("eco");
+      lint::lint_network(*er.mapped, &result_.lint);
+      lint::check_post_pack(*er.packed, &result_.lint);
+      lint::check_post_place(*er.placement, &result_.lint);
+      lint::lint_rr_graph(*er.rr_graph, &result_.lint);
+      lint::check_post_route(*er.rr_graph, er.routing, &result_.lint);
+      lint::check_post_bitgen(er.bitstream_bytes, *er.mapped, &result_.lint);
+      barrier(result_.lint, "ECO recompile");
+    }
+    // The safety net: prove the recompiled bitstream implements the
+    // edited netlist before committing anything.
+    if (options_.verify_mode != VerifyMode::kOff) {
+      bitgen::Bitstream reparsed = bitgen::deserialize(er.bitstream_bytes);
+      // Latch Q names survive LUT mapping, so the map built from the
+      // recompiled packing/placement pins `edited`'s registers too.
+      verify_handoff("ECO recompile", edited,
+                     bitgen::decode_to_network(reparsed),
+                     /*legacy_random_point=*/true,
+                     fabric_register_map(*er.mapped, *er.packed,
+                                         *er.placement));
+    }
+    // Commit: the session now holds the edited design's implementation.
+    entry_network_ = edited;
+    result_.synthesized = edited;
+    result_.mapped = std::move(er.mapped);
+    result_.map_stats = er.map_stats;
+    result_.packed = std::move(er.packed);
+    result_.placement = std::move(er.placement);
+    result_.place_stats = er.place_stats;
+    result_.rr_graph = std::move(er.rr_graph);
+    result_.routing = std::move(er.routing);
+    result_.channel_width = er.channel_width;
+    result_.power = er.power;
+    result_.timing = er.timing;
+    result_.bitstream = std::move(er.bitstream);
+    result_.bitstream_bytes = std::move(er.bitstream_bytes);
+    eco_stats_ = er.stats;
+    if (stats_out != nullptr) *stats_out = er.stats;
+  } catch (const CancelledError&) {
+    m.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    eco_metrics_ = std::move(m);
+    cancel_requested_.exchange(false, std::memory_order_acq_rel);
+    return SessionState::kCancelled;
+  } catch (const InfeasibleError& e) {
+    throw InfeasibleError(std::string("ECO recompile failed: ") + e.what());
+  } catch (const Error& e) {
+    throw Error(std::string("ECO recompile failed: ") + e.what());
+  }
+  m.ran = true;
+  const auto t1 = Clock::now();
+  m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  span.freeze_duration(t1);
+  m.peak_rss_kb = obs::peak_rss_kb();
+  m.counters = counter_deltas(before, obs::snapshot_metrics());
+  span.metric("wall_s", m.wall_s);
+  span.metric("peak_rss_kb", static_cast<double>(m.peak_rss_kb));
+  if (span.active()) {
+    for (const auto& [name, value] : m.counters) {
+      span.metric(name.c_str(), static_cast<double>(value));
+    }
+    span.metric("dirty_pct", eco_stats_.entry_diff.dirty_pct() * 100.0);
+    span.metric("reuse_ratio", eco_stats_.reuse_ratio());
+    span.metric("channel_width", result_.channel_width);
+  }
+  eco_metrics_ = std::move(m);
+  return SessionState::kDone;
 }
 
 void FlowSession::run_bitgen() {
@@ -478,7 +581,7 @@ void FlowSession::run_bitgen() {
         bitgen::deserialize(result_.bitstream_bytes);
     netlist::Network fabric = bitgen::decode_to_network(reparsed);
     verify_handoff("bitstream (DAGGER)", *result_.mapped, fabric,
-                   /*legacy_random_point=*/true);
+                   /*legacy_random_point=*/true, fabric_register_map(result_));
   }
 }
 

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "eco/eco.hpp"
 #include "flow/flow.hpp"
 #include "obs/obs.hpp"
 
@@ -63,12 +64,31 @@ class FlowSession {
   /// Runs every remaining stage: run_until(Stage::kBitgen).
   SessionState resume() { return run_until(Stage::kBitgen); }
 
+  /// ECO: incrementally recompiles an edited entry network against this
+  /// session's completed artifacts (requires state() == kDone; see
+  /// src/eco). On success the session's artifacts are replaced by the
+  /// edited design's implementation, the recompiled bitstream is proven
+  /// equivalent to `edited` per options().verify_mode, and kDone is
+  /// returned; eco_stats()/eco_metrics() report what was reused. On a
+  /// cancel() the attempt is discarded and kCancelled is returned with
+  /// the session unchanged (still kDone, base artifacts intact); a
+  /// verification or stage failure also leaves the base artifacts intact
+  /// and rethrows.
+  SessionState resume_with_edit(const netlist::Network& edited,
+                                eco::EcoStats* stats_out = nullptr);
+
   /// Requests cooperative cancellation. Safe to call from any thread (and
   /// from an obs::Sink callback). The running stage stops at its next
   /// cancellation point — between stages, per PathFinder iteration, and
   /// per min-W probe — discarding only the interrupted stage's partial
-  /// work, so the session stays well-formed and resumable.
-  void cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+  /// work, so the session stays well-formed and resumable. A request that
+  /// lands after the last cancellation point of the final requested stage
+  /// is still observed: run_until reports kCancelled at exit (the work is
+  /// complete — completed() shows it — and resume() continues normally).
+  /// The release store pairs with the acquire exchanges in run_until, so
+  /// writes made by the cancelling thread before cancel() are visible to
+  /// the flow thread when it observes the request.
+  void cancel() { cancel_requested_.store(true, std::memory_order_release); }
 
   SessionState state() const { return state_; }
   /// The next stage run_until would execute (nullopt once kDone).
@@ -80,6 +100,10 @@ class FlowSession {
   const StageMetrics& metrics(Stage stage) const {
     return result_.metrics(stage);
   }
+  /// Wall time / counters of the last resume_with_edit call (ran == false
+  /// until one completes), and its reuse statistics.
+  const StageMetrics& eco_metrics() const { return eco_metrics_; }
+  const eco::EcoStats& eco_stats() const { return eco_stats_; }
 
   const FlowOptions& options() const { return options_; }
 
@@ -100,10 +124,14 @@ class FlowSession {
   /// mismatch (with the counterexample) and Error when the formal proof
   /// is inconclusive within budget. SAT effort lands on the registry's
   /// verify.* counters, so it folds into the stage's StageMetrics.
-  void verify_handoff(const std::string& handoff,
-                      const netlist::Network& ref,
-                      const netlist::Network& impl,
-                      bool legacy_random_point);
+  /// `register_map`, when non-empty, pins the sequential matching
+  /// (flow::fabric_register_map) — required for fabric-decode hand-offs
+  /// on designs with enough identical-signature FFs to defeat guessing.
+  void verify_handoff(
+      const std::string& handoff, const netlist::Network& ref,
+      const netlist::Network& impl, bool legacy_random_point,
+      const std::vector<std::pair<std::string, std::string>>& register_map =
+          {});
   void run_stage(Stage stage);
   void run_synth();
   void run_map();
@@ -126,6 +154,8 @@ class FlowSession {
   int next_ = 0;  ///< index of the next stage to run
   SessionState state_ = SessionState::kReady;
   std::atomic<bool> cancel_requested_{false};
+  StageMetrics eco_metrics_;
+  eco::EcoStats eco_stats_;
 };
 
 }  // namespace amdrel::flow

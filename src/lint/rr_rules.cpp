@@ -1,5 +1,6 @@
 #include "lint/rr_rules.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -38,9 +39,11 @@ std::string node_desc(const std::vector<RrNode>& nodes, int id) {
 // RR005: edges must target real nodes, never self-loop, never repeat.
 void check_edges(const std::vector<RrNode>& nodes, Report* report) {
   const int n = static_cast<int>(nodes.size());
+  // Duplicate detection via a stamp array instead of a per-node set: one
+  // allocation for the whole graph, O(1) per edge.
+  std::vector<int> seen_stamp(static_cast<std::size_t>(n), -1);
   for (int id = 0; id < n; ++id) {
     const RrNode& node = nodes[static_cast<std::size_t>(id)];
-    std::set<int> seen;
     for (int to : node.out_edges) {
       if (to < 0 || to >= n) {
         report->add(rules::kRrInvalidEdge, node_desc(nodes, id),
@@ -52,10 +55,11 @@ void check_edges(const std::vector<RrNode>& nodes, Report* report) {
                     "self-loop edge");
         continue;
       }
-      if (!seen.insert(to).second) {
+      if (seen_stamp[static_cast<std::size_t>(to)] == id) {
         report->add(rules::kRrInvalidEdge, node_desc(nodes, id),
                     strprintf("duplicate edge to node %d", to));
       }
+      seen_stamp[static_cast<std::size_t>(to)] = id;
     }
   }
 }
@@ -82,8 +86,16 @@ void check_unreachable(const std::vector<RrNode>& nodes, Report* report) {
 // track indices 0..W-1.
 void check_channel_width(const std::vector<RrNode>& nodes, int channel_width,
                          Report* report) {
-  // (type, x, y) -> set of track indices present.
-  std::map<std::tuple<int, int, int>, std::set<int>> channels;
+  // One (position, track) key per wire, then a sort: duplicates and
+  // per-position track counts fall out of one linear scan, with no
+  // map-of-sets allocation churn on the hot path.
+  std::vector<std::uint64_t> keys;  // (type, x, y) << 16 | track
+  keys.reserve(nodes.size());
+  auto pos_of = [](std::uint64_t key) {
+    return std::make_tuple(static_cast<int>(key >> 48),
+                           static_cast<int>((key >> 32) & 0xffff),
+                           static_cast<int>((key >> 16) & 0xffff));
+  };
   for (std::size_t id = 0; id < nodes.size(); ++id) {
     const RrNode& node = nodes[id];
     if (!is_wire(node.type)) continue;
@@ -93,23 +105,41 @@ void check_channel_width(const std::vector<RrNode>& nodes, int channel_width,
                             channel_width));
       continue;
     }
-    auto key = std::make_tuple(static_cast<int>(node.type), node.x, node.y);
-    if (!channels[key].insert(node.track).second) {
-      report->add(rules::kRrChannelWidth, node_desc(nodes, static_cast<int>(id)),
-                  "duplicate wire for this channel position and track");
-    }
+    keys.push_back((static_cast<std::uint64_t>(node.type) << 48) |
+                   (static_cast<std::uint64_t>(node.x) << 32) |
+                   (static_cast<std::uint64_t>(node.y) << 16) |
+                   static_cast<std::uint64_t>(node.track));
   }
-  for (const auto& [key, tracks] : channels) {
-    if (static_cast<int>(tracks.size()) != channel_width) {
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size();) {
+    const std::uint64_t pos = keys[i] >> 16;
+    int tracks = 0;
+    for (; i < keys.size() && (keys[i] >> 16) == pos; ++i) {
+      ++tracks;
+      if (i + 1 < keys.size() && keys[i + 1] == keys[i]) {
+        report->add(rules::kRrChannelWidth,
+                    strprintf("%s channel at %d,%d track %d",
+                              static_cast<int>(keys[i] >> 48) ==
+                                      static_cast<int>(RrType::kChanX)
+                                  ? "CHANX"
+                                  : "CHANY",
+                              static_cast<int>((keys[i] >> 32) & 0xffff),
+                              static_cast<int>((keys[i] >> 16) & 0xffff),
+                              static_cast<int>(keys[i] & 0xffff)),
+                    "duplicate wire for this channel position and track");
+        for (; i + 1 < keys.size() && keys[i + 1] == keys[i]; ++i) {
+        }
+      }
+    }
+    if (tracks != channel_width) {
+      const auto [t, x, y] = pos_of(keys[i - 1]);
       report->add(
           rules::kRrChannelWidth,
           strprintf("%s channel at %d,%d",
-                    std::get<0>(key) == static_cast<int>(RrType::kChanX)
-                        ? "CHANX"
-                        : "CHANY",
-                    std::get<1>(key), std::get<2>(key)),
-          strprintf("%d track(s) present, W=%d declared",
-                    static_cast<int>(tracks.size()), channel_width));
+                    t == static_cast<int>(RrType::kChanX) ? "CHANX" : "CHANY",
+                    x, y),
+          strprintf("%d track(s) present, W=%d declared", tracks,
+                    channel_width));
     }
   }
 }
@@ -120,7 +150,9 @@ void check_channel_width(const std::vector<RrNode>& nodes, int channel_width,
 // RR004: a wire with no outgoing switch is dead capacitance.
 void check_wires(const std::vector<RrNode>& nodes, Report* report) {
   const int n = static_cast<int>(nodes.size());
-  std::unordered_set<std::uint64_t> wire_edges;
+  // Sorted edge list + binary search for the return direction: flat
+  // memory instead of a hash set sized like the whole switch fabric.
+  std::vector<std::uint64_t> wire_edges;
   auto key = [](int a, int b) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
            static_cast<std::uint32_t>(b);
@@ -134,14 +166,18 @@ void check_wires(const std::vector<RrNode>& nodes, Report* report) {
     }
     for (int to : node.out_edges) {
       if (to >= 0 && to < n && is_wire(nodes[static_cast<std::size_t>(to)].type)) {
-        wire_edges.insert(key(id, to));
+        wire_edges.push_back(key(id, to));
       }
     }
   }
+  std::sort(wire_edges.begin(), wire_edges.end());
+  wire_edges.erase(std::unique(wire_edges.begin(), wire_edges.end()),
+                   wire_edges.end());
   for (std::uint64_t k : wire_edges) {
     const int a = static_cast<int>(k >> 32);
     const int b = static_cast<int>(k & 0xffffffffu);
-    if (!wire_edges.count(key(b, a))) {
+    if (!std::binary_search(wire_edges.begin(), wire_edges.end(),
+                            key(b, a))) {
       report->add(rules::kRrAsymmetricSwitch, node_desc(nodes, a),
                   strprintf("switch to node %d has no return direction", b));
     }

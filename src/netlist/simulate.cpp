@@ -10,9 +10,24 @@
 namespace amdrel::netlist {
 
 Simulator::Simulator(const Network& network) : net_(&network) {
-  topo_ = network.topo_order();
+  const std::vector<int> topo = network.topo_order();
+  flat_.reserve(topo.size());
+  for (int gi : topo) {
+    const Gate& g = network.gates()[static_cast<std::size_t>(gi)];
+    FlatGate fg;
+    fg.output = g.output;
+    fg.in_begin = static_cast<std::uint32_t>(flat_inputs_.size());
+    for (SignalId s : g.inputs) flat_inputs_.push_back(s);
+    fg.in_end = static_cast<std::uint32_t>(flat_inputs_.size());
+    fg.words = g.table.words().data();
+    flat_.push_back(fg);
+  }
   values_.assign(static_cast<std::size_t>(network.num_signals()), 0);
   prev_values_ = values_;
+  is_input_.assign(values_.size(), 0);
+  for (SignalId s : network.inputs()) {
+    is_input_[static_cast<std::size_t>(s)] = 1;
+  }
   toggles_.assign(values_.size(), 0);
   reset();
 }
@@ -26,7 +41,9 @@ void Simulator::reset() {
 }
 
 void Simulator::set_input(SignalId s, bool value) {
-  AMDREL_CHECK_MSG(net_->is_input(s), "not a primary input");
+  AMDREL_CHECK_MSG(s >= 0 && static_cast<std::size_t>(s) < is_input_.size() &&
+                       is_input_[static_cast<std::size_t>(s)],
+                   "not a primary input");
   values_[static_cast<std::size_t>(s)] = value;
 }
 
@@ -37,20 +54,26 @@ void Simulator::set_input_by_name(const std::string& name, bool value) {
 }
 
 void Simulator::propagate() {
-  for (int gi : topo_) {
-    const Gate& g = net_->gates()[static_cast<std::size_t>(gi)];
+  const char* v = values_.data();
+  const int* ins = flat_inputs_.data();
+  for (const FlatGate& g : flat_) {
     std::uint64_t row = 0;
-    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
-      if (values_[static_cast<std::size_t>(g.inputs[i])]) row |= 1ull << i;
+    for (std::uint32_t i = g.in_begin; i < g.in_end; ++i) {
+      row |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(v[ins[i]]) & 1u)
+             << (i - g.in_begin);
     }
-    values_[static_cast<std::size_t>(g.output)] = g.table.get(row);
+    values_[static_cast<std::size_t>(g.output)] =
+        static_cast<char>((g.words[row >> 6] >> (row & 63)) & 1);
   }
-  if (!first_propagate_) {
-    for (std::size_t s = 0; s < values_.size(); ++s) {
-      if (values_[s] != prev_values_[s]) ++toggles_[s];
+  if (track_toggles_) {
+    if (!first_propagate_) {
+      for (std::size_t s = 0; s < values_.size(); ++s) {
+        if (values_[s] != prev_values_[s]) ++toggles_[s];
+      }
     }
+    prev_values_ = values_;
   }
-  prev_values_ = values_;
   first_propagate_ = false;
 }
 
@@ -98,23 +121,40 @@ EquivalenceResult check_equivalence(const Network& a, const Network& b,
     return r;
   }
 
+  // Resolve the name matching once; the cycle loop then works purely on
+  // signal ids (a by-name lookup per input per cycle dominates the whole
+  // check on small designs).
+  std::vector<std::pair<SignalId, SignalId>> in_ids, out_ids;
+  in_ids.reserve(in_a.size());
+  out_ids.reserve(out_a.size());
+  for (const auto& name : in_a) {
+    in_ids.emplace_back(a.find_signal(name), b.find_signal(name));
+  }
+  for (const auto& name : out_a) {
+    out_ids.emplace_back(a.find_signal(name), b.find_signal(name));
+  }
+
   Simulator sim_a(a), sim_b(b);
+  sim_a.set_track_toggles(false);
+  sim_b.set_track_toggles(false);
   Rng rng(seed);
   for (int run = 0; run < n_runs; ++run) {
     sim_a.reset();
     sim_b.reset();
     for (int cycle = 0; cycle < n_cycles; ++cycle) {
-      for (const auto& name : in_a) {
+      for (const auto& [ia, ib] : in_ids) {
         bool v = rng.next_bool();
-        sim_a.set_input_by_name(name, v);
-        sim_b.set_input_by_name(name, v);
+        sim_a.set_input(ia, v);
+        sim_b.set_input(ib, v);
       }
       sim_a.propagate();
       sim_b.propagate();
-      for (const auto& name : out_a) {
-        bool va = sim_a.value(a.find_signal(name));
-        bool vb = sim_b.value(b.find_signal(name));
+      for (std::size_t oi = 0; oi < out_ids.size(); ++oi) {
+        bool va = sim_a.value(out_ids[oi].first);
+        bool vb = sim_b.value(out_ids[oi].second);
         if (va != vb) {
+          const auto& name = *std::next(out_a.begin(),
+                                        static_cast<long>(oi));
           r.message = strprintf("output '%s' differs at run %d cycle %d (%d vs %d)",
                                 name.c_str(), run, cycle, va ? 1 : 0,
                                 vb ? 1 : 0);

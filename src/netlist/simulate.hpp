@@ -38,12 +38,31 @@ class Simulator {
   /// changes observed across propagate() calls.
   const std::vector<std::uint64_t>& toggle_counts() const { return toggles_; }
 
+  /// Toggle counting costs two full passes over the value array per
+  /// propagate(); callers that only compare outputs (equivalence checks)
+  /// can switch it off.
+  void set_track_toggles(bool on) { track_toggles_ = on; }
+
  private:
+  /// One gate of the flattened evaluation order: inputs are a slice of
+  /// `flat_inputs_`, the table a pointer into the gate's own words (the
+  /// network outlives the simulator). Avoids the indirections and
+  /// per-call bounds checks of Gate/TruthTable in the propagate loop.
+  struct FlatGate {
+    int output;
+    std::uint32_t in_begin;
+    std::uint32_t in_end;
+    const std::uint64_t* words;
+  };
+
   const Network* net_;
-  std::vector<int> topo_;
+  std::vector<FlatGate> flat_;      ///< topological order
+  std::vector<int> flat_inputs_;
   std::vector<char> values_;
   std::vector<char> prev_values_;
+  std::vector<char> is_input_;      ///< by SignalId
   std::vector<std::uint64_t> toggles_;
+  bool track_toggles_ = true;
   bool first_propagate_ = true;
 };
 

@@ -58,6 +58,10 @@ class TruthTable {
   /// Hex string, LSB nibble first row group (for dumps/tests).
   std::string to_hex() const;
 
+  /// Raw table words (bit r of word r/64 = output for row r). For hot
+  /// evaluation loops that index the bits directly (simulation).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
  private:
   int n_inputs_;
   std::vector<std::uint64_t> words_;

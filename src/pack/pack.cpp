@@ -19,6 +19,15 @@ using netlist::SignalId;
 
 PackedNetlist::PackedNetlist(const Network& network,
                              const arch::ArchSpec& spec)
+    : PackedNetlist(network, spec, static_cast<const PackHints*>(nullptr)) {}
+
+PackedNetlist::PackedNetlist(const Network& network, const arch::ArchSpec& spec,
+                             const PackHints& hints)
+    : PackedNetlist(network, spec, &hints) {}
+
+PackedNetlist::PackedNetlist(const Network& network,
+                             const arch::ArchSpec& spec,
+                             const PackHints* hints)
     : network_(&network), spec_(&spec) {
   for (const auto& g : network.gates()) {
     AMDREL_CHECK_MSG(g.table.n_inputs() <= spec.k,
@@ -26,7 +35,7 @@ PackedNetlist::PackedNetlist(const Network& network,
   }
   obs::Span span("pack.cluster");
   form_bles();
-  pack_clusters();
+  pack_clusters(hints);
   validate();
   static obs::Counter& c_bles = obs::counter("pack.bles");
   static obs::Counter& c_clusters = obs::counter("pack.clusters");
@@ -96,7 +105,7 @@ void PackedNetlist::form_bles() {
   }
 }
 
-void PackedNetlist::pack_clusters() {
+void PackedNetlist::pack_clusters(const PackHints* hints) {
   const Network& net = *network_;
   const int capacity = spec_->n;
   const int max_inputs = spec_->cluster_inputs();
@@ -175,6 +184,57 @@ void PackedNetlist::pack_clusters() {
     if (w.external_inputs.count(b.output)) score += 2;
     return score;
   };
+
+  // ECO hint pre-pass: recreate previous clusters all-or-nothing, in hint
+  // order and with their original slot order, before greedy packing sees
+  // the netlist. A hint fails cleanly (rollback, BLEs stay free) when a
+  // named BLE is gone, already taken, or the constraints no longer hold.
+  if (hints != nullptr) {
+    std::map<std::string, int> ble_by_output;
+    for (std::size_t bi = 0; bi < bles_.size(); ++bi) {
+      ble_by_output[net.signal_name(bles_[bi].output)] = static_cast<int>(bi);
+    }
+    hint_cluster_.assign(hints->clusters.size(), -1);
+    for (std::size_t hi = 0; hi < hints->clusters.size(); ++hi) {
+      std::vector<int> members;
+      members.reserve(hints->clusters[hi].size());
+      bool ok = !hints->clusters[hi].empty();
+      for (const std::string& name : hints->clusters[hi]) {
+        auto it = ble_by_output.find(name);
+        if (it == ble_by_output.end() ||
+            clustered[static_cast<std::size_t>(it->second)]) {
+          ok = false;
+          break;
+        }
+        members.push_back(it->second);
+      }
+      if (ok) {
+        Work w;
+        for (int bi : members) {
+          if (!w.members.empty() && !can_add(w, bi)) {
+            ok = false;
+            break;
+          }
+          add_to(w, bi);
+        }
+        if (ok) {
+          Cluster cluster;
+          cluster.bles = w.members;
+          cluster.clock = w.clock;
+          cluster.input_signals.assign(w.external_inputs.begin(),
+                                       w.external_inputs.end());
+          for (int bi : w.members) {
+            ble_cluster_[static_cast<std::size_t>(bi)] =
+                static_cast<int>(clusters_.size());
+          }
+          hint_cluster_[hi] = static_cast<int>(clusters_.size());
+          clusters_.push_back(std::move(cluster));
+        } else {
+          for (int bi : w.members) clustered[static_cast<std::size_t>(bi)] = 0;
+        }
+      }
+    }
+  }
 
   // Seed order: most inputs first (T-VPack's unconnected-seed heuristic).
   std::vector<int> seeds(bles_.size());

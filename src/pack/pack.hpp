@@ -33,9 +33,23 @@ struct Cluster {
   netlist::SignalId clock = netlist::kNoSignal;
 };
 
+/// ECO reuse hints: clusters from a previous packing, named by the BLE
+/// output signals in slot order. Each hint is all-or-nothing — if every
+/// named BLE exists in the new netlist, is still unclustered and the
+/// cluster satisfies the N/I/clock constraints, it is recreated with the
+/// same slot order (so per-slot OPIN wiring survives); otherwise the hint
+/// is dropped and those BLEs fall back to greedy packing.
+struct PackHints {
+  std::vector<std::vector<std::string>> clusters;
+};
+
 class PackedNetlist {
  public:
   PackedNetlist(const netlist::Network& network, const arch::ArchSpec& spec);
+
+  /// Packs with reuse hints; hint_cluster() reports which hints survived.
+  PackedNetlist(const netlist::Network& network, const arch::ArchSpec& spec,
+                const PackHints& hints);
 
   const netlist::Network& network() const { return *network_; }
   const arch::ArchSpec& spec() const { return *spec_; }
@@ -44,6 +58,10 @@ class PackedNetlist {
 
   /// Cluster index containing each BLE.
   int cluster_of_ble(int ble) const { return ble_cluster_[static_cast<std::size_t>(ble)]; }
+
+  /// For the hints constructor: hint index → recreated cluster index, or
+  /// -1 where the hint could not be applied. Empty without hints.
+  const std::vector<int>& hint_cluster() const { return hint_cluster_; }
 
   /// Statistics line for reports.
   std::string stats() const;
@@ -58,14 +76,18 @@ class PackedNetlist {
   void validate() const;
 
  private:
+  PackedNetlist(const netlist::Network& network, const arch::ArchSpec& spec,
+                const PackHints* hints);
+
   void form_bles();
-  void pack_clusters();
+  void pack_clusters(const PackHints* hints);
 
   const netlist::Network* network_;
   const arch::ArchSpec* spec_;
   std::vector<Ble> bles_;
   std::vector<Cluster> clusters_;
   std::vector<int> ble_cluster_;
+  std::vector<int> hint_cluster_;
   std::uint64_t absorbed_nets_ = 0;  ///< nets internalised during growth
   std::uint64_t rollbacks_ = 0;      ///< candidate adds rejected by can_add
 };

@@ -225,11 +225,18 @@ Placement::AnnealStats Placement::anneal(const AnnealOptions& options) {
   stats.initial_cost = total_cost();
   obs::Span span("place.anneal");
 
-  // Block lists by type for move selection.
+  // Block lists by type for move selection (locked blocks excluded: they
+  // are never picked, and propose_and_apply rejects swaps onto them).
   std::vector<int> clbs, ios;
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (options.movable != nullptr && !(*options.movable)[b]) continue;
     (blocks_[b].kind == BlockKind::kClb ? clbs : ios).push_back(
         static_cast<int>(b));
+  }
+  if (clbs.empty() && ios.empty()) {
+    stats.final_cost = stats.initial_cost;
+    validate();
+    return stats;
   }
 
   // Occupancy map: location → block (or -1).
@@ -246,14 +253,18 @@ Placement::AnnealStats Placement::anneal(const AnnealOptions& options) {
   auto clb_locs = legal_clb_locs();
   auto io_locs = legal_io_locs();
 
-  const int n_blocks = static_cast<int>(blocks_.size());
+  const int n_blocks = static_cast<int>(clbs.size() + ios.size());
   const long long moves_per_t = std::max<long long>(
       32, static_cast<long long>(options.inner_num *
                                  std::pow(n_blocks, 4.0 / 3.0)));
 
   // Initial temperature: 20 × stddev of random-move deltas (VPR).
   double cost = stats.initial_cost;
-  double rlim = std::max(nx_, ny_);
+  const double rlim_cap =
+      options.rlim_max > 0
+          ? std::min(options.rlim_max, static_cast<double>(std::max(nx_, ny_)))
+          : static_cast<double>(std::max(nx_, ny_));
+  double rlim = rlim_cap;
 
   const std::size_t n_nets = nets_.size();
 
@@ -471,6 +482,10 @@ Placement::AnnealStats Placement::anneal(const AnnealOptions& options) {
       // construction, so this triggers only when pads share coordinates.
       return false;
     }
+    if (other >= 0 && options.movable != nullptr &&
+        !(*options.movable)[static_cast<std::size_t>(other)]) {
+      return false;  // would displace a locked block
+    }
 
     double delta = 0;
     if (options.incremental) {
@@ -664,8 +679,7 @@ Placement::AnnealStats Placement::anneal(const AnnealOptions& options) {
     else alpha = 0.8;
     t *= alpha;
     // Window adaptation toward 44% acceptance.
-    rlim = std::clamp(rlim * (1.0 - 0.44 + alpha_rate), 1.0,
-                      static_cast<double>(std::max(nx_, ny_)));
+    rlim = std::clamp(rlim * (1.0 - 0.44 + alpha_rate), 1.0, rlim_cap);
     if (obs::enabled()) {
       obs::point("place.temperature",
                  {{"t", t},

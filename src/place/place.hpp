@@ -83,6 +83,14 @@ class Placement {
     /// false = recompute every affected net's bbox per move — slow, kept
     /// as the correctness oracle for the incremental path.
     bool incremental = true;
+    /// ECO: per-block movability mask (indexed by block id). Blocks
+    /// outside the mask keep their locations bit-for-bit: they are never
+    /// picked, and swaps that would displace one are rejected. nullptr =
+    /// every block is movable.
+    const std::vector<char>* movable = nullptr;
+    /// Cap on the annealer's move-radius window (rlim); <= 0 = the grid
+    /// dimension. ECO uses a small cap for radius-limited local moves.
+    double rlim_max = -1.0;
   };
   struct AnnealStats {
     double initial_cost = 0;
@@ -96,11 +104,14 @@ class Placement {
   /// Checks no two blocks share a location and all locations are legal.
   void validate() const;
 
+  /// Every legal CLB / IO-pad location on this grid, in deterministic
+  /// scan order (public so the ECO engine can assign freed slots).
+  std::vector<Loc> legal_clb_locs() const;
+  std::vector<Loc> legal_io_locs() const;
+
  private:
   void build_blocks_and_nets();
   void initial_place(std::uint64_t seed);
-  std::vector<Loc> legal_clb_locs() const;
-  std::vector<Loc> legal_io_locs() const;
 
   const pack::PackedNetlist* packed_;
   const arch::ArchSpec* spec_;

@@ -147,9 +147,27 @@ class PathFinder {
     astar_mult_ = options.astar_fac * min_step_cost_;
   }
 
+  /// ECO warm start: pre-commits `seeds[ni]` (tree + occupancy) for every
+  /// net whose `dirty` flag is clear, and exempts those nets from the
+  /// first routing pass. Must be called before run().
+  void seed(const std::vector<NetRoute>& seeds,
+            const std::vector<char>& dirty) {
+    AMDREL_CHECK(static_cast<int>(seeds.size()) == n_nets_);
+    AMDREL_CHECK(static_cast<int>(dirty.size()) == n_nets_);
+    seeds_ = &seeds;
+    for (int ni = 0; ni < n_nets_; ++ni) {
+      const std::size_t i = static_cast<std::size_t>(ni);
+      if (dirty[i] || seeds[i].nodes.empty()) continue;
+      net_nodes_[i] = seeds[i].nodes;
+      for (int id : seeds[i].nodes) ++occupancy_[static_cast<std::size_t>(id)];
+      reroute_[i] = 0;
+    }
+  }
+
   RouteResult run(const std::vector<double>* initial_history) {
     obs::Span span("route.pathfinder");
     RouteResult result = run_impl(initial_history);
+    result.nets_rerouted = rerouted_nets_;
     if (span.active()) {
       span.metric("iterations", result.iterations);
       span.metric("ripups", static_cast<double>(ripups_));
@@ -180,6 +198,15 @@ class PathFinder {
     const auto& nodes = graph_->nodes();
     RouteResult result;
     result.routes.assign(static_cast<std::size_t>(n_nets_), NetRoute{});
+    net_touched_.assign(static_cast<std::size_t>(n_nets_), 0);
+    if (seeds_ != nullptr) {
+      for (int ni = 0; ni < n_nets_; ++ni) {
+        const std::size_t i = static_cast<std::size_t>(ni);
+        if (!reroute_[i] && !net_nodes_[i].empty()) {
+          result.routes[i] = (*seeds_)[i];
+        }
+      }
+    }
 
     double pres_fac = options_->first_iter_pres_fac;
     int best_overused = std::numeric_limits<int>::max();
@@ -197,12 +224,19 @@ class PathFinder {
       for (int ni = 0; ni < n_nets_; ++ni) {
         if (graph_->sinks_of_net(ni).empty()) continue;
         if (!reroute_[static_cast<std::size_t>(ni)]) continue;
+        if (!net_touched_[static_cast<std::size_t>(ni)]) {
+          net_touched_[static_cast<std::size_t>(ni)] = 1;
+          ++rerouted_nets_;
+        }
         rip_up(ni);
         if (route_net(ni, pres_fac)) {
           commit(ni, &result.routes[static_cast<std::size_t>(ni)]);
         } else {
           result.routes[static_cast<std::size_t>(ni)] = NetRoute{};
-          if (iter == 1) {
+          // spare_only blocks full nodes, so "no path" means "no spare
+          // capacity here", not "the graph cannot connect this net" —
+          // leave the net unrouted and let the caller negotiate for it.
+          if (iter == 1 && !options_->spare_only) {
             // No path even with congestion only priced, not blocked: the
             // graph simply cannot connect this net.
             result.success = false;
@@ -455,6 +489,9 @@ class PathFinder {
             }
             if (!wanted) continue;
           }
+          if (options_->spare_only && occupancy_[vi] >= cap_[vi]) {
+            continue;  // full node is an obstacle, not a price
+          }
           const double c = pc + node_cost(next, pres_fac);
           if (visit_mark_[vi] == visit_token_ && best_cost_[vi] <= c) {
             continue;
@@ -500,6 +537,9 @@ class PathFinder {
   const RouteOptions* options_;
   int n_nodes_ = 0;
   int n_nets_ = 0;
+  const std::vector<NetRoute>* seeds_ = nullptr;  ///< ECO warm-start trees
+  std::vector<char> net_touched_;  ///< seeded runs: net was ever rerouted
+  int rerouted_nets_ = 0;   ///< distinct nets the wavefront routed
   long long ripups_ = 0;    ///< committed trees torn up (obs)
   int last_overused_ = 0;   ///< overused count of the last iteration (obs)
   double min_step_cost_ = 1.0;
@@ -599,6 +639,68 @@ RouteResult route_all(const RrGraph& graph, const place::Placement& placement,
   RouteResult result =
       route_with_history(graph, placement, options, nullptr, nullptr);
   if (cancelled(options)) throw CancelledError("routing cancelled");
+  return result;
+}
+
+RouteResult route_seeded(const RrGraph& graph,
+                         const place::Placement& placement,
+                         const std::vector<NetRoute>& seeds,
+                         const std::vector<char>& dirty,
+                         const RouteOptions& options) {
+  int n_dirty = 0;
+  for (char d : dirty) n_dirty += d != 0;
+  // The spare pass is worth one cheap iteration only for small edits: a
+  // large dirty set (an edit that re-packed whole regions) almost never
+  // fits in the spare capacity, and every failing net pays a full
+  // exhaustive wavefront before giving up.
+  const bool small_edit =
+      n_dirty * 8 < static_cast<int>(dirty.size());
+
+  // Pass 1 — spare capacity only: route the dirty nets with every full
+  // node treated as a hard obstacle. The clean trees cannot be disturbed
+  // and no overuse can form, so one iteration yields a legal tree for
+  // every dirty net that fits in the spare capacity (the common case at a
+  // channel width with headroom). Best-effort: a net with no spare path
+  // is simply left unrouted for the negotiation pass below.
+  if (small_edit) {
+    RouteOptions spare = options;
+    spare.incremental = true;
+    spare.spare_only = true;
+    spare.max_iterations = 1;
+    PathFinder pf1(graph, placement, spare);
+    pf1.seed(seeds, dirty);
+    RouteResult r1 = pf1.run(nullptr);
+    if (cancelled(spare)) throw CancelledError("routing cancelled");
+    if (r1.success) return r1;
+  }
+
+  // Pass 2 — negotiate from the original seeds. Re-seeding from pass 1's
+  // partial result is tempting but wrong: the spare-routed trees are
+  // greedy first-come detours that consume exactly the capacity the
+  // leftover nets needed, and negotiating around them converges worse
+  // than re-deciding all dirty nets together. The seeds are a legal
+  // overuse-free solution: route the dirty nets around it under
+  // mid-schedule congestion pressure (a cold start would send them
+  // straight through the clean trees; a fully-mature one makes contested
+  // nets oscillate with no history to arbitrate), and never force a full
+  // re-negotiation — a refresh would reroute every clean net and turn the
+  // seeded run back into a cold one. Iterations touch only the handful of
+  // contested nets, so a deeper budget is cheap.
+  RouteOptions opts = options;
+  opts.incremental = true;  // partial rip-up is the point of seeding
+  opts.first_iter_pres_fac =
+      options.first_iter_pres_fac *
+      std::pow(options.pres_fac_mult, 4.0);
+  // A steeper schedule than the cold router's: the few contested nets
+  // oscillate until pressure breaks the tie, and each extra iteration
+  // here is pure tail latency.
+  opts.pres_fac_mult = options.pres_fac_mult * 1.25;
+  opts.refresh_interval = std::numeric_limits<int>::max();
+  opts.max_iterations = options.max_iterations * 2;
+  PathFinder pf2(graph, placement, opts);
+  pf2.seed(seeds, dirty);
+  RouteResult result = pf2.run(nullptr);
+  if (cancelled(opts)) throw CancelledError("routing cancelled");
   return result;
 }
 

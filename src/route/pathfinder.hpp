@@ -39,6 +39,13 @@ struct RouteOptions {
   /// the warm start only affects how fast the search narrows, never what
   /// it returns.
   double warm_start_fac = 0.5;
+  /// Treat nodes at capacity as hard obstacles instead of pricing their
+  /// overuse: the wavefront never expands into a full node, so any
+  /// solution found is overuse-free by construction (and a net with no
+  /// path through the spare capacity fails outright instead of stealing
+  /// resources). `route_seeded` uses this for its first pass, where the
+  /// seeded clean trees must not move.
+  bool spare_only = false;
   /// Worker threads for the parallel probe waves of
   /// `minimum_channel_width` (0 = hardware concurrency). Probe waves have
   /// a fixed size and are consumed by index, so the search result never
@@ -63,12 +70,26 @@ struct RouteResult {
   int iterations = 0;
   std::vector<NetRoute> routes;        ///< per placement-net
   int total_wire_nodes = 0;            ///< wire segments used
+  int nets_rerouted = 0;               ///< nets the wavefront actually routed
   std::string message;
 };
 
 /// Routes all placement nets on the given RR graph.
 RouteResult route_all(const RrGraph& graph, const place::Placement& placement,
                       const RouteOptions& options = {});
+
+/// ECO warm start: routes with per-net seed trees from a previous compile.
+/// Nets whose `dirty` flag is clear and whose seed is non-empty start
+/// committed (tree + occupancy) and skip the first routing pass; the
+/// normal congestion-driven negotiation still rips any of them up if a
+/// dirty net needs their resources. `seeds`/`dirty` are indexed by
+/// placement-net, in this graph's node ids. Always runs the incremental
+/// (partial rip-up) scheduler.
+RouteResult route_seeded(const RrGraph& graph,
+                         const place::Placement& placement,
+                         const std::vector<NetRoute>& seeds,
+                         const std::vector<char>& dirty,
+                         const RouteOptions& options = {});
 
 /// Binary-searches the minimum channel width that routes successfully.
 /// Returns the width and fills `result` with the routing at that width.

@@ -46,6 +46,16 @@ void RrGraph::build() {
   const Placement& pl = *placement_;
   const arch::ArchSpec& spec = *spec_;
 
+  // Node count is known up front: wires for every channel position plus
+  // pins per block. Reserving once keeps the build from repeatedly
+  // moving RrNodes (each owns an edge vector) as nodes_ grows.
+  const std::size_t n_wires =
+      static_cast<std::size_t>((ny_ + 1) * nx_ + (nx_ + 1) * ny_) *
+      static_cast<std::size_t>(width_);
+  nodes_.reserve(n_wires +
+                 pl.blocks().size() *
+                     static_cast<std::size_t>(spec.cluster_inputs() + spec.n + 2));
+
   // ---- wire nodes ----
   chanx_base_.assign(static_cast<std::size_t>((ny_ + 1) * nx_), -1);
   for (int y = 0; y <= ny_; ++y) {
@@ -59,6 +69,7 @@ void RrGraph::build() {
         n.y = y;
         n.track = t;
         n.base_cost = 1.0;
+        n.out_edges.reserve(8);  // 6 switch-box legs + pin taps
         add_node(std::move(n));
       }
     }
@@ -75,6 +86,7 @@ void RrGraph::build() {
         n.y = y;
         n.track = t;
         n.base_cost = 1.0;
+        n.out_edges.reserve(8);  // 6 switch-box legs + pin taps
         add_node(std::move(n));
       }
     }

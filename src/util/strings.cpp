@@ -1,8 +1,13 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/error.hpp"
 
 namespace amdrel {
 
@@ -88,6 +93,52 @@ std::string join(const std::vector<std::string>& items, std::string_view sep) {
     out += items[i];
   }
   return out;
+}
+
+namespace {
+
+[[noreturn]] void throw_parse(std::string_view what, std::string_view kind,
+                              std::string_view s) {
+  throw Error(std::string(what) + ": expected " + std::string(kind) +
+              ", got '" + std::string(s) + "'");
+}
+
+}  // namespace
+
+int parse_int(std::string_view s, std::string_view what) {
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (buf.empty() || end != buf.c_str() + buf.size() || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    throw_parse(what, "an integer", s);
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_u64(std::string_view s, std::string_view what) {
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (buf.empty() || buf[0] == '-' || end != buf.c_str() + buf.size() ||
+      errno == ERANGE) {
+    throw_parse(what, "an unsigned integer", s);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(std::string_view s, std::string_view what) {
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (buf.empty() || end != buf.c_str() + buf.size() || errno == ERANGE) {
+    throw_parse(what, "a number", s);
+  }
+  return v;
 }
 
 }  // namespace amdrel

@@ -1,6 +1,7 @@
 #pragma once
 // Small string helpers used by the file-format parsers and report writers.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,5 +32,14 @@ std::string strprintf(const char* fmt, ...)
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items,
                  std::string_view sep);
+
+/// Checked number parsing for command-line and file inputs: the whole
+/// string must be a single number of the requested type, in range.
+/// Throws Error("<what>: expected ..., got '<s>'") otherwise — unlike
+/// std::stoi and friends, which accept trailing junk and abort the
+/// process with an unhandled exception on garbage.
+int parse_int(std::string_view s, std::string_view what);
+std::uint64_t parse_u64(std::string_view s, std::string_view what);
+double parse_double(std::string_view s, std::string_view what);
 
 }  // namespace amdrel

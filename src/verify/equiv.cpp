@@ -154,6 +154,36 @@ LatchMatch match_latches(const Network& a, const Network& b,
   const std::vector<std::string> input_names = sorted_input_names(a);
   const int n_latches = static_cast<int>(a.latches().size());
 
+  // Caller-supplied bijection (guided matching): if the hints pin every
+  // latch on both sides consistently, prove that map directly — the
+  // miters below still refute a wrong one.
+  if (!options.register_map.empty()) {
+    std::map<std::string, int> q_a, q_b;
+    for (int i = 0; i < n_latches; ++i) {
+      q_a[a.signal_name(a.latches()[static_cast<std::size_t>(i)].q)] = i;
+      q_b[b.signal_name(b.latches()[static_cast<std::size_t>(i)].q)] = i;
+    }
+    std::vector<std::pair<int, int>> pinned;
+    std::vector<char> used_a(static_cast<std::size_t>(n_latches), 0);
+    std::vector<char> used_b(static_cast<std::size_t>(n_latches), 0);
+    for (const auto& [na, nb] : options.register_map) {
+      const auto ia = q_a.find(na), ib = q_b.find(nb);
+      if (ia == q_a.end() || ib == q_b.end()) continue;
+      if (used_a[static_cast<std::size_t>(ia->second)] ||
+          used_b[static_cast<std::size_t>(ib->second)]) {
+        pinned.clear();  // inconsistent map: fall back to matching
+        break;
+      }
+      used_a[static_cast<std::size_t>(ia->second)] = 1;
+      used_b[static_cast<std::size_t>(ib->second)] = 1;
+      pinned.emplace_back(ia->second, ib->second);
+    }
+    if (static_cast<int>(pinned.size()) == n_latches) {
+      match.pairs = std::move(pinned);
+      return match;
+    }
+  }
+
   // Fast path: register output names survive every flow stage except
   // fabric decode, and an identical Q-name set pins the bijection exactly.
   {

@@ -73,6 +73,13 @@ struct EquivOptions {
   int sim_words = 8;        ///< 64-bit pattern words for sweep signatures
   int signature_cycles = 64;  ///< base lock-step cycles for FF matching
   std::uint64_t seed = 1;
+  /// Known register correspondences: (side-A Q name, side-B Q name)
+  /// pairs. When they pin every latch on both sides, signature matching
+  /// is skipped and this bijection is proven directly — guided
+  /// sequential equivalence, for callers (e.g. the flow proving against
+  /// a decoded fabric) that know the placement-derived FF mapping. A
+  /// wrong map still refutes; a partial or stale map is ignored.
+  std::vector<std::pair<std::string, std::string>> register_map;
 };
 
 struct EquivResult {

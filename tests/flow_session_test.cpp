@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_gen/bench_gen.hpp"
@@ -209,6 +210,80 @@ TEST(FlowSession, CancelBetweenStagesIsConsumedOnObservation) {
   EXPECT_EQ(session.run_until(flow::Stage::kSynth),
             flow::SessionState::kReady);
   EXPECT_TRUE(session.completed(flow::Stage::kSynth));
+}
+
+/// Fires cancel() from the kSpanEnd event of a stage span — i.e. after the
+/// stage's last cancellation point but before run_until returns. The lost-
+/// cancel bug dropped exactly this window: run_until exited kReady with the
+/// request still latched (or, worse, cleared by a later exchange), so a
+/// caller that had observed "no cancellation" kept going.
+class CancelOnStageEndSink : public obs::Sink {
+ public:
+  explicit CancelOnStageEndSink(flow::FlowSession* session, const char* span)
+      : session_(session), span_(span) {}
+  void on_event(const obs::Event& e) override {
+    if (e.kind == obs::Event::Kind::kSpanEnd &&
+        std::strcmp(e.name, span_) == 0 && !fired_.exchange(true)) {
+      session_->cancel();
+    }
+  }
+  bool fired() const { return fired_.load(); }
+
+ private:
+  flow::FlowSession* session_;
+  const char* span_;
+  std::atomic<bool> fired_{false};
+};
+
+TEST(FlowSession, CancelAfterLastStageOfRequestIsStillObserved) {
+  flow::FlowSession session(small_design(), fast_options());
+  CancelOnStageEndSink sink(&session, "flow.place");
+  obs::set_sink(&sink);
+  const auto state = session.run_until(flow::Stage::kPlace);
+  obs::set_sink(nullptr);
+  ASSERT_TRUE(sink.fired());
+
+  // The request landed after kPlace finished, so the work is complete —
+  // but the cancellation must still be reported, not silently dropped.
+  EXPECT_EQ(state, flow::SessionState::kCancelled);
+  EXPECT_TRUE(session.completed(flow::Stage::kPlace));
+  // And it was consumed: the session resumes normally to the end.
+  EXPECT_EQ(session.resume(), flow::SessionState::kDone);
+}
+
+/// Hammers cancel() from another thread while the session runs. TSan
+/// covers the cancel_requested_ orderings (release store in cancel(),
+/// acq_rel exchanges in run_until); the assertions check the protocol:
+/// every observation is reported as kCancelled and consumed, progress is
+/// monotonic, and the session still converges to the one-shot result.
+TEST(FlowSession, ConcurrentCancelRequestsNeverWedgeTheSession) {
+  const auto net = small_design();
+  const auto opt = fast_options();
+  const auto oneshot = flow::run_flow_from_network(net, opt);
+
+  flow::FlowSession session(net, opt);
+  std::atomic<bool> stop{false};
+  std::thread canceller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      session.cancel();
+      std::this_thread::yield();
+    }
+  });
+
+  int cancellations = 0;
+  for (int spins = 0; session.state() != flow::SessionState::kDone;
+       ++spins) {
+    ASSERT_LT(spins, 10000) << "session wedged by concurrent cancels";
+    const auto state = session.resume();
+    ASSERT_TRUE(state == flow::SessionState::kDone ||
+                state == flow::SessionState::kCancelled);
+    if (state == flow::SessionState::kCancelled) ++cancellations;
+  }
+  stop.store(true, std::memory_order_release);
+  canceller.join();
+
+  EXPECT_GT(cancellations, 0);  // the loop really was interrupted
+  EXPECT_EQ(session.result().bitstream_bytes, oneshot.bitstream_bytes);
 }
 
 TEST(FlowSession, StageFailureCarriesStageNameAndTimes) {
