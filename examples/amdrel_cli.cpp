@@ -177,11 +177,15 @@ int main(int argc, char** argv) {
     if (cmd == "flow") {
       flow::FlowOptions options;
       options.search_min_channel_width = true;
-      // Pull --verify MODE out before the positional arguments.
+      // Pull the flags out before the positional arguments.
       int out = 2;
       for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--verify") == 0 && i + 1 < argc) {
           options.verify_mode = flow::parse_verify_mode(argv[++i]);
+        } else if (std::strcmp(argv[i], "--rr-dedup") == 0) {
+          options.rr_dedup = true;  // the default
+        } else if (std::strcmp(argv[i], "--rr-dense") == 0) {
+          options.rr_dedup = false;  // dense per-node oracle RR graph
         } else {
           argv[out++] = argv[i];
         }

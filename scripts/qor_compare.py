@@ -44,6 +44,23 @@ Per eco_bench circuit:
   * speedup         — wall-clock derived, so a decrease is reported as a
                       note, never a failure.
 
+Per rr_scale circuit:
+  * channel_width / wires / luts — deterministic for a seed, 0%%
+                      tolerance (any increase is a regression);
+  * rr_nodes / patterns / dedup_bytes — deterministic sizes of the
+                      deduplicated RR graph, 0%% tolerance: a growing
+                      pattern count or resident-byte estimate means the
+                      tile dedup regressed;
+  * widths_match    — dedup and dense builds must keep agreeing on the
+                      minimum channel width (bit-exactness canary);
+  * bitstream_hash  — giant-tier streamed bitstream FNV hash must stay
+                      byte-identical;
+  * dedup_build_s, place_s, route_s, bitgen_s — wall clock, gated at
+                      --wall-tolerance;
+  * peak_rss_kb     — resident-set ceiling for the giant tier, gated at
+                      --rss-tolerance %% (default 25; allocator and OS
+                      noise, but a 2x blowup must fail).
+
 A metric present in the baseline but missing from the current run is a
 named regression (a silently dropped metric must not pass the gate), as
 is a baseline section with no matching current file.
@@ -162,10 +179,40 @@ class Gate:
         for name in sorted(set(cur) - set(base)):
             self.notes.append(f"{name}: new circuit (not in baseline)")
 
+    def compare_rr_scale(self, base, cur):
+        for name, b in sorted(base.items()):
+            c = cur.get(name)
+            if c is None:
+                self.regressions.append(
+                    f"{name}: circuit missing from current run")
+                continue
+            self.check_metric(name, b, c, "channel_width", 0.0)
+            self.check_metric(name, b, c, "wires", 0.0)
+            self.check_metric(name, b, c, "luts", 0.0)
+            self.check_metric(name, b, c, "rr_nodes", 0.0)
+            self.check_metric(name, b, c, "patterns", 0.0)
+            self.check_metric(name, b, c, "dedup_bytes", 0.0)
+            if b.get("widths_match") and not c.get("widths_match"):
+                self.regressions.append(
+                    f"{name}: dedup/dense minimum channel widths diverged")
+            bh, ch = b.get("bitstream_hash"), c.get("bitstream_hash")
+            if bh is not None and ch != bh:
+                self.regressions.append(
+                    f"{name}: bitstream_hash {bh} -> {ch} (streamed "
+                    f"bitstream no longer byte-identical)")
+            for wall in ("dedup_build_s", "place_s", "route_s", "bitgen_s"):
+                self.check_metric(name, b, c, wall, self.args.wall_tolerance)
+            self.check_metric(name, b, c, "peak_rss_kb",
+                              self.args.rss_tolerance)
+        for name in sorted(set(cur) - set(base)):
+            self.notes.append(f"{name}: new circuit (not in baseline)")
+
     def compare(self, bench, base_capture, cur_capture):
         base, cur = by_name(base_capture), by_name(cur_capture)
         if bench == "eco_bench":
             self.compare_eco(base, cur)
+        elif bench == "rr_scale":
+            self.compare_rr_scale(base, cur)
         else:
             self.compare_flow_qor(base, cur)
 
@@ -187,6 +234,9 @@ def main():
     ap.add_argument("--reuse-tolerance", type=float, default=5.0,
                     help="allowed eco reuse_ratio drop in percentage "
                          "points (default 5)")
+    ap.add_argument("--rss-tolerance", type=float, default=25.0,
+                    help="allowed rr_scale peak_rss_kb increase in %% "
+                         "(default 25)")
     args = ap.parse_args()
 
     currents = {}

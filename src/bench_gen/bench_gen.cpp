@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -14,14 +15,33 @@ using netlist::Network;
 using netlist::SignalId;
 using netlist::TruthTable;
 
+namespace {
+
+// prefix+index without ostream/temporary-concatenation churn — the
+// generator emits millions of names on giant tiers.
+std::string idx_name(const char* prefix, int i) {
+  char buf[32];
+  const int len = std::snprintf(buf, sizeof buf, "%s%d", prefix, i);
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+}  // namespace
+
 Network generate(const BenchSpec& spec) {
   AMDREL_CHECK(spec.n_inputs >= 1 && spec.n_outputs >= 1 && spec.n_gates >= 1);
   Rng rng(spec.seed);
   Network net(spec.name);
+  // Size everything up front: one allocation per table, O(n) overall.
+  const int clk_signals = spec.n_latches > 0 ? 1 : 0;
+  net.reserve(spec.n_inputs + clk_signals + spec.n_latches + spec.n_gates +
+                  spec.n_outputs,
+              spec.n_gates + spec.n_outputs, spec.n_latches);
 
   std::vector<SignalId> pool;  // candidate fanin signals, creation order
+  pool.reserve(static_cast<std::size_t>(spec.n_inputs + spec.n_latches +
+                                        spec.n_gates));
   for (int i = 0; i < spec.n_inputs; ++i) {
-    SignalId s = net.add_signal("pi" + std::to_string(i));
+    SignalId s = net.add_signal(idx_name("pi", i));
     net.add_input(s);
     pool.push_back(s);
   }
@@ -31,8 +51,9 @@ Network generate(const BenchSpec& spec) {
     net.add_input(clk);
   }
   std::vector<SignalId> latch_q;
+  latch_q.reserve(static_cast<std::size_t>(spec.n_latches));
   for (int i = 0; i < spec.n_latches; ++i) {
-    SignalId q = net.add_signal("ff" + std::to_string(i));
+    SignalId q = net.add_signal(idx_name("ff", i));
     latch_q.push_back(q);
     pool.push_back(q);
   }
@@ -41,8 +62,12 @@ Network generate(const BenchSpec& spec) {
   auto pick_fanin = [&]() -> SignalId {
     const std::size_t n = pool.size();
     if (rng.next_double() < spec.locality) {
-      // Geometric-ish window over the most recent quarter.
+      // Geometric-ish window over the most recent quarter, capped at the
+      // spec's absolute window (see BenchSpec::window).
       std::size_t window = std::max<std::size_t>(4, n / 4);
+      if (spec.window > 0) {
+        window = std::min(window, static_cast<std::size_t>(spec.window));
+      }
       std::size_t back = rng.next_below(std::min(window, n));
       return pool[n - 1 - back];
     }
@@ -59,16 +84,17 @@ Network generate(const BenchSpec& spec) {
   };
 
   std::vector<SignalId> gate_outs;
+  gate_outs.reserve(static_cast<std::size_t>(spec.n_gates));
   for (int i = 0; i < spec.n_gates; ++i) {
     SignalId a = pick_fanin();
     SignalId b = pick_fanin();
     int guard = 0;
     while (b == a && ++guard < 10) b = pick_fanin();
-    SignalId out = net.add_signal("n" + std::to_string(i));
+    SignalId out = net.add_signal(idx_name("n", i));
     if (a == b) {
-      net.add_gate("g" + std::to_string(i), TruthTable::inverter(), {a}, out);
+      net.add_gate(idx_name("g", i), TruthTable::inverter(), {a}, out);
     } else {
-      net.add_gate("g" + std::to_string(i), random_tt2(), {a, b}, out);
+      net.add_gate(idx_name("g", i), random_tt2(), {a, b}, out);
     }
     pool.push_back(out);
     gate_outs.push_back(out);
@@ -78,7 +104,7 @@ Network generate(const BenchSpec& spec) {
   for (int i = 0; i < spec.n_latches; ++i) {
     SignalId d = gate_outs[static_cast<std::size_t>(
         rng.next_below(gate_outs.size()))];
-    net.add_latch("ff" + std::to_string(i), d, latch_q[static_cast<std::size_t>(i)],
+    net.add_latch(idx_name("ff", i), d, latch_q[static_cast<std::size_t>(i)],
                   clk, rng.next_bool() ? LatchInit::kOne : LatchInit::kZero);
   }
 
@@ -90,9 +116,8 @@ Network generate(const BenchSpec& spec) {
     } else {
       src = gate_outs[static_cast<std::size_t>(rng.next_below(gate_outs.size()))];
     }
-    SignalId po = net.add_signal("po" + std::to_string(i));
-    net.add_gate("obuf" + std::to_string(i), TruthTable::identity(), {src},
-                 po);
+    SignalId po = net.add_signal(idx_name("po", i));
+    net.add_gate(idx_name("obuf", i), TruthTable::identity(), {src}, po);
     net.add_output(po);
   }
 

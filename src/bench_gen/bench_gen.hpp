@@ -22,6 +22,11 @@ struct BenchSpec {
   int n_gates = 100;        ///< combinational gate count (2-input)
   int n_latches = 0;        ///< registers (adds a "clk" input when > 0)
   double locality = 0.8;    ///< 0..1: preference for nearby fanins
+  /// Absolute cap on the local-fanin window (signals), 0 = n/4 relative.
+  /// A relative window makes routing demand grow with circuit size
+  /// (Rent exponent -> 1); giant-fabric tiers set an absolute window so
+  /// channel width stays bounded as the design scales.
+  int window = 0;
   std::uint64_t seed = 1;
 };
 

@@ -46,6 +46,130 @@ WireRef wire_of(const RrNode& n) {
   return w;
 }
 
+// Walks every routed edge and classifies the switch it configures, in
+// the canonical order: nets ascending, tree order within a net,
+// wire-wire switches deduplicated to their first occurrence. Repeated
+// scans therefore yield identical sequences — the streaming emitter
+// relies on that. Fills the per-cluster signal→IPIN map if requested.
+template <typename WwFn, typename OpFn, typename IpFn>
+void scan_switches(const place::Placement& placement,
+                   const route::RrGraph& graph,
+                   const route::RouteResult& routing,
+                   std::map<int, std::map<SignalId, int>>* ipin_of, WwFn&& ww,
+                   OpFn&& op, IpFn&& ip) {
+  std::set<std::tuple<bool, int, int, int, bool, int, int, int>> seen_ww;
+  for (std::size_t ni = 0; ni < routing.routes.size(); ++ni) {
+    const auto& route = routing.routes[ni];
+    const SignalId sig = placement.nets()[ni].signal;
+    for (std::size_t kk = 1; kk < route.nodes.size(); ++kk) {
+      const RrNode child = graph.node_info(route.nodes[kk]);
+      const RrNode parent = graph.node_info(
+          route.nodes[static_cast<std::size_t>(route.parent[kk])]);
+      const bool child_wire =
+          child.type == RrType::kChanX || child.type == RrType::kChanY;
+      const bool parent_wire =
+          parent.type == RrType::kChanX || parent.type == RrType::kChanY;
+      if (parent_wire && child_wire) {
+        WireWireSwitch sw{wire_of(parent), wire_of(child)};
+        if (sw.b < sw.a) std::swap(sw.a, sw.b);
+        auto key = std::tuple_cat(sw.a.key(), sw.b.key());
+        if (seen_ww.insert(key).second) ww(sw);
+      } else if (parent.type == RrType::kOpin && child_wire) {
+        const auto& loc = placement.location(parent.block);
+        op(OpinSwitch{loc.x, loc.y, parent.pin, wire_of(child)});
+      } else if (parent_wire && child.type == RrType::kIpin) {
+        const auto& loc = placement.location(child.block);
+        ip(IpinSwitch{wire_of(parent), loc.x, loc.y, child.pin});
+        if (ipin_of != nullptr &&
+            placement.blocks()[static_cast<std::size_t>(child.block)].kind ==
+                BlockKind::kClb) {
+          (*ipin_of)[child.block][sig] = child.pin;
+        }
+      }
+      // IPIN→SINK edges carry no configuration.
+    }
+  }
+}
+
+// Global clock: the latch clock signal (paper fabric: one clock/CLB).
+std::string detect_clock(const Network& net) {
+  std::set<SignalId> clocks;
+  for (const auto& l : net.latches()) {
+    if (l.clock != kNoSignal) clocks.insert(l.clock);
+  }
+  AMDREL_CHECK_MSG(clocks.size() <= 1,
+                   "bitstream supports a single global clock");
+  return clocks.empty() ? std::string() : net.signal_name(*clocks.begin());
+}
+
+// One CLB's configuration frame — the only per-tile state either
+// emission path (materialized or streaming) ever holds.
+ClbConfig make_clb_config(
+    const pack::PackedNetlist& packed, const place::Placement& placement,
+    const arch::ArchSpec& spec, int ci,
+    const std::map<int, std::map<SignalId, int>>& ipin_of) {
+  const Network& net = packed.network();
+  const auto& cluster = packed.clusters()[static_cast<std::size_t>(ci)];
+  const int block = placement.block_of_cluster(ci);
+  const auto& loc = placement.location(block);
+  ClbConfig clb;
+  clb.x = loc.x;
+  clb.y = loc.y;
+  clb.bles.resize(static_cast<std::size_t>(spec.n));
+
+  // BLE slot of each intra-cluster signal (for feedback selects).
+  std::map<SignalId, int> slot_of;
+  for (std::size_t s = 0; s < cluster.bles.size(); ++s) {
+    slot_of[packed.bles()[static_cast<std::size_t>(cluster.bles[s])].output] =
+        static_cast<int>(s);
+  }
+
+  for (std::size_t s = 0; s < cluster.bles.size(); ++s) {
+    const auto& ble = packed.bles()[static_cast<std::size_t>(cluster.bles[s])];
+    BleConfig& cfg = clb.bles[s];
+    cfg.used = true;
+    cfg.input_sel.assign(static_cast<std::size_t>(spec.k), -1);
+
+    // LUT function: the mapped LUT, or a route-through for FF-only BLEs.
+    TruthTable tt = TruthTable::identity();
+    std::vector<SignalId> lut_inputs = ble.inputs;
+    if (ble.lut_gate >= 0) {
+      tt = net.gates()[static_cast<std::size_t>(ble.lut_gate)].table;
+    }
+    AMDREL_CHECK(static_cast<int>(lut_inputs.size()) <= spec.k);
+    // Expand to K inputs (don't-care padding).
+    while (tt.n_inputs() < spec.k) tt = tt.extend(tt.n_inputs() + 1);
+    cfg.lut_bits = 0;
+    for (std::uint64_t row = 0; row < tt.n_rows(); ++row) {
+      if (tt.get(row)) cfg.lut_bits |= 1u << row;
+    }
+    for (std::size_t i = 0; i < lut_inputs.size(); ++i) {
+      const SignalId in = lut_inputs[i];
+      auto fb = slot_of.find(in);
+      if (fb != slot_of.end()) {
+        cfg.input_sel[i] = spec.cluster_inputs() + fb->second;
+      } else {
+        static const std::map<SignalId, int> kNoPins;
+        auto pm = ipin_of.find(block);
+        const auto& pin_map = pm == ipin_of.end() ? kNoPins : pm->second;
+        auto it = pin_map.find(in);
+        AMDREL_CHECK_MSG(it != pin_map.end(),
+                         "cluster input signal was not routed to a pin: " +
+                             net.signal_name(in));
+        cfg.input_sel[i] = it->second;
+      }
+    }
+    if (ble.latch >= 0) {
+      const auto& l = net.latches()[static_cast<std::size_t>(ble.latch)];
+      cfg.use_ff = true;
+      cfg.ff_init = l.init == LatchInit::kOne;
+      cfg.clock_enable = true;
+      clb.clb_clock_enable = true;
+    }
+  }
+  return clb;
+}
+
 }  // namespace
 
 Bitstream generate_bitstream(const pack::PackedNetlist& packed,
@@ -57,7 +181,6 @@ Bitstream generate_bitstream(const pack::PackedNetlist& packed,
   AMDREL_CHECK_MSG(spec.k <= 5, "bitstream frame format supports K <= 5");
   obs::Span span("bitgen.generate");
   const Network& net = packed.network();
-  const auto& nodes = graph.nodes();
 
   Bitstream bs;
   bs.design = net.name();
@@ -67,15 +190,7 @@ Bitstream generate_bitstream(const pack::PackedNetlist& packed,
   bs.k = spec.k;
   bs.n = spec.n;
   bs.cluster_inputs = spec.cluster_inputs();
-
-  // Global clock: the latch clock signal (paper fabric: one clock/CLB).
-  std::set<SignalId> clocks;
-  for (const auto& l : net.latches()) {
-    if (l.clock != kNoSignal) clocks.insert(l.clock);
-  }
-  AMDREL_CHECK_MSG(clocks.size() <= 1,
-                   "bitstream supports a single global clock");
-  if (!clocks.empty()) bs.clock_name = net.signal_name(*clocks.begin());
+  bs.clock_name = detect_clock(net);
 
   // ---- pads ----
   for (std::size_t bi = 0; bi < placement.blocks().size(); ++bi) {
@@ -94,99 +209,17 @@ Bitstream generate_bitstream(const pack::PackedNetlist& packed,
   // ---- routing switches + per-cluster signal→IPIN map ----
   // ipin_of[cluster block][signal] = input pin index carrying it.
   std::map<int, std::map<SignalId, int>> ipin_of;
-  std::set<std::tuple<bool, int, int, int, bool, int, int, int>> seen_ww;
-  for (std::size_t ni = 0; ni < routing.routes.size(); ++ni) {
-    const auto& route = routing.routes[ni];
-    const SignalId sig = placement.nets()[ni].signal;
-    for (std::size_t kk = 1; kk < route.nodes.size(); ++kk) {
-      const RrNode& child = nodes[static_cast<std::size_t>(route.nodes[kk])];
-      const RrNode& parent = nodes[static_cast<std::size_t>(
-          route.nodes[static_cast<std::size_t>(route.parent[kk])])];
-      const bool child_wire =
-          child.type == RrType::kChanX || child.type == RrType::kChanY;
-      const bool parent_wire =
-          parent.type == RrType::kChanX || parent.type == RrType::kChanY;
-      if (parent_wire && child_wire) {
-        WireWireSwitch sw{wire_of(parent), wire_of(child)};
-        if (sw.b < sw.a) std::swap(sw.a, sw.b);
-        auto key = std::tuple_cat(sw.a.key(), sw.b.key());
-        if (seen_ww.insert(key).second) bs.wire_switches.push_back(sw);
-      } else if (parent.type == RrType::kOpin && child_wire) {
-        const auto& loc = placement.location(parent.block);
-        bs.opin_switches.push_back(
-            OpinSwitch{loc.x, loc.y, parent.pin, wire_of(child)});
-      } else if (parent_wire && child.type == RrType::kIpin) {
-        const auto& loc = placement.location(child.block);
-        bs.ipin_switches.push_back(
-            IpinSwitch{wire_of(parent), loc.x, loc.y, child.pin});
-        if (placement.blocks()[static_cast<std::size_t>(child.block)].kind ==
-            BlockKind::kClb) {
-          ipin_of[child.block][sig] = child.pin;
-        }
-      }
-      // IPIN→SINK edges carry no configuration.
-    }
-  }
+  scan_switches(
+      placement, graph, routing, &ipin_of,
+      [&](const WireWireSwitch& s) { bs.wire_switches.push_back(s); },
+      [&](const OpinSwitch& s) { bs.opin_switches.push_back(s); },
+      [&](const IpinSwitch& s) { bs.ipin_switches.push_back(s); });
 
   // ---- CLB frames ----
   for (std::size_t ci = 0; ci < packed.clusters().size(); ++ci) {
-    const auto& cluster = packed.clusters()[ci];
-    const int block = placement.block_of_cluster(static_cast<int>(ci));
-    const auto& loc = placement.location(block);
-    ClbConfig clb;
-    clb.x = loc.x;
-    clb.y = loc.y;
-    clb.bles.resize(static_cast<std::size_t>(spec.n));
-
-    // BLE slot of each intra-cluster signal (for feedback selects).
-    std::map<SignalId, int> slot_of;
-    for (std::size_t s = 0; s < cluster.bles.size(); ++s) {
-      slot_of[packed.bles()[static_cast<std::size_t>(cluster.bles[s])].output] =
-          static_cast<int>(s);
-    }
-
-    for (std::size_t s = 0; s < cluster.bles.size(); ++s) {
-      const auto& ble = packed.bles()[static_cast<std::size_t>(cluster.bles[s])];
-      BleConfig& cfg = clb.bles[s];
-      cfg.used = true;
-      cfg.input_sel.assign(static_cast<std::size_t>(spec.k), -1);
-
-      // LUT function: the mapped LUT, or a route-through for FF-only BLEs.
-      TruthTable tt = TruthTable::identity();
-      std::vector<SignalId> lut_inputs = ble.inputs;
-      if (ble.lut_gate >= 0) {
-        tt = net.gates()[static_cast<std::size_t>(ble.lut_gate)].table;
-      }
-      AMDREL_CHECK(static_cast<int>(lut_inputs.size()) <= spec.k);
-      // Expand to K inputs (don't-care padding).
-      while (tt.n_inputs() < spec.k) tt = tt.extend(tt.n_inputs() + 1);
-      cfg.lut_bits = 0;
-      for (std::uint64_t row = 0; row < tt.n_rows(); ++row) {
-        if (tt.get(row)) cfg.lut_bits |= 1u << row;
-      }
-      for (std::size_t i = 0; i < lut_inputs.size(); ++i) {
-        const SignalId in = lut_inputs[i];
-        auto fb = slot_of.find(in);
-        if (fb != slot_of.end()) {
-          cfg.input_sel[i] = spec.cluster_inputs() + fb->second;
-        } else {
-          auto& pin_map = ipin_of[block];
-          auto it = pin_map.find(in);
-          AMDREL_CHECK_MSG(it != pin_map.end(),
-                           "cluster input signal was not routed to a pin: " +
-                               net.signal_name(in));
-          cfg.input_sel[i] = it->second;
-        }
-      }
-      if (ble.latch >= 0) {
-        const auto& l = net.latches()[static_cast<std::size_t>(ble.latch)];
-        cfg.use_ff = true;
-        cfg.ff_init = l.init == LatchInit::kOne;
-        cfg.clock_enable = true;
-        clb.clb_clock_enable = true;
-      }
-    }
-    bs.clbs.push_back(std::move(clb));
+    bs.clbs.push_back(
+        make_clb_config(packed, placement, spec, static_cast<int>(ci),
+                        ipin_of));
   }
   const std::uint64_t switches = bs.wire_switches.size() +
                                  bs.opin_switches.size() +
@@ -205,11 +238,23 @@ Bitstream generate_bitstream(const pack::PackedNetlist& packed,
 
 // --------------------------------------------------------- serialization --
 
+void FileSink::put(const std::uint8_t* data, std::size_t n) {
+  if (n == 0) return;
+  AMDREL_CHECK_MSG(std::fwrite(data, 1, n, file_) == n,
+                   "bitstream file write failed");
+}
+
 namespace {
 
+/// Buffered little-endian writer over a BitSink.
 class ByteWriter {
  public:
-  void u8(std::uint8_t v) { out_.push_back(v); }
+  explicit ByteWriter(BitSink* sink) : sink_(sink) { buf_.reserve(kBufSize); }
+  ~ByteWriter() { flush(); }
+  void u8(std::uint8_t v) {
+    if (buf_.size() == kBufSize) flush();
+    buf_.push_back(v);
+  }
   void u32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
   }
@@ -218,10 +263,17 @@ class ByteWriter {
     u32(static_cast<std::uint32_t>(s.size()));
     for (char c : s) u8(static_cast<std::uint8_t>(c));
   }
-  std::vector<std::uint8_t> take() { return std::move(out_); }
+  void flush() {
+    if (!buf_.empty()) {
+      sink_->write(buf_.data(), buf_.size());
+      buf_.clear();
+    }
+  }
 
  private:
-  std::vector<std::uint8_t> out_;
+  static constexpr std::size_t kBufSize = 1 << 16;
+  BitSink* sink_;
+  std::vector<std::uint8_t> buf_;
 };
 
 class ByteReader {
@@ -269,71 +321,173 @@ WireRef get_wire(ByteReader& r) {
   return w;
 }
 
+void put_header(ByteWriter& w, const std::string& design, int nx, int ny,
+                int channel_width, int k, int n, int cluster_inputs,
+                const std::string& clock_name) {
+  w.u32(kMagic);
+  w.str(design);
+  w.i32(nx);
+  w.i32(ny);
+  w.i32(channel_width);
+  w.i32(k);
+  w.i32(n);
+  w.i32(cluster_inputs);
+  w.str(clock_name);
+}
+
+void put_pad(ByteWriter& w, const PadConfig& p) {
+  w.i32(p.x);
+  w.i32(p.y);
+  w.i32(p.sub);
+  w.u8(p.is_input ? 1 : 0);
+  w.str(p.signal);
+}
+
+void put_clb(ByteWriter& w, const ClbConfig& clb) {
+  w.i32(clb.x);
+  w.i32(clb.y);
+  w.u8(clb.clb_clock_enable ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(clb.bles.size()));
+  for (const auto& b : clb.bles) {
+    w.u8(b.used ? 1 : 0);
+    w.u32(b.lut_bits);
+    w.u8(b.use_ff ? 1 : 0);
+    w.u8(b.ff_init ? 1 : 0);
+    w.u8(b.clock_enable ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(b.input_sel.size()));
+    for (int sel : b.input_sel) w.i32(sel);
+  }
+}
+
+void put_ww(ByteWriter& w, const WireWireSwitch& s) {
+  put_wire(w, s.a);
+  put_wire(w, s.b);
+}
+
+void put_op(ByteWriter& w, const OpinSwitch& s) {
+  w.i32(s.x);
+  w.i32(s.y);
+  w.i32(s.pin);
+  put_wire(w, s.wire);
+}
+
+void put_ip(ByteWriter& w, const IpinSwitch& s) {
+  put_wire(w, s.wire);
+  w.i32(s.x);
+  w.i32(s.y);
+  w.i32(s.pin);
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> serialize(const Bitstream& bs) {
+void serialize_to(const Bitstream& bs, BitSink* sink) {
+  AMDREL_CHECK(sink != nullptr);
   obs::Span span("bitgen.serialize");
-  ByteWriter w;
-  w.u32(kMagic);
-  w.str(bs.design);
-  w.i32(bs.nx);
-  w.i32(bs.ny);
-  w.i32(bs.channel_width);
-  w.i32(bs.k);
-  w.i32(bs.n);
-  w.i32(bs.cluster_inputs);
-  w.str(bs.clock_name);
-
-  w.u32(static_cast<std::uint32_t>(bs.pads.size()));
-  for (const auto& p : bs.pads) {
-    w.i32(p.x);
-    w.i32(p.y);
-    w.i32(p.sub);
-    w.u8(p.is_input ? 1 : 0);
-    w.str(p.signal);
+  const std::uint64_t start = sink->bytes_written();
+  {
+    ByteWriter w(sink);
+    put_header(w, bs.design, bs.nx, bs.ny, bs.channel_width, bs.k, bs.n,
+               bs.cluster_inputs, bs.clock_name);
+    w.u32(static_cast<std::uint32_t>(bs.pads.size()));
+    for (const auto& p : bs.pads) put_pad(w, p);
+    w.u32(static_cast<std::uint32_t>(bs.clbs.size()));
+    for (const auto& clb : bs.clbs) put_clb(w, clb);
+    w.u32(static_cast<std::uint32_t>(bs.wire_switches.size()));
+    for (const auto& s : bs.wire_switches) put_ww(w, s);
+    w.u32(static_cast<std::uint32_t>(bs.opin_switches.size()));
+    for (const auto& s : bs.opin_switches) put_op(w, s);
+    w.u32(static_cast<std::uint32_t>(bs.ipin_switches.size()));
+    for (const auto& s : bs.ipin_switches) put_ip(w, s);
   }
-  w.u32(static_cast<std::uint32_t>(bs.clbs.size()));
-  for (const auto& clb : bs.clbs) {
-    w.i32(clb.x);
-    w.i32(clb.y);
-    w.u8(clb.clb_clock_enable ? 1 : 0);
-    w.u32(static_cast<std::uint32_t>(clb.bles.size()));
-    for (const auto& b : clb.bles) {
-      w.u8(b.used ? 1 : 0);
-      w.u32(b.lut_bits);
-      w.u8(b.use_ff ? 1 : 0);
-      w.u8(b.ff_init ? 1 : 0);
-      w.u8(b.clock_enable ? 1 : 0);
-      w.u32(static_cast<std::uint32_t>(b.input_sel.size()));
-      for (int sel : b.input_sel) w.i32(sel);
-    }
-  }
-  w.u32(static_cast<std::uint32_t>(bs.wire_switches.size()));
-  for (const auto& s : bs.wire_switches) {
-    put_wire(w, s.a);
-    put_wire(w, s.b);
-  }
-  w.u32(static_cast<std::uint32_t>(bs.opin_switches.size()));
-  for (const auto& s : bs.opin_switches) {
-    w.i32(s.x);
-    w.i32(s.y);
-    w.i32(s.pin);
-    put_wire(w, s.wire);
-  }
-  w.u32(static_cast<std::uint32_t>(bs.ipin_switches.size()));
-  for (const auto& s : bs.ipin_switches) {
-    put_wire(w, s.wire);
-    w.i32(s.x);
-    w.i32(s.y);
-    w.i32(s.pin);
-  }
-  std::vector<std::uint8_t> bytes = w.take();
+  const std::uint64_t bytes = sink->bytes_written() - start;
   static obs::Counter& c_bytes = obs::counter("bitgen.bytes");
-  c_bytes.add(bytes.size());
+  c_bytes.add(bytes);
   if (span.active()) {
-    span.metric("bytes", static_cast<double>(bytes.size()));
+    span.metric("bytes", static_cast<double>(bytes));
   }
-  return bytes;
+}
+
+std::vector<std::uint8_t> serialize(const Bitstream& bs) {
+  VectorSink sink;
+  serialize_to(bs, &sink);
+  return sink.take();
+}
+
+void stream_bitstream(const pack::PackedNetlist& packed,
+                      const place::Placement& placement,
+                      const route::RrGraph& graph,
+                      const route::RouteResult& routing,
+                      const arch::ArchSpec& spec, BitSink* sink) {
+  AMDREL_CHECK_MSG(routing.success, "cannot generate bitstream: unrouted");
+  AMDREL_CHECK_MSG(spec.k <= 5, "bitstream frame format supports K <= 5");
+  AMDREL_CHECK(sink != nullptr);
+  obs::Span span("bitgen.stream");
+  const Network& net = packed.network();
+  const std::uint64_t start = sink->bytes_written();
+
+  // Count pass: section sizes plus the signal→IPIN map CLB frames need.
+  std::uint32_t n_ww = 0, n_op = 0, n_ip = 0;
+  std::map<int, std::map<SignalId, int>> ipin_of;
+  scan_switches(placement, graph, routing, &ipin_of,
+                [&](const WireWireSwitch&) { ++n_ww; },
+                [&](const OpinSwitch&) { ++n_op; },
+                [&](const IpinSwitch&) { ++n_ip; });
+
+  ByteWriter w(sink);
+  put_header(w, net.name(), placement.nx(), placement.ny(),
+             graph.channel_width(), spec.k, spec.n, spec.cluster_inputs(),
+             detect_clock(net));
+
+  std::uint32_t n_pads = 0;
+  for (const auto& blk : placement.blocks()) {
+    n_pads += blk.kind != BlockKind::kClb;
+  }
+  w.u32(n_pads);
+  for (std::size_t bi = 0; bi < placement.blocks().size(); ++bi) {
+    const auto& blk = placement.blocks()[bi];
+    if (blk.kind == BlockKind::kClb) continue;
+    const auto& loc = placement.location(static_cast<int>(bi));
+    PadConfig pad;
+    pad.x = loc.x;
+    pad.y = loc.y;
+    pad.sub = loc.sub;
+    pad.is_input = blk.kind == BlockKind::kInputPad;
+    pad.signal = net.signal_name(blk.signal);
+    put_pad(w, pad);
+  }
+
+  // CLB frames, one tile at a time.
+  w.u32(static_cast<std::uint32_t>(packed.clusters().size()));
+  for (std::size_t ci = 0; ci < packed.clusters().size(); ++ci) {
+    put_clb(w, make_clb_config(packed, placement, spec,
+                               static_cast<int>(ci), ipin_of));
+  }
+
+  // Switch sections: one emit pass per section, canonical scan order.
+  auto drop_ww = [](const WireWireSwitch&) {};
+  auto drop_op = [](const OpinSwitch&) {};
+  auto drop_ip = [](const IpinSwitch&) {};
+  w.u32(n_ww);
+  scan_switches(placement, graph, routing, nullptr,
+                [&](const WireWireSwitch& s) { put_ww(w, s); }, drop_op,
+                drop_ip);
+  w.u32(n_op);
+  scan_switches(placement, graph, routing, nullptr, drop_ww,
+                [&](const OpinSwitch& s) { put_op(w, s); }, drop_ip);
+  w.u32(n_ip);
+  scan_switches(placement, graph, routing, nullptr, drop_ww, drop_op,
+                [&](const IpinSwitch& s) { put_ip(w, s); });
+  w.flush();
+
+  const std::uint64_t bytes = sink->bytes_written() - start;
+  static obs::Counter& c_switches = obs::counter("bitgen.switches");
+  static obs::Counter& c_bytes = obs::counter("bitgen.bytes");
+  c_switches.add(n_ww + n_op + n_ip);
+  c_bytes.add(bytes);
+  if (span.active()) {
+    span.metric("bytes", static_cast<double>(bytes));
+    span.metric("switches", static_cast<double>(n_ww + n_op + n_ip));
+  }
 }
 
 Bitstream deserialize(const std::vector<std::uint8_t>& bytes) {

@@ -13,6 +13,7 @@
 // bitstream generation together).
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -90,9 +91,84 @@ Bitstream generate_bitstream(const pack::PackedNetlist& packed,
                              const route::RouteResult& routing,
                              const arch::ArchSpec& spec);
 
+/// Destination for serialized bitstream bytes. Writes arrive in chunks;
+/// the sink never sees the whole artifact at once, so a fixed-size sink
+/// (file, hash) keeps bitstream emission O(1) in design size.
+class BitSink {
+ public:
+  virtual ~BitSink() = default;
+  void write(const std::uint8_t* data, std::size_t n) {
+    bytes_ += n;
+    put(data, n);
+  }
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ protected:
+  virtual void put(const std::uint8_t* data, std::size_t n) = 0;
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+/// Accumulates the bytes in memory (the classic serialize result).
+class VectorSink : public BitSink {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ protected:
+  void put(const std::uint8_t* data, std::size_t n) override {
+    out_.insert(out_.end(), data, data + n);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Writes to an open stdio stream (not owned; caller closes).
+class FileSink : public BitSink {
+ public:
+  explicit FileSink(std::FILE* file) : file_(file) {}
+
+ protected:
+  void put(const std::uint8_t* data, std::size_t n) override;
+
+ private:
+  std::FILE* file_;
+};
+
+/// FNV-1a 64-bit digest of the byte stream — a constant-memory stand-in
+/// for the artifact in equality checks and benchmarks.
+class HashSink : public BitSink {
+ public:
+  std::uint64_t hash() const { return hash_; }
+
+ protected:
+  void put(const std::uint8_t* data, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= data[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
 /// Binary serialization (the actual .bit artifact).
 std::vector<std::uint8_t> serialize(const Bitstream& bitstream);
+void serialize_to(const Bitstream& bitstream, BitSink* sink);
 Bitstream deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// Generates and serializes in one streaming pass: frames and switch
+/// records are emitted tile-by-tile through `sink` without ever
+/// materializing the Bitstream or its switch lists. Byte-identical to
+/// `serialize(generate_bitstream(...))`.
+void stream_bitstream(const pack::PackedNetlist& packed,
+                      const place::Placement& placement,
+                      const route::RrGraph& graph,
+                      const route::RouteResult& routing,
+                      const arch::ArchSpec& spec, BitSink* sink);
 
 /// Reconstructs a gate-level netlist from the bitstream alone (fabric
 /// interpretation). PI/PO names come from the pad table + clock name.

@@ -666,8 +666,6 @@ int translate_seeds(const place::Placement& base_pl,
                     const std::vector<int>& old_to_new,
                     std::vector<route::NetRoute>* seeds,
                     std::vector<char>* dirty) {
-  const auto& old_nodes = base_rr.nodes();
-  const auto& new_nodes = rr.nodes();
   seeds->assign(pl.nets().size(), route::NetRoute{});
   dirty->assign(pl.nets().size(), 1);
 
@@ -676,46 +674,19 @@ int translate_seeds(const place::Placement& base_pl,
     base_net_by_name[base_pl.packed().network().signal_name(
         base_pl.nets()[ni].signal)] = static_cast<int>(ni);
   }
-  std::map<std::tuple<int, int, int>, int> pin_node;  // (block, type, pin)
-  // (type, x, y, track) — chan ids shift when the grid grows, so wires
-  // are matched by position, not id.
-  std::map<std::tuple<int, int, int, int>, int> chan_node;
-  for (std::size_t id = 0; id < new_nodes.size(); ++id) {
-    const route::RrNode& n = new_nodes[id];
-    if (n.block >= 0) {
-      pin_node[{n.block, static_cast<int>(n.type), n.pin}] =
-          static_cast<int>(id);
-    } else if (n.type == route::RrType::kChanX ||
-               n.type == route::RrType::kChanY) {
-      chan_node[{static_cast<int>(n.type), n.x, n.y, n.track}] =
-          static_cast<int>(id);
-    }
-  }
+  // Wires are matched by structural position (chan ids shift when the
+  // grid grows), pins through the block correspondence — both answered
+  // by the new graph's id arithmetic, with no node table to build.
   auto xlat = [&](int oid) -> int {
-    const route::RrNode& n = old_nodes[static_cast<std::size_t>(oid)];
+    const route::RrNode n = base_rr.node_info(oid);
     if (n.type == route::RrType::kChanX || n.type == route::RrType::kChanY) {
-      // Identity fast path: on an unchanged grid the graphs are built the
-      // same way, so the same id names the same wire.
-      if (static_cast<std::size_t>(oid) < new_nodes.size()) {
-        const route::RrNode& m = new_nodes[static_cast<std::size_t>(oid)];
-        if (m.type == n.type && m.x == n.x && m.y == n.y &&
-            m.track == n.track) {
-          return oid;
-        }
-      }
-      const auto it =
-          chan_node.find({static_cast<int>(n.type), n.x, n.y, n.track});
-      return it == chan_node.end() ? -1 : it->second;
+      return rr.find_chan(n.type, n.x, n.y, n.track);
     }
     const int nb = old_to_new[static_cast<std::size_t>(n.block)];
     if (nb < 0) return -1;
-    const auto it = pin_node.find({nb, static_cast<int>(n.type), n.pin});
-    return it == pin_node.end() ? -1 : it->second;
+    return rr.find_block_node(nb, n.type, n.pin);
   };
-  auto has_edge = [&](int from, int to) {
-    const auto& e = new_nodes[static_cast<std::size_t>(from)].out_edges;
-    return std::find(e.begin(), e.end(), to) != e.end();
-  };
+  auto has_edge = [&](int from, int to) { return rr.has_edge(from, to); };
 
   int n_seeded = 0;
   for (std::size_t ni = 0; ni < pl.nets().size(); ++ni) {
@@ -1000,7 +971,7 @@ EcoResult recompile(const Network& edited, const Network& base_entry,
     route::RouteOptions ropt = options.route;
     r.channel_width = base_width;
     r.rr_graph = std::make_unique<route::RrGraph>(*r.placement, arch,
-                                                  base_width);
+                                                  base_width, ropt.rr);
     st.nets_total = static_cast<int>(r.placement->nets().size());
     std::vector<route::NetRoute> seeds;
     std::vector<char> dirty;
@@ -1026,8 +997,8 @@ EcoResult recompile(const Network& edited, const Network& base_entry,
         r.channel_width = route::minimum_channel_width(
             *r.placement, arch, &routing, ropt);
         AMDREL_CHECK_MSG(r.channel_width > 0, "ECO design is unroutable");
-        r.rr_graph = std::make_unique<route::RrGraph>(*r.placement, arch,
-                                                      r.channel_width);
+        r.rr_graph = std::make_unique<route::RrGraph>(
+            *r.placement, arch, r.channel_width, ropt.rr);
         r.routing = std::move(routing);
       }
     }

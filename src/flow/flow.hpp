@@ -95,6 +95,9 @@ struct FlowOptions {
   /// FlowResult::lint.
   bool check_invariants = true;
   bool search_min_channel_width = false;
+  /// Tile-pattern deduplicated RR graph (O(patterns) memory; the
+  /// default). false rebuilds the dense per-node oracle representation.
+  bool rr_dedup = true;
   power::PowerOptions power;
   /// Write per-stage artifacts (EDIF/BLIF/net/arch/bitstream) here if set.
   std::string artifact_dir;

@@ -272,6 +272,12 @@ void FlowSession::add_qor_span_metrics(Stage stage, obs::Span& span) const {
     case Stage::kRoute:
       span.metric("channel_width", result_.channel_width);
       span.metric("wire_nodes", result_.routing.total_wire_nodes);
+      span.metric("rr_nodes",
+                  static_cast<double>(result_.rr_graph->num_nodes()));
+      span.metric("rr_patterns",
+                  static_cast<double>(result_.rr_graph->unique_patterns()));
+      span.metric("rr_bytes_est",
+                  static_cast<double>(result_.rr_graph->bytes_est()));
       return;
     case Stage::kPower:
       span.metric("critical_path_ns", result_.timing.critical_path_s * 1e9);
@@ -395,6 +401,7 @@ void FlowSession::run_route() {
   // cancelled or failed search leaves the session at the place boundary.
   route::RouteOptions ropt;
   ropt.cancel = &cancel_requested_;
+  ropt.rr.dedup = options_.rr_dedup;
   std::unique_ptr<route::RrGraph> rr_graph;
   route::RouteResult routing;
   int channel_width = 0;
@@ -403,11 +410,11 @@ void FlowSession::run_route() {
                                                  &routing, ropt);
     AMDREL_CHECK_MSG(channel_width > 0, "design is unroutable");
     rr_graph = std::make_unique<route::RrGraph>(*result_.placement, aspec,
-                                                channel_width);
+                                                channel_width, ropt.rr);
   } else {
     channel_width = aspec.channel_width;
     rr_graph = std::make_unique<route::RrGraph>(*result_.placement, aspec,
-                                                channel_width);
+                                                channel_width, ropt.rr);
     routing = route::route_all(*rr_graph, *result_.placement, ropt);
     AMDREL_CHECK_MSG(routing.success,
                      "unroutable at W=" + std::to_string(channel_width) +
@@ -477,6 +484,7 @@ SessionState FlowSession::resume_with_edit(const netlist::Network& edited,
     eopt.seed = options_.seed;
     eopt.lutmap = synth::LutMapOptions{result_.arch->k, 8};
     eopt.route.cancel = &cancel_requested_;
+    eopt.route.rr.dedup = options_.rr_dedup;
     eopt.power = options_.power;
     eco::EcoResult er = eco::recompile(
         edited, result_.synthesized, *result_.mapped, *result_.packed,

@@ -127,8 +127,8 @@ void check_post_place(const place::Placement& placement, Report* report) {
 
 void check_post_route(const route::RrGraph& graph,
                       const route::RouteResult& routing, Report* report) {
-  const auto& nodes = graph.nodes();
-  std::vector<int> occupancy(nodes.size(), 0);
+  const int n_nodes = graph.num_nodes();
+  std::vector<int> occupancy(static_cast<std::size_t>(n_nodes), 0);
   for (std::size_t ni = 0; ni < routing.routes.size(); ++ni) {
     const route::NetRoute& r = routing.routes[ni];
     const auto& sinks = graph.sinks_of_net(static_cast<int>(ni));
@@ -162,14 +162,12 @@ void check_post_route(const route::RrGraph& graph,
         }
         const int from = r.nodes[static_cast<std::size_t>(p)];
         const int to = r.nodes[k];
-        if (from < 0 || from >= static_cast<int>(nodes.size()) || to < 0 ||
-            to >= static_cast<int>(nodes.size())) {
+        if (from < 0 || from >= n_nodes || to < 0 || to >= n_nodes) {
           report->add(rules::kRouteBadEdge, net,
                       "route references a nonexistent RR node");
           continue;
         }
-        const auto& edges = nodes[static_cast<std::size_t>(from)].out_edges;
-        if (std::find(edges.begin(), edges.end(), to) == edges.end()) {
+        if (!graph.has_edge(from, to)) {
           report->add(rules::kRouteBadEdge, net,
                       strprintf("edge %d -> %d absent from the RR graph",
                                 from, to));
@@ -184,17 +182,16 @@ void check_post_route(const route::RrGraph& graph,
       }
     }
     for (int id : r.nodes) {
-      if (id >= 0 && id < static_cast<int>(nodes.size())) {
-        ++occupancy[static_cast<std::size_t>(id)];
-      }
+      if (id >= 0 && id < n_nodes) ++occupancy[static_cast<std::size_t>(id)];
     }
   }
-  for (std::size_t id = 0; id < nodes.size(); ++id) {
-    if (occupancy[id] > nodes[id].capacity) {
-      report->add(rules::kRouteOveruse,
-                  strprintf("rr node %d", static_cast<int>(id)),
-                  strprintf("occupancy %d exceeds capacity %d", occupancy[id],
-                            nodes[id].capacity));
+  for (int id = 0; id < n_nodes; ++id) {
+    const int occ = occupancy[static_cast<std::size_t>(id)];
+    if (occ <= 1) continue;  // capacity is always >= 1
+    const int cap = graph.node_capacity(id);
+    if (occ > cap) {
+      report->add(rules::kRouteOveruse, strprintf("rr node %d", id),
+                  strprintf("occupancy %d exceeds capacity %d", occ, cap));
     }
   }
 }

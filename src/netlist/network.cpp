@@ -9,6 +9,13 @@ namespace amdrel::netlist {
 
 Network::Network(std::string name) : name_(std::move(name)) {}
 
+void Network::reserve(int signals, int gates, int latches) {
+  signal_names_.reserve(static_cast<std::size_t>(signals));
+  signal_ids_.reserve(static_cast<std::size_t>(signals));
+  gates_.reserve(static_cast<std::size_t>(gates));
+  latches_.reserve(static_cast<std::size_t>(latches));
+}
+
 SignalId Network::add_signal(const std::string& name) {
   AMDREL_CHECK_MSG(signal_ids_.find(name) == signal_ids_.end(),
                    "duplicate signal: " + name);

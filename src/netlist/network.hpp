@@ -43,6 +43,10 @@ class Network {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Pre-sizes the signal/gate/latch tables (generators building giant
+  /// networks call this once up front to avoid rehash/regrow churn).
+  void reserve(int signals, int gates = 0, int latches = 0);
+
   // --- signals ---
   SignalId add_signal(const std::string& name);   ///< unique name enforced
   SignalId get_or_add_signal(const std::string& name);

@@ -40,9 +40,22 @@ struct NetBox {
 }  // namespace
 
 Placement::Placement(const pack::PackedNetlist& packed,
-                     const arch::ArchSpec& spec, std::uint64_t placement_seed)
+                     const arch::ArchSpec& spec, std::uint64_t placement_seed,
+                     int nx, int ny)
     : packed_(&packed), spec_(&spec) {
   build_blocks_and_nets();
+  if (nx > 0 && ny > 0) {
+    // Grid override: same legality rules, caller-chosen aspect ratio.
+    AMDREL_CHECK_MSG(
+        static_cast<long long>(nx) * ny >=
+            static_cast<long long>(packed_->clusters().size()),
+        "grid override too small for the packed clusters");
+    AMDREL_CHECK_MSG(2 * (nx + ny) * spec_->io_per_tile >=
+                         static_cast<int>(pad_block_.size()),
+                     "grid override perimeter too small for the IO pads");
+    nx_ = nx;
+    ny_ = ny;
+  }
   initial_place(placement_seed);
 }
 

@@ -41,8 +41,10 @@ class Placement {
  public:
   /// `placement_seed` seeds the random initial placement (multi-seed
   /// placement gives each attempt its own so the anneals start apart).
+  /// `nx`/`ny` override the automatic square grid sizing when > 0 (e.g.
+  /// non-square RR-graph tests); the override must still fit the design.
   Placement(const pack::PackedNetlist& packed, const arch::ArchSpec& spec,
-            std::uint64_t placement_seed = 1);
+            std::uint64_t placement_seed = 1, int nx = 0, int ny = 0);
 
   const pack::PackedNetlist& packed() const { return *packed_; }
   const arch::ArchSpec& spec() const { return *spec_; }

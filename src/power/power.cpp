@@ -93,7 +93,6 @@ PowerReport estimate_power(const pack::PackedNetlist& packed,
   }
 
   // ---- routing power: capacitance of used wires/switches × activity ----
-  const auto& nodes = graph.nodes();
   for (std::size_t ni = 0; ni < routing.routes.size(); ++ni) {
     const auto& route = routing.routes[ni];
     if (route.nodes.empty()) continue;
@@ -101,10 +100,10 @@ PowerReport estimate_power(const pack::PackedNetlist& packed,
     const double a = activity[static_cast<std::size_t>(sig)];
     double c_net = 0.0;
     for (int id : route.nodes) {
-      const auto& n = nodes[static_cast<std::size_t>(id)];
-      if (n.type == RrType::kChanX || n.type == RrType::kChanY) {
+      const RrType t = graph.node_type(id);
+      if (t == RrType::kChanX || t == RrType::kChanY) {
         c_net += spec.c_wire_tile + spec.c_switch;
-      } else if (n.type == RrType::kIpin) {
+      } else if (t == RrType::kIpin) {
         c_net += spec.c_switch;
       }
     }
@@ -154,10 +153,7 @@ PowerReport estimate_power(const pack::PackedNetlist& packed,
   long long transistors = 0;
   transistors += static_cast<long long>(packed.clusters().size()) * spec.n *
                  kTransistorsPerBle;
-  for (const auto& n : nodes) {
-    transistors +=
-        static_cast<long long>(n.out_edges.size()) * kTransistorsPerSwitch;
-  }
+  transistors += graph.num_edges() * kTransistorsPerSwitch;
   report.leakage_w = static_cast<double>(transistors) * kLeakPerTransistor;
 
   report.total_w = report.logic_w + report.routing_w + report.clock_w +

@@ -41,25 +41,22 @@ struct SpatialHistory {
 SpatialHistory extract_spatial_history(const RrGraph& graph,
                                        const std::vector<double>& history) {
   SpatialHistory s;
-  int max_x = 0, max_y = 0;
-  for (const RrNode& n : graph.nodes()) {
-    max_x = std::max(max_x, n.x);
-    max_y = std::max(max_y, n.y);
-  }
+  // Only wires carry history, and wire coordinates span (0..nx, 0..ny).
+  const int max_x = graph.nx(), max_y = graph.ny();
   s.ny_stride = max_y + 1;
   const std::size_t cells = static_cast<std::size_t>((max_x + 1) * (max_y + 1));
   s.chanx.assign(cells, 0.0);
   s.chany.assign(cells, 0.0);
   std::vector<int> cnt_x(cells, 0), cnt_y(cells, 0);
-  const auto& nodes = graph.nodes();
-  for (std::size_t id = 0; id < nodes.size(); ++id) {
-    const RrNode& n = nodes[id];
-    if (n.type == RrType::kChanX) {
-      s.chanx[s.cell(n.x, n.y)] += history[id];
-      ++cnt_x[s.cell(n.x, n.y)];
-    } else if (n.type == RrType::kChanY) {
-      s.chany[s.cell(n.x, n.y)] += history[id];
-      ++cnt_y[s.cell(n.x, n.y)];
+  const int wires = graph.wire_count();
+  for (int id = 0; id < wires; ++id) {
+    const std::size_t c = s.cell(graph.node_x(id), graph.node_y(id));
+    if (graph.node_type(id) == RrType::kChanX) {
+      s.chanx[c] += history[static_cast<std::size_t>(id)];
+      ++cnt_x[c];
+    } else {
+      s.chany[c] += history[static_cast<std::size_t>(id)];
+      ++cnt_y[c];
     }
   }
   for (std::size_t c = 0; c < cells; ++c) {
@@ -71,18 +68,19 @@ SpatialHistory extract_spatial_history(const RrGraph& graph,
 
 std::vector<double> history_from_spatial(const SpatialHistory& s,
                                          const RrGraph& graph, double scale) {
-  std::vector<double> history(graph.nodes().size(), 0.0);
+  std::vector<double> history(static_cast<std::size_t>(graph.num_nodes()),
+                              0.0);
   if (s.empty() || scale <= 0.0) return history;
-  const auto& nodes = graph.nodes();
   const std::size_t cells = s.chanx.size();
-  for (std::size_t id = 0; id < nodes.size(); ++id) {
-    const RrNode& n = nodes[id];
-    if (n.type != RrType::kChanX && n.type != RrType::kChanY) continue;
-    if (n.y >= s.ny_stride) continue;
-    const std::size_t c = s.cell(n.x, n.y);
+  const int wires = graph.wire_count();
+  for (int id = 0; id < wires; ++id) {
+    const int y = graph.node_y(id);
+    if (y >= s.ny_stride) continue;
+    const std::size_t c = s.cell(graph.node_x(id), y);
     if (c >= cells) continue;
-    history[id] =
-        scale * (n.type == RrType::kChanX ? s.chanx[c] : s.chany[c]);
+    history[static_cast<std::size_t>(id)] =
+        scale * (graph.node_type(id) == RrType::kChanX ? s.chanx[c]
+                                                       : s.chany[c]);
   }
   return history;
 }
@@ -97,7 +95,7 @@ class PathFinder {
              const RouteOptions& options)
       : graph_(&graph),
         options_(&options),
-        n_nodes_(static_cast<int>(graph.nodes().size())),
+        n_nodes_(graph.num_nodes()),
         n_nets_(static_cast<int>(placement.nets().size())) {
     const std::size_t nn = static_cast<std::size_t>(n_nodes_);
     occupancy_.assign(nn, 0);
@@ -115,33 +113,16 @@ class PathFinder {
 
     // Flat SoA mirror of the RR graph. The wavefront touches the type,
     // coordinates, capacity, cost and edges of thousands of nodes per
-    // sink; packed parallel arrays and a CSR edge list keep that loop in
-    // cache instead of chasing each RrNode's out-of-line edge vector.
-    const auto& nodes = graph.nodes();
-    type_.resize(nn);
-    x_.resize(nn);
-    y_.resize(nn);
-    cap_.resize(nn);
-    base_hist_.resize(nn);
-    edge_off_.assign(nn + 1, 0);
-    std::size_t n_edges = 0;
-    for (const RrNode& n : nodes) n_edges += n.out_edges.size();
-    edge_dst_.reserve(n_edges);
-    for (std::size_t i = 0; i < nn; ++i) {
-      const RrNode& n = nodes[i];
-      type_[i] = static_cast<signed char>(n.type);
-      x_[i] = static_cast<short>(n.x);
-      y_[i] = static_cast<short>(n.y);
-      cap_[i] = static_cast<short>(n.capacity);
-      base_hist_[i] = n.base_cost;
-      for (int d : n.out_edges) edge_dst_.push_back(d);
-      edge_off_[i + 1] = static_cast<int>(edge_dst_.size());
-    }
+    // sink; packed parallel arrays keep that loop in cache. The CSR edge
+    // list is materialized lazily per fixed-size id region on first
+    // touch, so fabric the wavefronts never reach costs ~0 bytes.
+    graph.fill_soa(&type_, &x_, &y_, &cap_, &base_hist_);
+    regions_.assign((nn + kRegionSize - 1) >> kRegionShift, Region{});
 
     min_step_cost_ = 1.0;
-    for (const RrNode& n : nodes) {
-      if (n.base_cost > 0.0) {
-        min_step_cost_ = std::min(min_step_cost_, n.base_cost);
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (base_hist_[i] > 0.0) {
+        min_step_cost_ = std::min(min_step_cost_, base_hist_[i]);
       }
     }
     astar_mult_ = options.astar_fac * min_step_cost_;
@@ -189,13 +170,13 @@ class PathFinder {
     if (initial_history != nullptr) {
       AMDREL_CHECK(initial_history->size() == history_.size());
       history_ = *initial_history;
+      // base_hist_ still holds the pristine base costs here (the ctor
+      // filled it and nothing ran yet), so add the history on top.
       for (int id = 0; id < n_nodes_; ++id) {
-        base_hist_[static_cast<std::size_t>(id)] =
-            graph_->nodes()[static_cast<std::size_t>(id)].base_cost +
+        base_hist_[static_cast<std::size_t>(id)] +=
             history_[static_cast<std::size_t>(id)];
       }
     }
-    const auto& nodes = graph_->nodes();
     RouteResult result;
     result.routes.assign(static_cast<std::size_t>(n_nets_), NetRoute{});
     net_touched_.assign(static_cast<std::size_t>(n_nets_), 0);
@@ -273,10 +254,12 @@ class PathFinder {
       if (overused == 0 && !any_unrouted) {
         result.success = true;
         result.iterations = iter;
+        constexpr signed char kCx = static_cast<signed char>(RrType::kChanX);
+        constexpr signed char kCy = static_cast<signed char>(RrType::kChanY);
         for (const auto& r : result.routes) {
           for (int id : r.nodes) {
-            const auto t = nodes[static_cast<std::size_t>(id)].type;
-            if (t == RrType::kChanX || t == RrType::kChanY) {
+            const signed char t = type_[static_cast<std::size_t>(id)];
+            if (t == kCx || t == kCy) {
               ++result.total_wire_nodes;
             }
           }
@@ -470,19 +453,23 @@ class PathFinder {
           continue;  // someone else's sink: don't expand through it
         }
         const double pc = best_cost_[ui];
-        const int e_end = edge_off_[ui + 1];
-        for (int e = edge_off_[ui]; e < e_end; ++e) {
-          const int next = edge_dst_[static_cast<std::size_t>(e)];
+        const Region& ru = region(u >> kRegionShift);
+        const int lu = u & (kRegionSize - 1);
+        const int e_end = ru.off[static_cast<std::size_t>(lu + 1)];
+        for (int e = ru.off[static_cast<std::size_t>(lu)]; e < e_end; ++e) {
+          const int next = ru.dst[static_cast<std::size_t>(e)];
           const std::size_t vi = static_cast<std::size_t>(next);
           // Never route through another block's IPIN chain: an IPIN only
           // leads to its sink, so expanding it is harmless but wasteful;
           // skip IPINs whose sink is not wanted.
           if (type_[vi] == kIpinT) {
+            const Region& rv = region(next >> kRegionShift);
+            const int lv = next & (kRegionSize - 1);
             bool wanted = false;
-            for (int oe = edge_off_[vi]; oe < edge_off_[vi + 1]; ++oe) {
+            for (int oe = rv.off[static_cast<std::size_t>(lv)];
+                 oe < rv.off[static_cast<std::size_t>(lv + 1)]; ++oe) {
               if (sink_mark_[static_cast<std::size_t>(
-                      edge_dst_[static_cast<std::size_t>(oe)])] ==
-                  net_token_) {
+                      rv.dst[static_cast<std::size_t>(oe)])] == net_token_) {
                 wanted = true;
                 break;
               }
@@ -545,13 +532,39 @@ class PathFinder {
   double min_step_cost_ = 1.0;
   double astar_mult_ = 1.0;   ///< astar_fac × min_step_cost (A* estimate)
 
+  // One lazily-materialized CSR block of the RR edge list: kRegionSize
+  // consecutive node ids, built from the graph's pattern stamps on the
+  // first wavefront touch. Regions the routing never reaches stay empty.
+  struct Region {
+    std::vector<int> off;  ///< local CSR offsets (size + 1 when built)
+    std::vector<int> dst;  ///< edge targets (global node ids)
+  };
+  static constexpr int kRegionShift = 12;
+  static constexpr int kRegionSize = 1 << kRegionShift;
+
+  const Region& region(int r) {
+    Region& reg = regions_[static_cast<std::size_t>(r)];
+    if (reg.off.empty()) {
+      const int lo = r << kRegionShift;
+      const int hi = std::min(n_nodes_, lo + kRegionSize);
+      reg.off.reserve(static_cast<std::size_t>(hi - lo) + 1);
+      reg.off.push_back(0);
+      for (int id = lo; id < hi; ++id) {
+        graph_->append_out_edges(id, &reg.dst);
+        reg.off.push_back(static_cast<int>(reg.dst.size()));
+      }
+      static obs::Counter& c_edges = obs::counter("rr.edges_materialized");
+      c_edges.add(reg.dst.size());
+    }
+    return reg;
+  }
+
   // Flat SoA mirror of the RR graph (see constructor).
   std::vector<signed char> type_;
   std::vector<short> x_, y_;
   std::vector<short> cap_;
   std::vector<double> base_hist_;  ///< base_cost + history, kept in sync
-  std::vector<int> edge_off_;      ///< CSR edge offsets (n_nodes_ + 1)
-  std::vector<int> edge_dst_;      ///< CSR edge targets
+  std::vector<Region> regions_;    ///< lazy CSR edge blocks
 
   // Persistent per-node routing state.
   std::vector<int> occupancy_;
@@ -735,7 +748,7 @@ int minimum_channel_width_impl(const place::Placement& placement,
   // This is the reference feasibility test; the incremental search below
   // always lets it have the last word on the final boundary.
   auto oracle_probe = [&](int w, RouteResult* out) {
-    RrGraph graph(placement, spec, w);
+    RrGraph graph(placement, spec, w, options.rr);
     RouteOptions full = options;
     full.incremental = false;
     full.stall_window = 0;
@@ -796,7 +809,7 @@ int minimum_channel_width_impl(const place::Placement& placement,
   if (explore.stall_window <= 0) explore.stall_window = 10;
   auto explore_probe = [&](int w, const SpatialHistory* warm_in,
                            RouteResult* out, SpatialHistory* spatial_out) {
-    RrGraph graph(placement, spec, w);
+    RrGraph graph(placement, spec, w, options.rr);
     std::vector<double> init;
     if (warm_in != nullptr && !warm_in->empty() &&
         options.warm_start_fac > 0.0) {
@@ -988,8 +1001,8 @@ int minimum_channel_width_impl(const place::Placement& placement,
 void verify_routing(const RrGraph& graph, const place::Placement& placement,
                     const RouteResult& result) {
   AMDREL_CHECK_MSG(result.success, "verify_routing on a failed result");
-  const auto& nodes = graph.nodes();
-  std::vector<int> occupancy(nodes.size(), 0);
+  const int n_nodes = graph.num_nodes();
+  std::vector<int> occupancy(static_cast<std::size_t>(n_nodes), 0);
   for (std::size_t ni = 0; ni < result.routes.size(); ++ni) {
     const NetRoute& r = result.routes[ni];
     const auto& sinks = graph.sinks_of_net(static_cast<int>(ni));
@@ -1005,20 +1018,22 @@ void verify_routing(const RrGraph& graph, const place::Placement& placement,
       const int p = r.parent[k];
       AMDREL_CHECK_MSG(p >= 0 && p < static_cast<int>(k + 1), "bad parent");
       // Parent must actually be adjacent in the RR graph.
-      const auto& pn = nodes[static_cast<std::size_t>(r.nodes[static_cast<std::size_t>(p)])];
-      bool adjacent =
-          std::find(pn.out_edges.begin(), pn.out_edges.end(), r.nodes[k]) !=
-          pn.out_edges.end();
-      AMDREL_CHECK_MSG(adjacent, "route uses a non-existent RR edge");
+      AMDREL_CHECK_MSG(
+          graph.has_edge(r.nodes[static_cast<std::size_t>(p)], r.nodes[k]),
+          "route uses a non-existent RR edge");
     }
     for (int s : sinks) {
       AMDREL_CHECK_MSG(in_tree.count(s), "route misses a sink");
     }
     for (int id : r.nodes) ++occupancy[static_cast<std::size_t>(id)];
   }
-  for (std::size_t id = 0; id < nodes.size(); ++id) {
-    AMDREL_CHECK_MSG(occupancy[id] <= nodes[id].capacity,
-                     "RR node over capacity after routing");
+  for (int id = 0; id < n_nodes; ++id) {
+    // Capacity decode is per-id work; untouched nodes (capacity >= 1)
+    // cannot be over.
+    if (occupancy[static_cast<std::size_t>(id)] <= 1) continue;
+    AMDREL_CHECK_MSG(
+        occupancy[static_cast<std::size_t>(id)] <= graph.node_capacity(id),
+        "RR node over capacity after routing");
   }
   (void)placement;
 }

@@ -11,6 +11,10 @@
 namespace amdrel::route {
 
 struct RouteOptions {
+  /// RR-graph representation for graphs this router builds itself
+  /// (`minimum_channel_width` probes). Graphs passed in by the caller
+  /// carry their own options.
+  RrOptions rr;
   int max_iterations = 40;
   double first_iter_pres_fac = 0.5;
   double pres_fac_mult = 1.6;

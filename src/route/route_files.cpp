@@ -88,7 +88,6 @@ void write_route_file(const RrGraph& graph, const Placement& placement,
   out << "Routing of " << placement.packed().network().name() << " at W="
       << graph.channel_width() << (routing.success ? "" : " (FAILED)")
       << "\n\n";
-  const auto& nodes = graph.nodes();
   const auto& net_list = placement.nets();
   for (std::size_t ni = 0; ni < routing.routes.size(); ++ni) {
     const auto& route = routing.routes[ni];
@@ -100,7 +99,7 @@ void write_route_file(const RrGraph& graph, const Placement& placement,
       continue;
     }
     for (std::size_t k = 0; k < route.nodes.size(); ++k) {
-      const auto& n = nodes[static_cast<std::size_t>(route.nodes[k])];
+      const RrNode n = graph.node_info(route.nodes[k]);
       out << "  " << (route.parent[k] < 0 ? "root " : "     ")
           << rr_type_name(n.type) << " (" << n.x << "," << n.y << ")";
       if (n.track >= 0) out << " track " << n.track;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -12,56 +14,765 @@ using place::BlockKind;
 using place::Loc;
 using place::Placement;
 
+namespace {
+
+/// Pin/sink nodes a block contributes (see block_base_ layout).
+int block_node_count(BlockKind kind, const arch::ArchSpec& spec) {
+  switch (kind) {
+    case BlockKind::kClb: return 1 + spec.cluster_inputs() + spec.n;
+    case BlockKind::kInputPad: return 1;
+    case BlockKind::kOutputPad: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t RrGraph::checked_node_count(std::int64_t nx, std::int64_t ny,
+                                         std::int64_t channel_width,
+                                         std::int64_t block_nodes) {
+  const std::int64_t wires =
+      ((ny + 1) * nx + (nx + 1) * ny) * channel_width;
+  const std::int64_t total = wires + block_nodes;
+  AMDREL_CHECK_MSG(
+      total >= 0 &&
+          total <= static_cast<std::int64_t>(
+                       std::numeric_limits<std::int32_t>::max()),
+      strprintf("RR node-id space overflows 32-bit ids: %lldx%lld grid at "
+                "W=%lld needs %lld ids",
+                static_cast<long long>(nx), static_cast<long long>(ny),
+                static_cast<long long>(channel_width),
+                static_cast<long long>(total)));
+  return total;
+}
+
 RrGraph::RrGraph(const Placement& placement, const arch::ArchSpec& spec,
-                 int channel_width)
+                 int channel_width, const RrOptions& options)
     : placement_(&placement),
       spec_(&spec),
       width_(channel_width),
       nx_(placement.nx()),
-      ny_(placement.ny()) {
+      ny_(placement.ny()),
+      dedup_(options.dedup) {
   AMDREL_CHECK(width_ >= 1);
-  build();
+  build_common_tables();
+  if (dedup_) {
+    build_dedup();
+  } else {
+    build_dense();
+  }
+  build_net_terminals();
+
+  static obs::Counter& c_nodes = obs::counter("rr.nodes");
+  static obs::Counter& c_patterns = obs::counter("rr.unique_patterns");
+  static obs::Counter& c_bytes = obs::counter("rr.bytes_est");
+  c_nodes.add(static_cast<std::uint64_t>(n_nodes_));
+  c_patterns.add(static_cast<std::uint64_t>(unique_patterns_));
+  c_bytes.add(static_cast<std::uint64_t>(bytes_est_));
 }
 
-int RrGraph::add_node(RrNode node) {
-  nodes_.push_back(std::move(node));
-  return static_cast<int>(nodes_.size()) - 1;
+std::vector<int> RrGraph::pin_tracks(int pin, int n_tracks) const {
+  std::vector<int> tracks;
+  for (int k = 0; k < n_tracks; ++k) {
+    tracks.push_back((pin + k) % width_);
+  }
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  return tracks;
 }
 
-// chanx segments: x in 1..nx, y in 0..ny (channel between rows y and y+1).
-int RrGraph::chanx_id(int x, int y, int t) const {
-  AMDREL_CHECK(x >= 1 && x <= nx_ && y >= 0 && y <= ny_ && t >= 0 &&
-               t < width_);
-  return chanx_base_[static_cast<std::size_t>(y * nx_ + (x - 1))] + t;
+int RrGraph::adjacent_chan(int x, int y, int side, int t) const {
+  switch (side) {
+    case 0: return chanx_id(x, y - 1, t);  // below
+    case 1: return chanx_id(x, y, t);      // above
+    case 2: return chany_id(x - 1, y, t);  // left
+    default: return chany_id(x, y, t);     // right
+  }
 }
 
-// chany segments: x in 0..nx, y in 1..ny.
-int RrGraph::chany_id(int x, int y, int t) const {
-  AMDREL_CHECK(x >= 0 && x <= nx_ && y >= 1 && y <= ny_ && t >= 0 &&
-               t < width_);
-  return chany_base_[static_cast<std::size_t>(x * ny_ + (y - 1))] + t;
+int RrGraph::pad_wire(const Loc& loc, int t) const {
+  if (loc.y == 0) return chanx_id(loc.x, 0, t);
+  if (loc.y == ny_ + 1) return chanx_id(loc.x, ny_, t);
+  if (loc.x == 0) return chany_id(0, loc.y, t);
+  return chany_id(nx_, loc.y, t);
 }
 
-void RrGraph::build() {
+int RrGraph::wire_signature(bool horizontal, int x, int y) const {
+  if (horizontal) {
+    return (x == 1 ? 1 : 0) | (x == nx_ ? 2 : 0) | (y == 0 ? 4 : 0) |
+           (y == ny_ ? 8 : 0);
+  }
+  return (x == 0 ? 1 : 0) | (x == nx_ ? 2 : 0) | (y == 1 ? 4 : 0) |
+         (y == ny_ ? 8 : 0);
+}
+
+bool RrGraph::decode_wire(int id, bool* horizontal, int* x, int* y,
+                          int* t) const {
+  if (id >= wire_count_) return false;
+  if (id < chanx_total_) {
+    *horizontal = true;
+    const int q = id / width_;
+    *t = id % width_;
+    *x = q % nx_ + 1;
+    *y = q / nx_;
+  } else {
+    *horizontal = false;
+    const int j = id - chanx_total_;
+    const int q = j / width_;
+    *t = j % width_;
+    *x = q / ny_;
+    *y = q % ny_ + 1;
+  }
+  return true;
+}
+
+int RrGraph::block_of_id(int id) const {
+  const auto it =
+      std::upper_bound(block_base_.begin(), block_base_.end(), id);
+  return static_cast<int>(it - block_base_.begin()) - 1;
+}
+
+int RrGraph::clb_block_at(int x, int y) const {
+  if (x < 1 || x > nx_ || y < 1 || y > ny_) return -1;
+  return clb_at_[static_cast<std::size_t>(x * (ny_ + 2) + y)];
+}
+
+void RrGraph::build_common_tables() {
+  const Placement& pl = *placement_;
+  const auto& blocks = pl.blocks();
+
+  chanx_total_ = (ny_ + 1) * nx_ * width_;
+  std::int64_t block_nodes = 0;
+  for (const auto& blk : blocks) {
+    block_nodes += block_node_count(blk.kind, *spec_);
+  }
+  n_nodes_ = static_cast<int>(
+      checked_node_count(nx_, ny_, width_, block_nodes));
+  wire_count_ = ((ny_ + 1) * nx_ + (nx_ + 1) * ny_) * width_;
+
+  block_base_.resize(blocks.size() + 1);
+  int next = wire_count_;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    block_base_[bi] = next;
+    next += block_node_count(blocks[bi].kind, *spec_);
+  }
+  block_base_[blocks.size()] = next;
+  AMDREL_CHECK(next == n_nodes_);
+}
+
+void RrGraph::build_dedup() {
+  const Placement& pl = *placement_;
+  const arch::ArchSpec& spec = *spec_;
+  const auto& blocks = pl.blocks();
+  const int n_in = spec.cluster_inputs();
+  const int n_out = spec.n;
+
+  // ---- connection-box tap tables (one per pin class, not per tile) ----
+  const int fc_in_tracks =
+      std::max(1, static_cast<int>(std::lround(spec.fc_in * width_)));
+  const int fc_out_tracks =
+      std::max(1, static_cast<int>(std::lround(spec.fc_out * width_)));
+
+  clb_taps_.assign(static_cast<std::size_t>(4 * width_), {});
+  for (int p = 0; p < n_in; ++p) {
+    const int side = p % 4;
+    for (int t : pin_tracks(p, fc_in_tracks)) {
+      clb_taps_[static_cast<std::size_t>(side * width_ + t)].push_back(p);
+    }
+  }
+  clb_opin_tracks_.resize(static_cast<std::size_t>(n_out));
+  for (int p = 0; p < n_out; ++p) {
+    clb_opin_tracks_[static_cast<std::size_t>(p)] =
+        pin_tracks(p + n_in, fc_out_tracks);
+  }
+  int max_sub = -1;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    if (blocks[bi].kind != BlockKind::kClb) {
+      max_sub = std::max(max_sub, pl.location(static_cast<int>(bi)).sub);
+    }
+  }
+  pad_out_tracks_.resize(static_cast<std::size_t>(max_sub + 1));
+  pad_in_has_.assign(static_cast<std::size_t>((max_sub + 1) * width_), 0);
+  pad_in_count_.assign(static_cast<std::size_t>(max_sub + 1), 0);
+  for (int sub = 0; sub <= max_sub; ++sub) {
+    pad_out_tracks_[static_cast<std::size_t>(sub)] =
+        pin_tracks(sub, fc_out_tracks);
+    const auto in_tracks = pin_tracks(sub, fc_in_tracks);
+    pad_in_count_[static_cast<std::size_t>(sub)] =
+        static_cast<int>(in_tracks.size());
+    for (int t : in_tracks) {
+      pad_in_has_[static_cast<std::size_t>(sub * width_ + t)] = 1;
+    }
+  }
+
+  // ---- switch-box leg templates per (orientation, boundary class) ----
+  // Leg order reproduces the dense build's push order exactly: the SB at
+  // the wire's low end writes first (the SB loop runs x-major), then the
+  // SB at its high end; within one SB the pair order is (L,R), (B,A),
+  // (L,B), (L,A), (R,B), (R,A).
+  for (int sig = 0; sig < 16; ++sig) {
+    const bool x1 = (sig & 1) != 0, xn = (sig & 2) != 0;
+    const bool y0 = (sig & 4) != 0, yn = (sig & 8) != 0;
+    auto& hx = legs_[1][sig];
+    hx.clear();
+    if (!x1) hx.push_back({true, -1, 0});
+    if (!y0) hx.push_back({false, -1, 0});
+    if (!yn) hx.push_back({false, -1, 1});
+    if (!xn) hx.push_back({true, 1, 0});
+    if (!y0) hx.push_back({false, 0, 0});
+    if (!yn) hx.push_back({false, 0, 1});
+    // chany: bits are x==0, x==nx, y==1, y==ny.
+    const bool x0 = x1, y1 = y0;
+    auto& hy = legs_[0][sig];
+    hy.clear();
+    if (!y1) hy.push_back({false, 0, -1});
+    if (!x0) hy.push_back({true, 0, -1});
+    if (!xn) hy.push_back({true, 1, -1});
+    if (!yn) hy.push_back({false, 0, 1});
+    if (!x0) hy.push_back({true, 0, 0});
+    if (!xn) hy.push_back({true, 1, 0});
+  }
+
+  // ---- tile → block lookups ----
+  clb_at_.assign(static_cast<std::size_t>((nx_ + 2) * (ny_ + 2)), -1);
+  std::vector<std::pair<std::int64_t, int>> pad_tiles;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Loc& loc = pl.location(static_cast<int>(bi));
+    if (blocks[bi].kind == BlockKind::kClb) {
+      clb_at_[static_cast<std::size_t>(loc.x * (ny_ + 2) + loc.y)] =
+          static_cast<int>(bi);
+    } else {
+      pad_tiles.emplace_back(
+          static_cast<std::int64_t>(loc.x) * (ny_ + 2) + loc.y,
+          static_cast<int>(bi));
+    }
+  }
+  std::stable_sort(pad_tiles.begin(), pad_tiles.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  pad_tile_key_.clear();
+  pad_tile_off_.clear();
+  pad_tile_block_.clear();
+  for (std::size_t i = 0; i < pad_tiles.size(); ++i) {
+    if (i == 0 || pad_tiles[i].first != pad_tiles[i - 1].first) {
+      pad_tile_key_.push_back(pad_tiles[i].first);
+      pad_tile_off_.push_back(static_cast<int>(pad_tile_block_.size()));
+    }
+    pad_tile_block_.push_back(pad_tiles[i].second);
+  }
+  pad_tile_off_.push_back(static_cast<int>(pad_tile_block_.size()));
+
+  count_dedup_edges();
+
+  // Resident-size estimate: the point of the dedup build is that this is
+  // O(blocks + grid + patterns), independent of W × grid × fanout.
+  std::int64_t bytes = 0;
+  bytes += static_cast<std::int64_t>(block_base_.size()) * 4;
+  bytes += static_cast<std::int64_t>(clb_at_.size()) * 4;
+  bytes += static_cast<std::int64_t>(pad_tile_key_.size()) * 8 +
+           static_cast<std::int64_t>(pad_tile_off_.size()) * 4 +
+           static_cast<std::int64_t>(pad_tile_block_.size()) * 4;
+  for (const auto& v : clb_taps_) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
+  for (const auto& v : clb_opin_tracks_) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
+  for (const auto& v : pad_out_tracks_) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
+  bytes += static_cast<std::int64_t>(pad_in_has_.size()) +
+           static_cast<std::int64_t>(pad_in_count_.size()) * 4;
+  for (int h = 0; h < 2; ++h) {
+    for (int s = 0; s < 16; ++s) {
+      bytes += 24 + 3 * static_cast<std::int64_t>(legs_[h][s].size());
+    }
+  }
+  bytes_est_ = bytes;
+}
+
+void RrGraph::count_dedup_edges() {
+  // Switch-box edges: Σ over boundary classes legs(class) × positions ×
+  // W — no per-wire work. Boundary classes along one axis collapse to at
+  // most three (low edge, high edge, interior).
+  struct C {
+    int bits;
+    std::int64_t cnt;
+  };
+  auto axis = [](int lo, int hi, int lo_bit, int hi_bit) {
+    std::vector<C> cs;
+    if (lo == hi) {
+      cs.push_back({lo_bit | hi_bit, 1});
+    } else {
+      cs.push_back({lo_bit, 1});
+      cs.push_back({hi_bit, 1});
+      if (hi - lo > 1) cs.push_back({0, hi - lo - 1});
+    }
+    return cs;
+  };
+  n_edges_ = 0;
+  int wire_patterns = 0;
+  const auto cx_x = axis(1, nx_, 1, 2), cx_y = axis(0, ny_, 4, 8);
+  for (const C& a : cx_x) {
+    for (const C& b : cx_y) {
+      n_edges_ += static_cast<std::int64_t>(
+                      legs_[1][a.bits | b.bits].size()) *
+                  a.cnt * b.cnt * width_;
+      ++wire_patterns;
+    }
+  }
+  const auto cy_x = axis(0, nx_, 1, 2), cy_y = axis(1, ny_, 4, 8);
+  for (const C& a : cy_x) {
+    for (const C& b : cy_y) {
+      n_edges_ += static_cast<std::int64_t>(
+                      legs_[0][a.bits | b.bits].size()) *
+                  a.cnt * b.cnt * width_;
+      ++wire_patterns;
+    }
+  }
+
+  // Pin/tap edges per block kind.
+  std::int64_t clb_in_taps = 0, clb_out = 0;
+  for (const auto& v : clb_taps_) clb_in_taps += static_cast<std::int64_t>(v.size());
+  for (const auto& v : clb_opin_tracks_) clb_out += static_cast<std::int64_t>(v.size());
+  const auto& blocks = placement_->blocks();
+  bool has_clb = false, has_in = false, has_out = false;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    switch (blocks[bi].kind) {
+      case BlockKind::kClb:
+        has_clb = true;
+        n_edges_ += spec_->cluster_inputs() + clb_in_taps + clb_out;
+        break;
+      case BlockKind::kInputPad: {
+        has_in = true;
+        const int sub = placement_->location(static_cast<int>(bi)).sub;
+        n_edges_ += static_cast<std::int64_t>(
+            pad_out_tracks_[static_cast<std::size_t>(sub)].size());
+        break;
+      }
+      case BlockKind::kOutputPad: {
+        has_out = true;
+        const int sub = placement_->location(static_cast<int>(bi)).sub;
+        n_edges_ += 1 + pad_in_count_[static_cast<std::size_t>(sub)];
+        break;
+      }
+    }
+  }
+  unique_patterns_ = wire_patterns + (has_clb ? 1 : 0) + (has_in ? 1 : 0) +
+                     (has_out ? 1 : 0);
+}
+
+void RrGraph::append_wire_taps(bool horizontal, int x, int y, int t,
+                               std::vector<int>* out) const {
+  // Candidate adjacent blocks, emitted in ascending block order — the
+  // dense build appends taps in its global block loop, so per wire the
+  // tap edges sort by block id (and by pin within one block).
+  struct Cand {
+    int block;
+    int side;  ///< 0..3 = CLB connection-box side, 4 = output pad
+  };
+  Cand cands[8];
+  int n_cands = 0;
+  auto add_clb = [&](int tx, int ty, int side) {
+    const int b = clb_block_at(tx, ty);
+    if (b >= 0) cands[n_cands++] = {b, side};
+  };
+  auto add_pads = [&](int tx, int ty) {
+    const std::int64_t key =
+        static_cast<std::int64_t>(tx) * (ny_ + 2) + ty;
+    const auto it =
+        std::lower_bound(pad_tile_key_.begin(), pad_tile_key_.end(), key);
+    if (it == pad_tile_key_.end() || *it != key) return;
+    const std::size_t ti =
+        static_cast<std::size_t>(it - pad_tile_key_.begin());
+    for (int i = pad_tile_off_[ti]; i < pad_tile_off_[ti + 1]; ++i) {
+      const int b = pad_tile_block_[static_cast<std::size_t>(i)];
+      if (placement_->blocks()[static_cast<std::size_t>(b)].kind !=
+          BlockKind::kOutputPad) {
+        continue;
+      }
+      const int sub = placement_->location(b).sub;
+      if (pad_in_has_[static_cast<std::size_t>(sub * width_ + t)]) {
+        cands[n_cands++] = {b, 4};
+      }
+    }
+  };
+  if (horizontal) {
+    if (y >= 1) add_clb(x, y, 1);
+    if (y + 1 <= ny_) add_clb(x, y + 1, 0);
+    if (y == 0) add_pads(x, 0);
+    if (y == ny_) add_pads(x, ny_ + 1);
+  } else {
+    if (x + 1 <= nx_) add_clb(x + 1, y, 2);
+    if (x >= 1) add_clb(x, y, 3);
+    if (x == 0) add_pads(0, y);
+    if (x == nx_) add_pads(nx_ + 1, y);
+  }
+  // Insertion sort over the (at most 4-entry) fixed array; std::sort on a
+  // raw C array trips GCC's -Warray-bounds analysis here.
+  for (int i = 1; i < n_cands; ++i) {
+    const Cand c = cands[i];
+    int j = i - 1;
+    while (j >= 0 && cands[j].block > c.block) {
+      cands[j + 1] = cands[j];
+      --j;
+    }
+    cands[j + 1] = c;
+  }
+  for (int i = 0; i < n_cands; ++i) {
+    const int base = block_base_[static_cast<std::size_t>(cands[i].block)];
+    if (cands[i].side == 4) {
+      out->push_back(base + 1);  // output-pad IPIN
+    } else {
+      for (int p :
+           clb_taps_[static_cast<std::size_t>(cands[i].side * width_ + t)]) {
+        out->push_back(base + 1 + p);
+      }
+    }
+  }
+}
+
+void RrGraph::append_out_edges_dedup(int id, std::vector<int>* out) const {
+  bool horizontal;
+  int x, y, t;
+  if (decode_wire(id, &horizontal, &x, &y, &t)) {
+    const int sig = wire_signature(horizontal, x, y);
+    for (const Leg& leg : legs_[horizontal ? 1 : 0][sig]) {
+      out->push_back(chan_id(leg.horizontal, x + leg.dx, y + leg.dy, t));
+    }
+    append_wire_taps(horizontal, x, y, t, out);
+    return;
+  }
+  const int bi = block_of_id(id);
+  const int off = id - block_base_[static_cast<std::size_t>(bi)];
+  const auto& blk = placement_->blocks()[static_cast<std::size_t>(bi)];
+  const Loc& loc = placement_->location(bi);
+  const int n_in = spec_->cluster_inputs();
+  switch (blk.kind) {
+    case BlockKind::kClb:
+      if (off == 0) return;  // SINK
+      if (off <= n_in) {     // IPIN → SINK
+        out->push_back(block_base_[static_cast<std::size_t>(bi)]);
+        return;
+      }
+      {
+        const int p = off - 1 - n_in;  // OPIN
+        const int side = (p + 1) % 4;
+        for (int t2 : clb_opin_tracks_[static_cast<std::size_t>(p)]) {
+          out->push_back(adjacent_chan(loc.x, loc.y, side, t2));
+        }
+      }
+      return;
+    case BlockKind::kInputPad:
+      for (int t2 : pad_out_tracks_[static_cast<std::size_t>(loc.sub)]) {
+        out->push_back(pad_wire(loc, t2));
+      }
+      return;
+    case BlockKind::kOutputPad:
+      if (off == 1) {  // IPIN → SINK
+        out->push_back(block_base_[static_cast<std::size_t>(bi)]);
+      }
+      return;
+  }
+}
+
+void RrGraph::append_out_edges(int id, std::vector<int>* out) const {
+  if (dedup_) {
+    append_out_edges_dedup(id, out);
+    return;
+  }
+  const auto& e = nodes_[static_cast<std::size_t>(id)].out_edges;
+  out->insert(out->end(), e.begin(), e.end());
+}
+
+bool RrGraph::has_edge(int from, int to) const {
+  if (!dedup_) {
+    const auto& e = nodes_[static_cast<std::size_t>(from)].out_edges;
+    return std::find(e.begin(), e.end(), to) != e.end();
+  }
+  thread_local std::vector<int> scratch;
+  scratch.clear();
+  append_out_edges_dedup(from, &scratch);
+  return std::find(scratch.begin(), scratch.end(), to) != scratch.end();
+}
+
+// ---------------------------------------------------- node attributes --
+
+RrType RrGraph::node_type(int id) const {
+  if (!dedup_) return nodes_[static_cast<std::size_t>(id)].type;
+  if (id < chanx_total_) return RrType::kChanX;
+  if (id < wire_count_) return RrType::kChanY;
+  const int bi = block_of_id(id);
+  const int off = id - block_base_[static_cast<std::size_t>(bi)];
+  switch (placement_->blocks()[static_cast<std::size_t>(bi)].kind) {
+    case BlockKind::kClb:
+      if (off == 0) return RrType::kSink;
+      return off <= spec_->cluster_inputs() ? RrType::kIpin : RrType::kOpin;
+    case BlockKind::kInputPad:
+      return RrType::kOpin;
+    case BlockKind::kOutputPad:
+      return off == 0 ? RrType::kSink : RrType::kIpin;
+  }
+  return RrType::kSink;
+}
+
+RrNode RrGraph::node_info(int id) const {
+  if (!dedup_) {
+    const RrNode& src = nodes_[static_cast<std::size_t>(id)];
+    RrNode n;
+    n.type = src.type;
+    n.x = src.x;
+    n.y = src.y;
+    n.track = src.track;
+    n.pin = src.pin;
+    n.block = src.block;
+    n.capacity = src.capacity;
+    n.base_cost = src.base_cost;
+    return n;  // out_edges left empty in both modes
+  }
+  RrNode n;
+  n.type = RrType::kSink;  // overwritten below; pre-set for -Wmaybe-uninitialized
+  bool horizontal;
+  int x, y, t;
+  if (decode_wire(id, &horizontal, &x, &y, &t)) {
+    n.type = horizontal ? RrType::kChanX : RrType::kChanY;
+    n.x = x;
+    n.y = y;
+    n.track = t;
+    n.base_cost = 1.0;
+    return n;
+  }
+  const int bi = block_of_id(id);
+  const int off = id - block_base_[static_cast<std::size_t>(bi)];
+  const Loc& loc = placement_->location(bi);
+  n.x = loc.x;
+  n.y = loc.y;
+  n.block = bi;
+  const int n_in = spec_->cluster_inputs();
+  switch (placement_->blocks()[static_cast<std::size_t>(bi)].kind) {
+    case BlockKind::kClb:
+      if (off == 0) {
+        n.type = RrType::kSink;
+        n.capacity = n_in;
+        n.base_cost = 0.0;
+      } else if (off <= n_in) {
+        n.type = RrType::kIpin;
+        n.pin = off - 1;
+        n.base_cost = 0.95;
+      } else {
+        n.type = RrType::kOpin;
+        n.pin = off - 1 - n_in;
+        n.base_cost = 1.0;
+      }
+      break;
+    case BlockKind::kInputPad:
+      n.type = RrType::kOpin;
+      n.pin = loc.sub;
+      n.base_cost = 1.0;
+      break;
+    case BlockKind::kOutputPad:
+      if (off == 0) {
+        n.type = RrType::kSink;
+        n.capacity = 1;
+        n.base_cost = 0.0;
+      } else {
+        n.type = RrType::kIpin;
+        n.pin = loc.sub;
+        n.base_cost = 0.95;
+      }
+      break;
+  }
+  return n;
+}
+
+int RrGraph::node_x(int id) const {
+  if (!dedup_) return nodes_[static_cast<std::size_t>(id)].x;
+  bool h;
+  int x, y, t;
+  if (decode_wire(id, &h, &x, &y, &t)) return x;
+  return placement_->location(block_of_id(id)).x;
+}
+
+int RrGraph::node_y(int id) const {
+  if (!dedup_) return nodes_[static_cast<std::size_t>(id)].y;
+  bool h;
+  int x, y, t;
+  if (decode_wire(id, &h, &x, &y, &t)) return y;
+  return placement_->location(block_of_id(id)).y;
+}
+
+int RrGraph::node_track(int id) const {
+  if (!dedup_) return nodes_[static_cast<std::size_t>(id)].track;
+  bool h;
+  int x, y, t;
+  if (decode_wire(id, &h, &x, &y, &t)) return t;
+  return -1;
+}
+
+int RrGraph::node_pin(int id) const {
+  if (!dedup_) return nodes_[static_cast<std::size_t>(id)].pin;
+  return node_info(id).pin;
+}
+
+int RrGraph::node_block(int id) const {
+  if (!dedup_) return nodes_[static_cast<std::size_t>(id)].block;
+  if (id < wire_count_) return -1;
+  return block_of_id(id);
+}
+
+int RrGraph::node_capacity(int id) const {
+  if (!dedup_) return nodes_[static_cast<std::size_t>(id)].capacity;
+  if (id < wire_count_) return 1;
+  const int bi = block_of_id(id);
+  const int off = id - block_base_[static_cast<std::size_t>(bi)];
+  const auto kind = placement_->blocks()[static_cast<std::size_t>(bi)].kind;
+  if (off == 0 && kind == BlockKind::kClb) return spec_->cluster_inputs();
+  return 1;
+}
+
+double RrGraph::node_base_cost(int id) const {
+  if (!dedup_) return nodes_[static_cast<std::size_t>(id)].base_cost;
+  if (id < wire_count_) return 1.0;
+  switch (node_type(id)) {
+    case RrType::kSink: return 0.0;
+    case RrType::kIpin: return 0.95;
+    default: return 1.0;
+  }
+}
+
+void RrGraph::fill_soa(std::vector<signed char>* type, std::vector<short>* x,
+                       std::vector<short>* y, std::vector<short>* cap,
+                       std::vector<double>* base_cost) const {
+  const std::size_t nn = static_cast<std::size_t>(n_nodes_);
+  if (type != nullptr) type->resize(nn);
+  if (x != nullptr) x->resize(nn);
+  if (y != nullptr) y->resize(nn);
+  if (cap != nullptr) cap->resize(nn);
+  if (base_cost != nullptr) base_cost->resize(nn);
+  if (!dedup_) {
+    for (std::size_t i = 0; i < nn; ++i) {
+      const RrNode& n = nodes_[i];
+      if (type != nullptr) (*type)[i] = static_cast<signed char>(n.type);
+      if (x != nullptr) (*x)[i] = static_cast<short>(n.x);
+      if (y != nullptr) (*y)[i] = static_cast<short>(n.y);
+      if (cap != nullptr) (*cap)[i] = static_cast<short>(n.capacity);
+      if (base_cost != nullptr) (*base_cost)[i] = n.base_cost;
+    }
+    return;
+  }
+  // Wires, written in id order (chanx y-major, then chany x-major).
+  std::size_t i = 0;
+  constexpr signed char kCx = static_cast<signed char>(RrType::kChanX);
+  constexpr signed char kCy = static_cast<signed char>(RrType::kChanY);
+  for (int wy = 0; wy <= ny_; ++wy) {
+    for (int wx = 1; wx <= nx_; ++wx) {
+      for (int t = 0; t < width_; ++t, ++i) {
+        if (type != nullptr) (*type)[i] = kCx;
+        if (x != nullptr) (*x)[i] = static_cast<short>(wx);
+        if (y != nullptr) (*y)[i] = static_cast<short>(wy);
+        if (cap != nullptr) (*cap)[i] = 1;
+        if (base_cost != nullptr) (*base_cost)[i] = 1.0;
+      }
+    }
+  }
+  for (int wx = 0; wx <= nx_; ++wx) {
+    for (int wy = 1; wy <= ny_; ++wy) {
+      for (int t = 0; t < width_; ++t, ++i) {
+        if (type != nullptr) (*type)[i] = kCy;
+        if (x != nullptr) (*x)[i] = static_cast<short>(wx);
+        if (y != nullptr) (*y)[i] = static_cast<short>(wy);
+        if (cap != nullptr) (*cap)[i] = 1;
+        if (base_cost != nullptr) (*base_cost)[i] = 1.0;
+      }
+    }
+  }
+  const auto& blocks = placement_->blocks();
+  const int n_in = spec_->cluster_inputs();
+  auto put = [&](std::size_t j, RrType ty, const Loc& loc, int capacity,
+                 double bc) {
+    if (type != nullptr) (*type)[j] = static_cast<signed char>(ty);
+    if (x != nullptr) (*x)[j] = static_cast<short>(loc.x);
+    if (y != nullptr) (*y)[j] = static_cast<short>(loc.y);
+    if (cap != nullptr) (*cap)[j] = static_cast<short>(capacity);
+    if (base_cost != nullptr) (*base_cost)[j] = bc;
+  };
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Loc& loc = placement_->location(static_cast<int>(bi));
+    std::size_t j = static_cast<std::size_t>(block_base_[bi]);
+    switch (blocks[bi].kind) {
+      case BlockKind::kClb:
+        put(j++, RrType::kSink, loc, n_in, 0.0);
+        for (int p = 0; p < n_in; ++p) put(j++, RrType::kIpin, loc, 1, 0.95);
+        for (int p = 0; p < spec_->n; ++p) {
+          put(j++, RrType::kOpin, loc, 1, 1.0);
+        }
+        break;
+      case BlockKind::kInputPad:
+        put(j, RrType::kOpin, loc, 1, 1.0);
+        break;
+      case BlockKind::kOutputPad:
+        put(j, RrType::kSink, loc, 1, 0.0);
+        put(j + 1, RrType::kIpin, loc, 1, 0.95);
+        break;
+    }
+  }
+}
+
+int RrGraph::find_chan(RrType type, int x, int y, int track) const {
+  if (track < 0 || track >= width_) return -1;
+  if (type == RrType::kChanX) {
+    if (x < 1 || x > nx_ || y < 0 || y > ny_) return -1;
+    return chanx_id(x, y, track);
+  }
+  if (type == RrType::kChanY) {
+    if (x < 0 || x > nx_ || y < 1 || y > ny_) return -1;
+    return chany_id(x, y, track);
+  }
+  return -1;
+}
+
+int RrGraph::find_block_node(int block, RrType type, int pin) const {
+  if (block < 0 ||
+      block >= static_cast<int>(placement_->blocks().size())) {
+    return -1;
+  }
+  const int base = block_base_[static_cast<std::size_t>(block)];
+  const Loc& loc = placement_->location(block);
+  const int n_in = spec_->cluster_inputs();
+  switch (placement_->blocks()[static_cast<std::size_t>(block)].kind) {
+    case BlockKind::kClb:
+      if (type == RrType::kSink && pin == -1) return base;
+      if (type == RrType::kIpin && pin >= 0 && pin < n_in) {
+        return base + 1 + pin;
+      }
+      if (type == RrType::kOpin && pin >= 0 && pin < spec_->n) {
+        return base + 1 + n_in + pin;
+      }
+      return -1;
+    case BlockKind::kInputPad:
+      return (type == RrType::kOpin && pin == loc.sub) ? base : -1;
+    case BlockKind::kOutputPad:
+      if (type == RrType::kSink && pin == -1) return base;
+      if (type == RrType::kIpin && pin == loc.sub) return base + 1;
+      return -1;
+  }
+  return -1;
+}
+
+// ------------------------------------------------------- dense oracle --
+
+void RrGraph::build_dense() {
   const Placement& pl = *placement_;
   const arch::ArchSpec& spec = *spec_;
 
   // Node count is known up front: wires for every channel position plus
   // pins per block. Reserving once keeps the build from repeatedly
   // moving RrNodes (each owns an edge vector) as nodes_ grows.
-  const std::size_t n_wires =
-      static_cast<std::size_t>((ny_ + 1) * nx_ + (nx_ + 1) * ny_) *
-      static_cast<std::size_t>(width_);
-  nodes_.reserve(n_wires +
-                 pl.blocks().size() *
-                     static_cast<std::size_t>(spec.cluster_inputs() + spec.n + 2));
+  nodes_.reserve(static_cast<std::size_t>(n_nodes_));
+
+  auto add_node = [&](RrNode node) {
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+  };
 
   // ---- wire nodes ----
-  chanx_base_.assign(static_cast<std::size_t>((ny_ + 1) * nx_), -1);
   for (int y = 0; y <= ny_; ++y) {
     for (int x = 1; x <= nx_; ++x) {
-      chanx_base_[static_cast<std::size_t>(y * nx_ + (x - 1))] =
-          static_cast<int>(nodes_.size());
       for (int t = 0; t < width_; ++t) {
         RrNode n;
         n.type = RrType::kChanX;
@@ -74,11 +785,8 @@ void RrGraph::build() {
       }
     }
   }
-  chany_base_.assign(static_cast<std::size_t>((nx_ + 1) * ny_), -1);
   for (int x = 0; x <= nx_; ++x) {
     for (int y = 1; y <= ny_; ++y) {
-      chany_base_[static_cast<std::size_t>(x * ny_ + (y - 1))] =
-          static_cast<int>(nodes_.size());
       for (int t = 0; t < width_; ++t) {
         RrNode n;
         n.type = RrType::kChanY;
@@ -120,32 +828,9 @@ void RrGraph::build() {
       std::max(1, static_cast<int>(std::lround(spec.fc_in * width_)));
   const int fc_out_tracks =
       std::max(1, static_cast<int>(std::lround(spec.fc_out * width_)));
-  auto pin_tracks = [&](int pin, int n_tracks) {
-    std::vector<int> tracks;
-    for (int k = 0; k < n_tracks; ++k) {
-      tracks.push_back((pin + k) % width_);
-    }
-    std::sort(tracks.begin(), tracks.end());
-    tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
-    return tracks;
-  };
-
-  // Channel segments adjacent to tile (x, y): {chanx below, chanx above,
-  // chany left, chany right}; side = pin % 4 picks one.
-  auto adjacent_wire = [&](int x, int y, int side, int t) -> int {
-    switch (side) {
-      case 0: return chanx_id(x, y - 1, t);  // below
-      case 1: return chanx_id(x, y, t);      // above
-      case 2: return chany_id(x - 1, y, t);  // left
-      default: return chany_id(x, y, t);     // right
-    }
-  };
 
   // ---- per-block pins ----
   const auto& blocks = pl.blocks();
-  std::vector<int> block_sink(blocks.size(), -1);
-  std::vector<std::vector<int>> block_opins(blocks.size());
-
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
     const auto& blk = blocks[bi];
     const Loc& loc = pl.location(static_cast<int>(bi));
@@ -161,7 +846,6 @@ void RrGraph::build() {
       sink.capacity = n_in;
       sink.base_cost = 0.0;
       const int sink_id = add_node(std::move(sink));
-      block_sink[bi] = sink_id;
       // IPINs.
       for (int p = 0; p < n_in; ++p) {
         RrNode ipin;
@@ -175,7 +859,7 @@ void RrGraph::build() {
         nodes_[static_cast<std::size_t>(ipin_id)].out_edges.push_back(sink_id);
         const int side = p % 4;
         for (int t : pin_tracks(p, fc_in_tracks)) {
-          const int wire = adjacent_wire(loc.x, loc.y, side, t);
+          const int wire = adjacent_chan(loc.x, loc.y, side, t);
           nodes_[static_cast<std::size_t>(wire)].out_edges.push_back(ipin_id);
         }
       }
@@ -189,63 +873,66 @@ void RrGraph::build() {
         opin.block = static_cast<int>(bi);
         opin.base_cost = 1.0;
         const int opin_id = add_node(std::move(opin));
-        block_opins[bi].push_back(opin_id);
         const int side = (p + 1) % 4;
         for (int t : pin_tracks(p + n_in, fc_out_tracks)) {
-          const int wire = adjacent_wire(loc.x, loc.y, side, t);
+          const int wire = adjacent_chan(loc.x, loc.y, side, t);
           nodes_[static_cast<std::size_t>(opin_id)].out_edges.push_back(wire);
         }
       }
+    } else if (blk.kind == BlockKind::kInputPad) {
+      RrNode opin;
+      opin.type = RrType::kOpin;
+      opin.x = loc.x;
+      opin.y = loc.y;
+      opin.pin = loc.sub;
+      opin.block = static_cast<int>(bi);
+      const int opin_id = add_node(std::move(opin));
+      for (int t : pin_tracks(loc.sub, fc_out_tracks)) {
+        nodes_[static_cast<std::size_t>(opin_id)].out_edges.push_back(
+            pad_wire(loc, t));
+      }
     } else {
-      // IO pad: the channel bordering the core.
-      auto pad_wire = [&](int t) -> int {
-        if (loc.y == 0) return chanx_id(loc.x, 0, t);
-        if (loc.y == ny_ + 1) return chanx_id(loc.x, ny_, t);
-        if (loc.x == 0) return chany_id(0, loc.y, t);
-        return chany_id(nx_, loc.y, t);
-      };
-      if (blk.kind == BlockKind::kInputPad) {
-        RrNode opin;
-        opin.type = RrType::kOpin;
-        opin.x = loc.x;
-        opin.y = loc.y;
-        opin.pin = loc.sub;
-        opin.block = static_cast<int>(bi);
-        const int opin_id = add_node(std::move(opin));
-        block_opins[bi].push_back(opin_id);
-        for (int t : pin_tracks(loc.sub, fc_out_tracks)) {
-          nodes_[static_cast<std::size_t>(opin_id)].out_edges.push_back(
-              pad_wire(t));
-        }
-      } else {
-        RrNode sink;
-        sink.type = RrType::kSink;
-        sink.x = loc.x;
-        sink.y = loc.y;
-        sink.block = static_cast<int>(bi);
-        sink.capacity = 1;
-        sink.base_cost = 0.0;
-        const int sink_id = add_node(std::move(sink));
-        block_sink[bi] = sink_id;
-        RrNode ipin;
-        ipin.type = RrType::kIpin;
-        ipin.x = loc.x;
-        ipin.y = loc.y;
-        ipin.pin = loc.sub;
-        ipin.block = static_cast<int>(bi);
-        ipin.base_cost = 0.95;
-        const int ipin_id = add_node(std::move(ipin));
-        nodes_[static_cast<std::size_t>(ipin_id)].out_edges.push_back(sink_id);
-        for (int t : pin_tracks(loc.sub, fc_in_tracks)) {
-          nodes_[static_cast<std::size_t>(pad_wire(t))].out_edges.push_back(
-              ipin_id);
-        }
+      RrNode sink;
+      sink.type = RrType::kSink;
+      sink.x = loc.x;
+      sink.y = loc.y;
+      sink.block = static_cast<int>(bi);
+      sink.capacity = 1;
+      sink.base_cost = 0.0;
+      const int sink_id = add_node(std::move(sink));
+      RrNode ipin;
+      ipin.type = RrType::kIpin;
+      ipin.x = loc.x;
+      ipin.y = loc.y;
+      ipin.pin = loc.sub;
+      ipin.block = static_cast<int>(bi);
+      ipin.base_cost = 0.95;
+      const int ipin_id = add_node(std::move(ipin));
+      nodes_[static_cast<std::size_t>(ipin_id)].out_edges.push_back(sink_id);
+      for (int t : pin_tracks(loc.sub, fc_in_tracks)) {
+        nodes_[static_cast<std::size_t>(pad_wire(loc, t))].out_edges.push_back(
+            ipin_id);
       }
     }
   }
+  AMDREL_CHECK(static_cast<int>(nodes_.size()) == n_nodes_);
 
-  // ---- net terminals ----
+  n_edges_ = 0;
+  std::int64_t bytes = 0;
+  for (const auto& n : nodes_) {
+    n_edges_ += static_cast<std::int64_t>(n.out_edges.size());
+    bytes += static_cast<std::int64_t>(sizeof(RrNode)) +
+             4 * static_cast<std::int64_t>(n.out_edges.capacity());
+  }
+  bytes_est_ = bytes;
+  unique_patterns_ = 0;
+}
+
+void RrGraph::build_net_terminals() {
+  const Placement& pl = *placement_;
+  const auto& blocks = pl.blocks();
   const auto& nets = pl.nets();
+  const int n_in = spec_->cluster_inputs();
   net_opin_.assign(nets.size(), -1);
   net_sinks_.assign(nets.size(), {});
 
@@ -253,6 +940,7 @@ void RrGraph::build() {
   for (std::size_t ni = 0; ni < nets.size(); ++ni) {
     const auto& net = nets[ni];
     const auto& src_blk = blocks[static_cast<std::size_t>(net.source)];
+    const int src_base = block_base_[static_cast<std::size_t>(net.source)];
     if (src_blk.kind == BlockKind::kClb) {
       const auto& cluster =
           pl.packed().clusters()[static_cast<std::size_t>(src_blk.index)];
@@ -268,19 +956,26 @@ void RrGraph::build() {
         }
       }
       AMDREL_CHECK_MSG(slot >= 0, "net source not among cluster outputs");
-      AMDREL_CHECK(slot < static_cast<int>(block_opins[static_cast<std::size_t>(net.source)].size()));
-      net_opin_[ni] =
-          block_opins[static_cast<std::size_t>(net.source)][static_cast<std::size_t>(slot)];
+      AMDREL_CHECK(slot < spec_->n);
+      net_opin_[ni] = src_base + 1 + n_in + slot;
     } else {
-      net_opin_[ni] =
-          block_opins[static_cast<std::size_t>(net.source)][0];
+      AMDREL_CHECK_MSG(src_blk.kind == BlockKind::kInputPad,
+                       "net source is not a driver block");
+      net_opin_[ni] = src_base;
     }
     for (int sink_blk : net.sinks) {
       if (sink_blk == net.source) continue;  // PI==PO degenerate
-      const int sid = block_sink[static_cast<std::size_t>(sink_blk)];
-      AMDREL_CHECK_MSG(sid >= 0, "sink block has no sink node");
-      net_sinks_[ni].push_back(sid);
+      const auto kind = blocks[static_cast<std::size_t>(sink_blk)].kind;
+      AMDREL_CHECK_MSG(kind != BlockKind::kInputPad,
+                       "sink block has no sink node");
+      net_sinks_[ni].push_back(
+          block_base_[static_cast<std::size_t>(sink_blk)]);
     }
+  }
+
+  bytes_est_ += static_cast<std::int64_t>(net_opin_.size()) * 4;
+  for (const auto& v : net_sinks_) {
+    bytes_est_ += 24 + 4 * static_cast<std::int64_t>(v.size());
   }
 }
 
@@ -292,18 +987,28 @@ const std::vector<int>& RrGraph::sinks_of_net(int net_index) const {
   return net_sinks_[static_cast<std::size_t>(net_index)];
 }
 
+const std::vector<RrNode>& RrGraph::nodes() const {
+  AMDREL_CHECK_MSG(!dedup_,
+                   "RrGraph::nodes() requires the dense build "
+                   "(RrOptions::dedup = false)");
+  return nodes_;
+}
+
 std::string RrGraph::stats() const {
-  int wires = 0, pins = 0, sinks = 0;
-  std::size_t edges = 0;
-  for (const auto& n : nodes_) {
-    if (n.type == RrType::kChanX || n.type == RrType::kChanY) ++wires;
-    else if (n.type == RrType::kSink) ++sinks;
-    else ++pins;
-    edges += n.out_edges.size();
+  int clbs = 0, outpads = 0;
+  for (const auto& b : placement_->blocks()) {
+    if (b.kind == BlockKind::kClb) ++clbs;
+    else if (b.kind == BlockKind::kOutputPad) ++outpads;
   }
-  return strprintf("%d nodes (%d wires, %d pins, %d sinks), %zu edges, W=%d",
-                   static_cast<int>(nodes_.size()), wires, pins, sinks, edges,
-                   width_);
+  const int sinks = clbs + outpads;
+  const int pins = n_nodes_ - wire_count_ - sinks;
+  return strprintf(
+      "%d nodes (%d wires, %d pins, %d sinks), %lld edges, W=%d, %s, "
+      "%d patterns, ~%lld KiB resident",
+      n_nodes_, wire_count_, pins, sinks,
+      static_cast<long long>(n_edges_), width_,
+      dedup_ ? "dedup" : "dense", unique_patterns_,
+      static_cast<long long>(bytes_est_ / 1024));
 }
 
 }  // namespace amdrel::route

@@ -18,7 +18,6 @@ std::vector<NetDelays> compute_net_delays(const route::RrGraph& graph,
                                           const place::Placement& /*placement*/,
                                           const route::RouteResult& routing,
                                           const arch::ArchSpec& spec) {
-  const auto& nodes = graph.nodes();
   std::vector<NetDelays> out(routing.routes.size());
 
   for (std::size_t ni = 0; ni < routing.routes.size(); ++ni) {
@@ -35,20 +34,20 @@ std::vector<NetDelays> compute_net_delays(const route::RrGraph& graph,
 
     // Edge R into node k and node capacitance of k.
     auto edge_r = [&](std::size_t k) {
-      const RrNode& node = nodes[static_cast<std::size_t>(route.nodes[k])];
-      if (node.type == RrType::kChanX || node.type == RrType::kChanY) {
+      const RrType t = graph.node_type(route.nodes[k]);
+      if (t == RrType::kChanX || t == RrType::kChanY) {
         // Reached through a routing pass switch + the wire's resistance.
         return spec.r_switch + spec.r_wire_tile;
       }
-      if (node.type == RrType::kIpin) return spec.r_switch;
+      if (t == RrType::kIpin) return spec.r_switch;
       return 0.0;
     };
     auto node_c = [&](std::size_t k) {
-      const RrNode& node = nodes[static_cast<std::size_t>(route.nodes[k])];
-      if (node.type == RrType::kChanX || node.type == RrType::kChanY) {
+      const RrType t = graph.node_type(route.nodes[k]);
+      if (t == RrType::kChanX || t == RrType::kChanY) {
         return spec.c_wire_tile + spec.c_switch;
       }
-      if (node.type == RrType::kIpin) return spec.c_switch;
+      if (t == RrType::kIpin) return spec.c_switch;
       return 0.0;
     };
 
@@ -67,9 +66,8 @@ std::vector<NetDelays> compute_net_delays(const route::RrGraph& graph,
     }
     // Record per-sink delays.
     for (std::size_t k = 0; k < n; ++k) {
-      const RrNode& node = nodes[static_cast<std::size_t>(route.nodes[k])];
-      if (node.type == RrType::kSink) {
-        auto& slot = out[ni].to_block[node.block];
+      if (graph.node_type(route.nodes[k]) == RrType::kSink) {
+        auto& slot = out[ni].to_block[graph.node_block(route.nodes[k])];
         slot = std::max(slot, delay[k]);
       }
     }

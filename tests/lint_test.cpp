@@ -336,10 +336,8 @@ TEST(FlowInvariants, CorruptedRouteOveruseFiresFL301) {
   bool seeded = false;
   for (auto& r : corrupted.routes) {
     for (std::size_t k = 0; k < r.nodes.size() && !seeded; ++k) {
-      const auto& n =
-          result.rr_graph->nodes()[static_cast<std::size_t>(r.nodes[k])];
-      if (n.type == route::RrType::kChanX ||
-          n.type == route::RrType::kChanY) {
+      const route::RrType t = result.rr_graph->node_type(r.nodes[k]);
+      if (t == route::RrType::kChanX || t == route::RrType::kChanY) {
         r.nodes.push_back(r.nodes[k]);
         r.parent.push_back(r.parent[k]);
         seeded = true;

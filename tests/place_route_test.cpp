@@ -139,7 +139,8 @@ TEST(Place, ClockNetIsGlobal) {
 
 TEST(RrGraph, WellFormed) {
   Design d(150, 8, 35);
-  route::RrGraph graph(d.placement, d.spec, 10);
+  // Dense oracle build: .nodes() materializes per-node edge lists.
+  route::RrGraph graph(d.placement, d.spec, 10, route::RrOptions{false});
   const auto& nodes = graph.nodes();
   EXPECT_GT(nodes.size(), 100u);
   // Every edge target in range; IPINs feed exactly one sink.
