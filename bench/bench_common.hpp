@@ -1,48 +1,44 @@
 #pragma once
-// Shared command-line handling for the paper-table/figure bench drivers.
-//
-// Every driver accepts:
-//   --json        machine-readable output (one JSON object on stdout)
-//                 instead of the human-readable table
-//   --threads N   worker threads for the independent testbench runs
-//                 (0 = hardware concurrency; default)
-//   --dense       use the dense MNA oracle instead of the sparse solver
-//                 (slow; for cross-checking the sparse backend)
-//   --trace FILE  write the obs trace (JSON-lines, one event per line) to
-//                 FILE; see DESIGN.md §8 for the event schema
-//   --progress    human-readable trace spans on stderr while running
-//   --metrics FILE  write the metrics-registry snapshot (JSON; DESIGN.md
-//                 §8) to FILE when the bench exits
-//
-// Drivers with extra flags pass an `extra` callback to parse_bench_args;
-// it sees every argument the shared parser does not recognise and returns
-// whether it consumed it (advancing *i for flags that take a value).
+// Shared command-line handling for the paper-table/figure bench drivers,
+// layered on flow::parse_job_spec (flow/jobspec.hpp) so every binary in
+// the repo strips the same flags with the same spellings. The flow layer
+// handles:
+//   --trace FILE --progress --metrics FILE --threads N --dense
+//   --rr-dedup --rr-dense --verify MODE --seed N
+//   --priority low|normal|high --until STAGE
+// and this layer adds the bench-only --json. Drivers with extra flags
+// pass an `extra` callback to parse_bench_args; it sees every argument
+// the shared parsers do not recognise and returns whether it consumed it
+// (advancing *i for flags that take a value).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
-#include <memory>
 #include <string>
 
-#include "obs/metrics.hpp"
+#include "flow/jobspec.hpp"
 #include "obs/obs.hpp"
 #include "spice/transient.hpp"
 #include "util/error.hpp"
-#include "util/strings.hpp"
 
 namespace amdrel::bench {
 
 struct BenchArgs {
   bool json = false;
-  bool dense = false;
-  int threads = 0;        ///< 0 = hardware concurrency
-  std::string trace;      ///< --trace FILE (empty = no JSONL trace)
-  std::string metrics;    ///< --metrics FILE (empty = no snapshot)
-  bool progress = false;  ///< --progress: TextSink on stderr
+  /// Shared job knobs (--seed/--verify/--rr-dedup/--until/--priority):
+  /// flow benches use spec.options as their base FlowOptions, so a QoR
+  /// run can be re-seeded or switched to the dense RR oracle without
+  /// per-bench flag code.
+  flow::JobSpec spec;
+  /// Process runtime (--trace/--metrics/--progress/--threads/--dense).
+  flow::JobRuntime runtime;
+  int threads = 0;  ///< mirror of runtime.threads (0 = hw concurrency)
+  bool verify_given = false;  ///< --verify was passed explicitly
 
   spice::MnaSolver solver() const {
-    return dense ? spice::MnaSolver::kDense : spice::MnaSolver::kSparse;
+    return runtime.dense_mna ? spice::MnaSolver::kDense
+                             : spice::MnaSolver::kSparse;
   }
 };
 
@@ -55,31 +51,26 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
                                   const char* extra_usage = "",
                                   const ExtraFlagFn& extra = {}) {
   BenchArgs args;
+  try {
+    flow::JobSpecCli cli = flow::parse_job_spec(&argc, argv);
+    args.spec = std::move(cli.spec);
+    args.runtime = std::move(cli.runtime);
+    args.verify_given = cli.verify_given;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: error: %s\n", argv[0], e.what());
+    std::exit(2);
+  }
+  args.threads = args.runtime.threads;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       args.json = true;
-    } else if (std::strcmp(argv[i], "--dense") == 0) {
-      args.dense = true;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      try {
-        args.threads = parse_int(argv[++i], "--threads");
-      } catch (const Error& e) {
-        std::fprintf(stderr, "%s: error: %s\n", argv[0], e.what());
-        std::exit(2);
-      }
-      if (args.threads < 0) args.threads = 0;
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      args.trace = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
-      args.metrics = argv[++i];
-    } else if (std::strcmp(argv[i], "--progress") == 0) {
-      args.progress = true;
     } else if (extra && extra(argc, argv, &i)) {
       // consumed by the driver
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--dense] [--threads N] "
-                   "[--trace FILE] [--metrics FILE] [--progress]%s\n",
+                   "[--trace FILE] [--metrics FILE] [--progress] "
+                   "[--seed N] [--verify MODE] [--rr-dedup|--rr-dense]%s\n",
                    argv[0], extra_usage);
       std::exit(2);
     }
@@ -91,29 +82,15 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
 /// guard's lifetime; a no-op guard when neither flag was given. --trace
 /// wins when both are present (one sink per process).
 inline obs::ScopedSink install_trace(const BenchArgs& args) {
-  if (!args.trace.empty()) {
-    return obs::ScopedSink(std::make_unique<obs::JsonlSink>(args.trace));
-  }
-  if (args.progress) {
-    return obs::ScopedSink(std::make_unique<obs::TextSink>());
-  }
-  return obs::ScopedSink();
+  return flow::install_runtime_trace(args.runtime);
 }
 
 /// Writes the metrics-registry snapshot requested by --metrics when the
 /// guard leaves scope (normal or error exit); no-op when the flag was not
 /// given. Declare it right after install_trace in main().
-struct ScopedMetricsFile {
-  std::string path;
-  explicit ScopedMetricsFile(const BenchArgs& args) : path(args.metrics) {}
-  ~ScopedMetricsFile() {
-    if (path.empty()) return;
-    try {
-      obs::write_metrics_file(path);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-    }
-  }
+struct ScopedMetricsFile : flow::RuntimeMetricsGuard {
+  explicit ScopedMetricsFile(const BenchArgs& args)
+      : flow::RuntimeMetricsGuard(args.runtime) {}
 };
 
 /// Minimal JSON writer for the benches' flat records: objects, arrays,

@@ -94,28 +94,36 @@ int main(int argc, char** argv) {
       // capacity (and a fresh anneal of the edited design needs margin
       // too), and the same fabric for all three so the comparison is
       // apples-to-apples.
-      flow::FlowOptions probe_options;
-      probe_options.verify_mode = flow::VerifyMode::kOff;
+      // The probe and base compiles are JobSpec-described (source
+      // bench_gen): the same job an amdrel_serve client would submit.
+      flow::JobSpec probe_job = args.spec;  // shared CLI knobs
+      probe_job.label = wl.name;
+      probe_job.source = flow::JobSpec::Source::kBenchGen;
+      probe_job.bench = spec;
+      probe_job.options.verify_mode = flow::VerifyMode::kOff;
       // Invariant lint is a debug barrier, not part of the compile; it is
       // disabled on BOTH sides so the wall-clock comparison measures the
       // flow itself. The SAT proof below is the correctness check here.
-      probe_options.check_invariants = false;
-      probe_options.search_min_channel_width = true;
-      const int min_width =
-          flow::run_flow_from_network(base, probe_options).channel_width;
+      probe_job.options.check_invariants = false;
+      probe_job.options.search_min_channel_width = true;
+      flow::FlowSession probe(probe_job);
+      probe.resume();
+      const int min_width = probe.result().channel_width;
       const int channel_width = min_width + std::max(4, min_width * 15 / 100);
 
-      flow::FlowOptions options = probe_options;
-      options.search_min_channel_width = false;
-      options.arch.channel_width = channel_width;
-      flow::FlowSession session(base, options);
+      flow::JobSpec base_job = probe_job;
+      base_job.options.search_min_channel_width = false;
+      base_job.options.arch.channel_width = channel_width;
+      flow::FlowSession session(base_job);
       session.resume();
 
       // From-scratch recompile of the edit at the same channel width —
-      // the denominator.
+      // the denominator. (The edited network is in-memory only, so it
+      // uses the network entry point with the same options.)
       const auto t_scratch = std::chrono::steady_clock::now();
-      const flow::FlowResult scratch =
-          flow::run_flow_from_network(edited, options);
+      flow::FlowSession scratch_session(edited, base_job.options);
+      scratch_session.resume();
+      const flow::FlowResult scratch = scratch_session.take_result();
       const double scratch_s = seconds_since(t_scratch);
 
       eco::EcoStats stats;

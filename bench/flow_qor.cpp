@@ -6,6 +6,8 @@
 // Runs the pipeline through flow::FlowSession, so the per-stage runtimes
 // come from the session's own StageMetrics and --trace/--progress expose
 // the full obs event stream (flow spans plus the kernel spans beneath).
+// Each circuit is described as a flow::JobSpec (source bench_gen) — the
+// same description an amdrel_serve client would submit.
 
 #include <cstdint>
 #include <cstdio>
@@ -13,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "bench_gen/bench_gen.hpp"
+#include "flow/jobspec.hpp"
 #include "flow/session.hpp"
 #include "netlist/blif.hpp"
 #include "util/strings.hpp"
@@ -44,11 +47,17 @@ int main(int argc, char** argv) {
   for (const auto& spec : suite) {
     try {
       auto net = bench_gen::generate(spec);
-      flow::FlowOptions options;
-      options.verify_mode = flow::VerifyMode::kBoth;  // includes the formal handoff proofs
-      options.search_min_channel_width = true;
-      flow::FlowSession session(net, options);
-      session.resume();
+      flow::JobSpec job = args.spec;  // shared CLI knobs (--seed etc.)
+      job.label = spec.name;
+      job.source = flow::JobSpec::Source::kBenchGen;
+      job.bench = spec;
+      if (!args.verify_given) {
+        // Default includes the formal handoff proofs.
+        job.options.verify_mode = flow::VerifyMode::kBoth;
+      }
+      job.options.search_min_channel_width = true;
+      flow::FlowSession session(job);
+      session.run_until(job.until);
       const flow::FlowResult& r = session.result();
       double secs = 0.0;
       std::uint64_t formal_checks = 0;

@@ -19,11 +19,22 @@
 //   amdrel_cli eco       <base> <edited> [--json]   # incremental recompile
 //   amdrel_cli bench_gen <name> <gates> [latches] [seed] [--edit N]
 //   amdrel_cli trace-report <trace.jsonl> [--json]  # analyze an obs trace
+//   amdrel_cli job       <spec.json|->              # run one flow::JobSpec
 //
-// Global flags (any command, removed from argv before dispatch):
+// Global flags (any command, removed from argv before dispatch by
+// flow::parse_job_spec — the same layer amdrel_serve and the benches
+// use):
 //   --trace FILE    write the obs trace (JSON-lines) to FILE
 //   --progress      human-readable trace spans on stderr while running
 //   --metrics FILE  write the metrics-registry snapshot (JSON) on exit
+//   --threads N --seed N --verify MODE --rr-dedup|--rr-dense
+//   --until STAGE --priority low|normal|high
+//
+// `job` reads a JSON job description (flow/jobspec.hpp; '-' = stdin),
+// runs it through FlowSession exactly as the amdrel_serve daemon would,
+// and prints the same result JSON the daemon replies with (stage
+// metrics, QoR summary, bitstream fingerprint) — the single-shot
+// reference for daemon byte-identity checks.
 //
 // Designs load by extension: .vhd/.vhdl (synthesized), .edif, .bit
 // (deserialized + fabric-decoded) and BLIF otherwise — so `verify` can
@@ -57,6 +68,7 @@
 #include "bench_gen/bench_gen.hpp"
 #include "bitgen/bitstream.hpp"
 #include "eco/eco.hpp"
+#include "flow/jobspec.hpp"
 #include "flow/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -113,60 +125,22 @@ int usage() {
   std::fprintf(stderr,
                "usage: amdrel_cli "
                "{flow|synth|e2fmt|map|pack|dutys|pnr|power|dagger|lint|"
-               "verify|eco|bench_gen|trace-report} "
+               "verify|eco|bench_gen|trace-report|job} "
                "args... [--trace FILE] [--progress] [--metrics FILE]\n"
                "see the header of examples/amdrel_cli.cpp\n");
   return 2;
 }
 
-/// Pulls the global --trace/--progress/--metrics flags out of argv
-/// (compacting it in place) and returns the guard that keeps the
-/// requested sink attached. `*metrics_path` receives the --metrics value.
-obs::ScopedSink extract_trace_flags(int* argc, char** argv,
-                                    std::string* metrics_path) {
-  std::string trace;
-  bool progress = false;
-  int out = 1;
-  for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < *argc) {
-      trace = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < *argc) {
-      *metrics_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--progress") == 0) {
-      progress = true;
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  *argc = out;
-  if (!trace.empty()) {
-    return obs::ScopedSink(std::make_unique<obs::JsonlSink>(trace));
-  }
-  if (progress) return obs::ScopedSink(std::make_unique<obs::TextSink>());
-  return obs::ScopedSink();
-}
-
-/// Writes the metrics-registry snapshot on scope exit (including error
-/// exits), so --metrics captures whatever the command managed to do.
-struct MetricsFileGuard {
-  std::string path;
-  ~MetricsFileGuard() {
-    if (path.empty()) return;
-    try {
-      obs::write_metrics_file(path);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-    }
-  }
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   obs::ScopedSink trace_guard;
-  MetricsFileGuard metrics_guard;
+  flow::RuntimeMetricsGuard metrics_guard;
+  flow::JobSpecCli cli;
   try {
-    trace_guard = extract_trace_flags(&argc, argv, &metrics_guard.path);
+    cli = flow::parse_job_spec(&argc, argv);
+    trace_guard = flow::install_runtime_trace(cli.runtime);
+    metrics_guard.path = cli.runtime.metrics;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -175,32 +149,35 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "flow") {
-      flow::FlowOptions options;
-      options.search_min_channel_width = true;
-      // Pull the flags out before the positional arguments.
-      int out = 2;
-      for (int i = 2; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--verify") == 0 && i + 1 < argc) {
-          options.verify_mode = flow::parse_verify_mode(argv[++i]);
-        } else if (std::strcmp(argv[i], "--rr-dedup") == 0) {
-          options.rr_dedup = true;  // the default
-        } else if (std::strcmp(argv[i], "--rr-dense") == 0) {
-          options.rr_dedup = false;  // dense per-node oracle RR graph
-        } else {
-          argv[out++] = argv[i];
-        }
-      }
-      argc = out;
+      flow::JobSpec job = cli.spec;  // --verify/--seed/--rr-* already in
+      job.options.search_min_channel_width = true;
       if (argc < 4) return usage();
-      if (argc > 4) options.artifact_dir = argv[4];
-      auto net = load_design(argv[2], argv[3]);
-      flow::FlowSession session(net, options);
-      session.resume();
+      if (argc > 4) job.options.artifact_dir = argv[4];
+      job.source = flow::JobSpec::Source::kFile;
+      job.path = argv[2];
+      job.top = argv[3];
+      flow::FlowSession session(job);
+      session.run_until(job.until);
       const flow::FlowResult& result = session.result();
       std::printf("%s", result.report().c_str());
       if (!result.lint.empty()) {
         std::printf("--- lint ---\n%s", result.lint.to_text().c_str());
       }
+      return 0;
+    }
+    if (cmd == "job") {
+      if (argc < 3) return usage();
+      const std::string text =
+          std::strcmp(argv[2], "-") == 0
+              ? std::string(std::istreambuf_iterator<char>(std::cin),
+                            std::istreambuf_iterator<char>())
+              : read_file(argv[2]);
+      const flow::JobSpec job = flow::parse_job_spec_json(text);
+      flow::FlowSession session(job);
+      session.run_until(job.until);
+      util::Json result = flow::job_result_to_json(job, session.result());
+      result.set("state", "done");
+      std::printf("%s\n", result.dump().c_str());
       return 0;
     }
     if (cmd == "synth") {
@@ -274,11 +251,12 @@ int main(int argc, char** argv) {
       bool json = false;
       lint::EquivCheckOptions options;
       options.run_random = false;
+      // --seed is stripped by the shared parser; --mode stays local so
+      // `verify --mode` and the flow-level --verify keep distinct roles.
+      if (cli.seed_given) options.formal.seed = cli.spec.options.seed;
       for (int i = 4; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
           json = true;
-        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-          options.formal.seed = parse_u64(argv[++i], "--seed");
         } else if (std::strcmp(argv[i], "--time-limit") == 0 && i + 1 < argc) {
           options.formal.time_limit_s =
               parse_double(argv[++i], "--time-limit");
@@ -426,11 +404,12 @@ int main(int argc, char** argv) {
     }
     if (cmd == "pnr" || cmd == "power" || cmd == "dagger") {
       if (argc < 3) return usage();
-      auto net = netlist::read_blif_file(argv[2]);
-      flow::FlowOptions options;
-      options.search_min_channel_width = true;
-      options.verify_mode = flow::VerifyMode::kOff;
-      flow::FlowSession session(net, options);
+      flow::JobSpec job = cli.spec;
+      job.source = flow::JobSpec::Source::kFile;
+      job.path = argv[2];
+      job.options.search_min_channel_width = true;
+      if (!cli.verify_given) job.options.verify_mode = flow::VerifyMode::kOff;
+      flow::FlowSession session(job);
       // `power` needs nothing past the power/timing stage; the other two
       // report on (or write) the programming file.
       session.run_until(cmd == "power" ? flow::Stage::kPower

@@ -1,0 +1,76 @@
+// amdrel_serve — the long-lived compile daemon (DESIGN.md §13).
+//
+// Usage: amdrel_serve [--port N] [--workers N] [--queue N]
+//                     [--trace FILE] [--metrics FILE] [--progress]
+//                     [--threads N]
+//
+// Listens on 127.0.0.1:<port> (0 = pick an ephemeral port) and serves
+// newline-delimited JSON requests; prints "listening on <port>" once
+// bound. --threads is the shared runtime spelling for the worker count
+// (--workers wins when both are given). Stop it with SIGTERM/SIGINT or
+// the `shutdown` command — both drain in-flight jobs before exit.
+//
+// Quick session (see README):
+//   $ amdrel_serve --port 7440 &
+//   $ printf '%s\n' '{"cmd":"submit","job":{"source":"bench_gen",
+//       "bench":{"kind":"counter","bits":8}}}' | nc 127.0.0.1 7440
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "flow/jobspec.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--queue N]\n"
+               "          [--trace FILE] [--metrics FILE] [--progress]"
+               " [--threads N]\n",
+               argv0);
+  return 2;
+}
+
+int parse_int_arg(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "amdrel_serve: %s needs a value\n", flag);
+    std::exit(2);
+  }
+  return std::atoi(argv[++*i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amdrel;
+  try {
+    const flow::JobSpecCli cli = flow::parse_job_spec(&argc, argv);
+    const obs::ScopedSink trace_guard = flow::install_runtime_trace(cli.runtime);
+    flow::RuntimeMetricsGuard metrics_guard(cli.runtime);
+
+    serve::ServeOptions options;
+    options.workers = cli.runtime.threads;  // --threads, overridable below
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--port") == 0) {
+        options.port = parse_int_arg(argc, argv, &i, arg);
+      } else if (std::strcmp(arg, "--workers") == 0) {
+        options.workers = parse_int_arg(argc, argv, &i, arg);
+      } else if (std::strcmp(arg, "--queue") == 0) {
+        options.max_queue = parse_int_arg(argc, argv, &i, arg);
+      } else if (std::strcmp(arg, "--help") == 0) {
+        return usage(argv[0]) == 2 ? 0 : 0;
+      } else {
+        std::fprintf(stderr, "amdrel_serve: unknown argument '%s'\n", arg);
+        return usage(argv[0]);
+      }
+    }
+    return serve::run_server(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amdrel_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""CI smoke test for the amdrel_serve daemon (DESIGN.md §13).
+
+Starts the daemon on an ephemeral port, submits N concurrent bench_gen
+jobs over the newline-delimited JSON protocol (one connection per job,
+mixed priorities), waits for every result, and checks each bitstream
+fingerprint byte-for-byte against a single-shot `amdrel_cli job` run of
+the identical JobSpec. Finishes with a protocol sanity poke (malformed
+line answers an error, not a hangup) and a drain shutdown, asserting the
+daemon exits 0.
+
+Usage: serve_smoke.py <amdrel_serve> <amdrel_cli> [--jobs N]
+"""
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+import threading
+
+
+def job_spec(i):
+    spec = {
+        "source": "bench_gen",
+        "label": f"smoke-{i}",
+        "priority": ["high", "normal", "low"][i % 3],
+        "bench": {
+            "gates": 40 + (i % 4) * 15,
+            "latches": 2 + i % 3,
+            "inputs": 8,
+            "outputs": 6,
+            "seed": 500 + i,
+        },
+    }
+    if i % 4 == 0:
+        spec["return_bitstream"] = True
+    return spec
+
+
+def request(port, payload):
+    """One request line on a fresh connection; returns the parsed reply."""
+    with socket.create_connection(("127.0.0.1", port), timeout=120) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("daemon hung up mid-reply")
+            buf += chunk
+        return json.loads(buf)
+
+
+def run_job_via_daemon(port, spec, results, i):
+    """submit + blocking result wait, one connection per job."""
+    with socket.create_connection(("127.0.0.1", port), timeout=300) as sock:
+        f = sock.makefile("rwb")
+
+        def rpc(payload):
+            f.write((json.dumps(payload) + "\n").encode())
+            f.flush()
+            return json.loads(f.readline())
+
+        submitted = rpc({"cmd": "submit", "job": spec})
+        assert submitted["ok"], submitted
+        result = rpc(
+            {"cmd": "result", "id": submitted["id"], "wait": True,
+             "timeout_s": 300})
+        assert result["ok"] and result["state"] == "done", result
+        results[i] = result["result"]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("serve_bin")
+    parser.add_argument("cli_bin")
+    parser.add_argument("--jobs", type=int, default=8)
+    args = parser.parse_args()
+
+    daemon = subprocess.Popen(
+        [args.serve_bin, "--port", "0", "--workers", "4"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        banner = daemon.stdout.readline().strip()
+        assert banner.startswith("listening on "), banner
+        port = int(banner.split()[-1])
+        print(f"daemon up on port {port}", flush=True)
+
+        specs = [job_spec(i) for i in range(args.jobs)]
+        results = [None] * args.jobs
+        threads = [
+            threading.Thread(target=run_job_via_daemon,
+                             args=(port, specs[i], results, i))
+            for i in range(args.jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Byte-identity: the daemon's bitstream must match a standalone
+        # single-shot run of the same JobSpec.
+        keys = ["bitstream_fnv", "bitstream_bytes", "config_bits",
+                "channel_width", "luts"]
+        for i, (spec, got) in enumerate(zip(specs, results)):
+            single = json.loads(subprocess.run(
+                [args.cli_bin, "job", "-"], input=json.dumps(spec),
+                capture_output=True, text=True, check=True).stdout)
+            for key in keys + (["bitstream_hex"]
+                               if spec.get("return_bitstream") else []):
+                assert got.get(key) == single.get(key), (
+                    f"job {i}: {key} mismatch: daemon={got.get(key)!r} "
+                    f"single-shot={single.get(key)!r}")
+            print(f"job {i}: bitstream {got['bitstream_fnv']} "
+                  f"({got['bitstream_bytes']} bytes) matches", flush=True)
+
+        # Protocol sanity: malformed input answers an error reply.
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            s.sendall(b"definitely not json\n")
+            reply = json.loads(s.makefile("rb").readline())
+            assert reply["ok"] is False and reply["reason"] == "bad_request", \
+                reply
+
+        metrics = request(port, {"cmd": "metrics"})
+        assert metrics["ok"], metrics
+        assert metrics["server"]["jobs_finished"] == args.jobs, metrics["server"]
+
+        # Drain shutdown: daemon must exit 0 on its own.
+        request(port, {"cmd": "shutdown"})
+        assert daemon.wait(timeout=60) == 0, daemon.returncode
+        print(f"OK: {args.jobs} concurrent jobs byte-identical, "
+              "clean shutdown", flush=True)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

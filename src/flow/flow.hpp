@@ -16,6 +16,7 @@
 #include "arch/arch.hpp"
 #include "bitgen/bitstream.hpp"
 #include "lint/lint.hpp"
+#include "util/error.hpp"
 #include "netlist/network.hpp"
 #include "pack/pack.hpp"
 #include "place/place.hpp"
@@ -44,6 +45,35 @@ inline constexpr int kNumStages = 7;
 
 /// Short lower-case stage name ("synth", "map", ..., "bitgen").
 const char* stage_name(Stage stage);
+/// Parses a stage name ("synth" ... "bitgen"); throws Error otherwise.
+Stage parse_stage(const std::string& name);
+
+/// A FlowSession stage threw: the failing stage travels as a
+/// machine-readable enum (stage()) so services can report structured
+/// errors, in addition to the historical name-prefixed message. Thrown
+/// by FlowSession::run_until; derives from Error so existing handlers
+/// keep working unchanged.
+class StageError : public Error {
+ public:
+  StageError(Stage stage, const std::string& what)
+      : Error(what), stage_(stage) {}
+  Stage stage() const { return stage_; }
+
+ private:
+  Stage stage_;
+};
+
+/// Stage-enum-carrying variant of InfeasibleError (lint barrier hits,
+/// unroutable designs, proven equivalence failures), the same way.
+class StageInfeasibleError : public InfeasibleError {
+ public:
+  StageInfeasibleError(Stage stage, const std::string& what)
+      : InfeasibleError(what), stage_(stage) {}
+  Stage stage() const { return stage_; }
+
+ private:
+  Stage stage_;
+};
 
 /// Wall time, memory footprint and work counters of one executed stage.
 struct StageMetrics {
@@ -144,16 +174,18 @@ struct FlowResult {
   std::string report() const;  ///< multi-line human-readable summary
 };
 
-/// Runs the flow from VHDL source (full Fig. 11 pipeline). Thin wrapper
-/// over flow::FlowSession (see flow/session.hpp) — a one-shot run and a
+/// DEPRECATED: construct a flow::JobSpec and run it through
+/// flow::FlowSession (flow/jobspec.hpp) — the daemon, CLI and tests all
+/// share that one entry-point contract. Kept as a thin wrapper over
+/// FlowSession(JobSpec) for source compatibility; a one-shot run and a
 /// staged run with the same options and seed produce bit-identical
 /// results.
 FlowResult run_flow_from_vhdl(const std::string& vhdl_source,
                               const std::string& top,
                               const FlowOptions& options = {});
 
-/// Runs the flow from an already-synthesized network (BLIF entry point).
-/// Thin wrapper over flow::FlowSession, like run_flow_from_vhdl.
+/// DEPRECATED: thin wrapper over FlowSession(JobSpec) for the BLIF /
+/// network entry point, like run_flow_from_vhdl.
 FlowResult run_flow_from_network(const netlist::Network& network,
                                  const FlowOptions& options = {});
 

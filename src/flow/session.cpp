@@ -3,7 +3,9 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "flow/jobspec.hpp"
 #include "lint/flow_rules.hpp"
 #include "lint/netlist_rules.hpp"
 #include "lint/rr_rules.hpp"
@@ -85,6 +87,14 @@ const char* verify_mode_name(VerifyMode mode) {
   return "?";
 }
 
+Stage parse_stage(const std::string& name) {
+  for (int s = 0; s < kNumStages; ++s) {
+    if (name == kStageNames[s]) return static_cast<Stage>(s);
+  }
+  throw Error("unknown flow stage '" + name +
+              "' (expected synth, map, pack, place, route, power or bitgen)");
+}
+
 VerifyMode parse_verify_mode(const std::string& name) {
   if (name == "off") return VerifyMode::kOff;
   if (name == "random") return VerifyMode::kRandom;
@@ -152,6 +162,32 @@ FlowSession::FlowSession(const netlist::Network& network,
                          const FlowOptions& options)
     : options_(options), entry_network_(network) {}
 
+FlowSession::FlowSession(const JobSpec& spec) : options_(spec.options) {
+  if (!spec.arch_text.empty()) {
+    options_.arch = arch::read_arch_string(spec.arch_text);
+  }
+  const bool vhdl_file =
+      spec.source == JobSpec::Source::kFile &&
+      (ends_with(spec.path, ".vhd") || ends_with(spec.path, ".vhdl"));
+  if (spec.source == JobSpec::Source::kVhdl || vhdl_file) {
+    // VHDL synthesizes inside the synth stage (EDIF round-trip included),
+    // exactly like the string constructor.
+    if (vhdl_file) {
+      std::ifstream in(spec.path);
+      if (!in) throw Error("cannot open: " + spec.path);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      vhdl_source_ = ss.str();
+    } else {
+      vhdl_source_ = spec.text;
+    }
+    top_ = spec.top;
+    from_vhdl_ = true;
+    return;
+  }
+  entry_network_ = resolve_job_network(spec);
+}
+
 FlowSession::FlowSession(std::string vhdl_source, std::string top,
                          const FlowOptions& options)
     : options_(options),
@@ -209,11 +245,11 @@ SessionState FlowSession::run_until(Stage last) {
     } catch (const InfeasibleError& e) {
       m.wall_s += std::chrono::duration<double>(Clock::now() - t0).count();
       state_ = SessionState::kFailed;
-      throw InfeasibleError(stage_context(stage) + e.what());
+      throw StageInfeasibleError(stage, stage_context(stage) + e.what());
     } catch (const Error& e) {
       m.wall_s += std::chrono::duration<double>(Clock::now() - t0).count();
       state_ = SessionState::kFailed;
-      throw Error(stage_context(stage) + e.what());
+      throw StageError(stage, stage_context(stage) + e.what());
     }
     m.ran = true;
     const auto t1 = Clock::now();

@@ -34,8 +34,20 @@ enum class SessionState {
   kDone,       ///< all stages through kBitgen completed
 };
 
+struct JobSpec;  // flow/jobspec.hpp
+
 class FlowSession {
  public:
+  /// The unified entry point: one serializable job description (see
+  /// flow/jobspec.hpp) resolved to whichever source it carries — inline
+  /// BLIF/VHDL text, a design file, or a bench_gen circuit — with
+  /// spec.arch_text (when set) parsed into the session's options. The
+  /// daemon, CLI, benches and tests all construct sessions this way;
+  /// the two constructors below are the underlying source-specific
+  /// entries. Throws on an unresolvable source. Run with
+  /// run_until(spec.until).
+  explicit FlowSession(const JobSpec& spec);
+
   /// Network/BLIF entry point: stage kSynth records `network` as the
   /// synthesized design (the network is copied; the reference need not
   /// outlive the constructor).

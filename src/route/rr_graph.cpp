@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -26,7 +28,149 @@ int block_node_count(BlockKind kind, const arch::ArchSpec& spec) {
   return 0;
 }
 
+/// Connection-box tap tracks of pin class `pin`: n_tracks consecutive
+/// tracks starting at pin (mod W), deduplicated ascending.
+std::vector<int> pin_tracks_for(int pin, int n_tracks, int width) {
+  std::vector<int> tracks;
+  for (int k = 0; k < n_tracks; ++k) {
+    tracks.push_back((pin + k) % width);
+  }
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  return tracks;
+}
+
+std::mutex& tmpl_cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Process-wide template cache. Leaked intentionally (never destroyed) so
+/// shared() stays safe during static destruction of other objects.
+std::unordered_map<std::string, std::shared_ptr<const RrPatternTemplates>>&
+tmpl_cache() {
+  static auto* cache = new std::unordered_map<
+      std::string, std::shared_ptr<const RrPatternTemplates>>();
+  return *cache;
+}
+
 }  // namespace
+
+RrPatternTemplates RrPatternTemplates::build(const arch::ArchSpec& spec,
+                                             int width, int max_sub) {
+  RrPatternTemplates tpl;
+  const int n_in = spec.cluster_inputs();
+  const int n_out = spec.n;
+
+  // ---- connection-box tap tables (one per pin class, not per tile) ----
+  const int fc_in_tracks =
+      std::max(1, static_cast<int>(std::lround(spec.fc_in * width)));
+  const int fc_out_tracks =
+      std::max(1, static_cast<int>(std::lround(spec.fc_out * width)));
+
+  tpl.clb_taps.assign(static_cast<std::size_t>(4 * width), {});
+  for (int p = 0; p < n_in; ++p) {
+    const int side = p % 4;
+    for (int t : pin_tracks_for(p, fc_in_tracks, width)) {
+      tpl.clb_taps[static_cast<std::size_t>(side * width + t)].push_back(p);
+    }
+  }
+  tpl.clb_opin_tracks.resize(static_cast<std::size_t>(n_out));
+  for (int p = 0; p < n_out; ++p) {
+    tpl.clb_opin_tracks[static_cast<std::size_t>(p)] =
+        pin_tracks_for(p + n_in, fc_out_tracks, width);
+  }
+  tpl.pad_out_tracks.resize(static_cast<std::size_t>(max_sub + 1));
+  tpl.pad_in_has.assign(static_cast<std::size_t>((max_sub + 1) * width), 0);
+  tpl.pad_in_count.assign(static_cast<std::size_t>(max_sub + 1), 0);
+  for (int sub = 0; sub <= max_sub; ++sub) {
+    tpl.pad_out_tracks[static_cast<std::size_t>(sub)] =
+        pin_tracks_for(sub, fc_out_tracks, width);
+    const auto in_tracks = pin_tracks_for(sub, fc_in_tracks, width);
+    tpl.pad_in_count[static_cast<std::size_t>(sub)] =
+        static_cast<int>(in_tracks.size());
+    for (int t : in_tracks) {
+      tpl.pad_in_has[static_cast<std::size_t>(sub * width + t)] = 1;
+    }
+  }
+
+  // ---- switch-box leg templates per (orientation, boundary class) ----
+  // Leg order reproduces the dense build's push order exactly: the SB at
+  // the wire's low end writes first (the SB loop runs x-major), then the
+  // SB at its high end; within one SB the pair order is (L,R), (B,A),
+  // (L,B), (L,A), (R,B), (R,A).
+  for (int sig = 0; sig < 16; ++sig) {
+    const bool x1 = (sig & 1) != 0, xn = (sig & 2) != 0;
+    const bool y0 = (sig & 4) != 0, yn = (sig & 8) != 0;
+    auto& hx = tpl.legs[1][sig];
+    hx.clear();
+    if (!x1) hx.push_back({true, -1, 0});
+    if (!y0) hx.push_back({false, -1, 0});
+    if (!yn) hx.push_back({false, -1, 1});
+    if (!xn) hx.push_back({true, 1, 0});
+    if (!y0) hx.push_back({false, 0, 0});
+    if (!yn) hx.push_back({false, 0, 1});
+    // chany: bits are x==0, x==nx, y==1, y==ny.
+    const bool x0 = x1, y1 = y0;
+    auto& hy = tpl.legs[0][sig];
+    hy.clear();
+    if (!y1) hy.push_back({false, 0, -1});
+    if (!x0) hy.push_back({true, 0, -1});
+    if (!xn) hy.push_back({true, 1, -1});
+    if (!yn) hy.push_back({false, 0, 1});
+    if (!x0) hy.push_back({true, 0, 0});
+    if (!xn) hy.push_back({true, 1, 0});
+  }
+
+  // Template part of the graph's resident-size estimate; the per-graph
+  // part (block/tile lookups) is added in build_dedup. The per-vector
+  // formulas must not change independently of build_dedup's — the sum is
+  // QoR-gated at 0% tolerance (scripts/qor_baseline.json rr_scale).
+  std::int64_t bytes = 0;
+  for (const auto& v : tpl.clb_taps) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
+  for (const auto& v : tpl.clb_opin_tracks) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
+  for (const auto& v : tpl.pad_out_tracks) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
+  bytes += static_cast<std::int64_t>(tpl.pad_in_has.size()) +
+           static_cast<std::int64_t>(tpl.pad_in_count.size()) * 4;
+  for (int h = 0; h < 2; ++h) {
+    for (int s = 0; s < 16; ++s) {
+      bytes += 24 + 3 * static_cast<std::int64_t>(tpl.legs[h][s].size());
+    }
+  }
+  tpl.bytes_est = bytes;
+  return tpl;
+}
+
+std::shared_ptr<const RrPatternTemplates> RrPatternTemplates::shared(
+    const arch::ArchSpec& spec, int width, int max_sub) {
+  // Everything build() reads participates in the key (cluster_inputs()
+  // is a function of k and n).
+  const std::string key =
+      strprintf("k%d.n%d.fi%.17g.fo%.17g.w%d.s%d", spec.k, spec.n,
+                spec.fc_in, spec.fc_out, width, max_sub);
+  static obs::Counter& c_hits = obs::counter("rr.tmpl_cache_hits");
+  static obs::Counter& c_misses = obs::counter("rr.tmpl_cache_misses");
+  std::lock_guard<std::mutex> lock(tmpl_cache_mutex());
+  auto& slot = tmpl_cache()[key];
+  if (slot) {
+    c_hits.add(1);
+    return slot;
+  }
+  c_misses.add(1);
+  slot = std::make_shared<const RrPatternTemplates>(
+      build(spec, width, max_sub));
+  return slot;
+}
+
+std::size_t RrPatternTemplates::cache_size() {
+  std::lock_guard<std::mutex> lock(tmpl_cache_mutex());
+  return tmpl_cache().size();
+}
+
+void RrPatternTemplates::clear_cache() {
+  std::lock_guard<std::mutex> lock(tmpl_cache_mutex());
+  tmpl_cache().clear();
+}
 
 std::int64_t RrGraph::checked_node_count(std::int64_t nx, std::int64_t ny,
                                          std::int64_t channel_width,
@@ -72,13 +216,7 @@ RrGraph::RrGraph(const Placement& placement, const arch::ArchSpec& spec,
 }
 
 std::vector<int> RrGraph::pin_tracks(int pin, int n_tracks) const {
-  std::vector<int> tracks;
-  for (int k = 0; k < n_tracks; ++k) {
-    tracks.push_back((pin + k) % width_);
-  }
-  std::sort(tracks.begin(), tracks.end());
-  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
-  return tracks;
+  return pin_tracks_for(pin, n_tracks, width_);
 }
 
 int RrGraph::adjacent_chan(int x, int y, int side, int t) const {
@@ -162,76 +300,18 @@ void RrGraph::build_common_tables() {
 
 void RrGraph::build_dedup() {
   const Placement& pl = *placement_;
-  const arch::ArchSpec& spec = *spec_;
   const auto& blocks = pl.blocks();
-  const int n_in = spec.cluster_inputs();
-  const int n_out = spec.n;
 
-  // ---- connection-box tap tables (one per pin class, not per tile) ----
-  const int fc_in_tracks =
-      std::max(1, static_cast<int>(std::lround(spec.fc_in * width_)));
-  const int fc_out_tracks =
-      std::max(1, static_cast<int>(std::lround(spec.fc_out * width_)));
-
-  clb_taps_.assign(static_cast<std::size_t>(4 * width_), {});
-  for (int p = 0; p < n_in; ++p) {
-    const int side = p % 4;
-    for (int t : pin_tracks(p, fc_in_tracks)) {
-      clb_taps_[static_cast<std::size_t>(side * width_ + t)].push_back(p);
-    }
-  }
-  clb_opin_tracks_.resize(static_cast<std::size_t>(n_out));
-  for (int p = 0; p < n_out; ++p) {
-    clb_opin_tracks_[static_cast<std::size_t>(p)] =
-        pin_tracks(p + n_in, fc_out_tracks);
-  }
+  // The leg / connection-box tables are placement-independent; fetch the
+  // shared immutable copy for this (arch, W, pad subs) from the
+  // process-wide cache (built on first use).
   int max_sub = -1;
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
     if (blocks[bi].kind != BlockKind::kClb) {
       max_sub = std::max(max_sub, pl.location(static_cast<int>(bi)).sub);
     }
   }
-  pad_out_tracks_.resize(static_cast<std::size_t>(max_sub + 1));
-  pad_in_has_.assign(static_cast<std::size_t>((max_sub + 1) * width_), 0);
-  pad_in_count_.assign(static_cast<std::size_t>(max_sub + 1), 0);
-  for (int sub = 0; sub <= max_sub; ++sub) {
-    pad_out_tracks_[static_cast<std::size_t>(sub)] =
-        pin_tracks(sub, fc_out_tracks);
-    const auto in_tracks = pin_tracks(sub, fc_in_tracks);
-    pad_in_count_[static_cast<std::size_t>(sub)] =
-        static_cast<int>(in_tracks.size());
-    for (int t : in_tracks) {
-      pad_in_has_[static_cast<std::size_t>(sub * width_ + t)] = 1;
-    }
-  }
-
-  // ---- switch-box leg templates per (orientation, boundary class) ----
-  // Leg order reproduces the dense build's push order exactly: the SB at
-  // the wire's low end writes first (the SB loop runs x-major), then the
-  // SB at its high end; within one SB the pair order is (L,R), (B,A),
-  // (L,B), (L,A), (R,B), (R,A).
-  for (int sig = 0; sig < 16; ++sig) {
-    const bool x1 = (sig & 1) != 0, xn = (sig & 2) != 0;
-    const bool y0 = (sig & 4) != 0, yn = (sig & 8) != 0;
-    auto& hx = legs_[1][sig];
-    hx.clear();
-    if (!x1) hx.push_back({true, -1, 0});
-    if (!y0) hx.push_back({false, -1, 0});
-    if (!yn) hx.push_back({false, -1, 1});
-    if (!xn) hx.push_back({true, 1, 0});
-    if (!y0) hx.push_back({false, 0, 0});
-    if (!yn) hx.push_back({false, 0, 1});
-    // chany: bits are x==0, x==nx, y==1, y==ny.
-    const bool x0 = x1, y1 = y0;
-    auto& hy = legs_[0][sig];
-    hy.clear();
-    if (!y1) hy.push_back({false, 0, -1});
-    if (!x0) hy.push_back({true, 0, -1});
-    if (!xn) hy.push_back({true, 1, -1});
-    if (!yn) hy.push_back({false, 0, 1});
-    if (!x0) hy.push_back({true, 0, 0});
-    if (!xn) hy.push_back({true, 1, 0});
-  }
+  tmpl_ = RrPatternTemplates::shared(*spec_, width_, max_sub);
 
   // ---- tile → block lookups ----
   clb_at_.assign(static_cast<std::size_t>((nx_ + 2) * (ny_ + 2)), -1);
@@ -266,23 +346,16 @@ void RrGraph::build_dedup() {
   count_dedup_edges();
 
   // Resident-size estimate: the point of the dedup build is that this is
-  // O(blocks + grid + patterns), independent of W × grid × fanout.
-  std::int64_t bytes = 0;
+  // O(blocks + grid + patterns), independent of W × grid × fanout. The
+  // template part is precomputed in RrPatternTemplates::build with the
+  // same per-vector formulas, so the sum is byte-identical to the
+  // pre-cache build (QoR-gated at 0% tolerance).
+  std::int64_t bytes = tmpl_->bytes_est;
   bytes += static_cast<std::int64_t>(block_base_.size()) * 4;
   bytes += static_cast<std::int64_t>(clb_at_.size()) * 4;
   bytes += static_cast<std::int64_t>(pad_tile_key_.size()) * 8 +
            static_cast<std::int64_t>(pad_tile_off_.size()) * 4 +
            static_cast<std::int64_t>(pad_tile_block_.size()) * 4;
-  for (const auto& v : clb_taps_) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
-  for (const auto& v : clb_opin_tracks_) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
-  for (const auto& v : pad_out_tracks_) bytes += 24 + 4 * static_cast<std::int64_t>(v.size());
-  bytes += static_cast<std::int64_t>(pad_in_has_.size()) +
-           static_cast<std::int64_t>(pad_in_count_.size()) * 4;
-  for (int h = 0; h < 2; ++h) {
-    for (int s = 0; s < 16; ++s) {
-      bytes += 24 + 3 * static_cast<std::int64_t>(legs_[h][s].size());
-    }
-  }
   bytes_est_ = bytes;
 }
 
@@ -311,7 +384,7 @@ void RrGraph::count_dedup_edges() {
   for (const C& a : cx_x) {
     for (const C& b : cx_y) {
       n_edges_ += static_cast<std::int64_t>(
-                      legs_[1][a.bits | b.bits].size()) *
+                      tmpl_->legs[1][a.bits | b.bits].size()) *
                   a.cnt * b.cnt * width_;
       ++wire_patterns;
     }
@@ -320,7 +393,7 @@ void RrGraph::count_dedup_edges() {
   for (const C& a : cy_x) {
     for (const C& b : cy_y) {
       n_edges_ += static_cast<std::int64_t>(
-                      legs_[0][a.bits | b.bits].size()) *
+                      tmpl_->legs[0][a.bits | b.bits].size()) *
                   a.cnt * b.cnt * width_;
       ++wire_patterns;
     }
@@ -328,8 +401,8 @@ void RrGraph::count_dedup_edges() {
 
   // Pin/tap edges per block kind.
   std::int64_t clb_in_taps = 0, clb_out = 0;
-  for (const auto& v : clb_taps_) clb_in_taps += static_cast<std::int64_t>(v.size());
-  for (const auto& v : clb_opin_tracks_) clb_out += static_cast<std::int64_t>(v.size());
+  for (const auto& v : tmpl_->clb_taps) clb_in_taps += static_cast<std::int64_t>(v.size());
+  for (const auto& v : tmpl_->clb_opin_tracks) clb_out += static_cast<std::int64_t>(v.size());
   const auto& blocks = placement_->blocks();
   bool has_clb = false, has_in = false, has_out = false;
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
@@ -342,13 +415,13 @@ void RrGraph::count_dedup_edges() {
         has_in = true;
         const int sub = placement_->location(static_cast<int>(bi)).sub;
         n_edges_ += static_cast<std::int64_t>(
-            pad_out_tracks_[static_cast<std::size_t>(sub)].size());
+            tmpl_->pad_out_tracks[static_cast<std::size_t>(sub)].size());
         break;
       }
       case BlockKind::kOutputPad: {
         has_out = true;
         const int sub = placement_->location(static_cast<int>(bi)).sub;
-        n_edges_ += 1 + pad_in_count_[static_cast<std::size_t>(sub)];
+        n_edges_ += 1 + tmpl_->pad_in_count[static_cast<std::size_t>(sub)];
         break;
       }
     }
@@ -387,7 +460,7 @@ void RrGraph::append_wire_taps(bool horizontal, int x, int y, int t,
         continue;
       }
       const int sub = placement_->location(b).sub;
-      if (pad_in_has_[static_cast<std::size_t>(sub * width_ + t)]) {
+      if (tmpl_->pad_in_has[static_cast<std::size_t>(sub * width_ + t)]) {
         cands[n_cands++] = {b, 4};
       }
     }
@@ -420,7 +493,7 @@ void RrGraph::append_wire_taps(bool horizontal, int x, int y, int t,
       out->push_back(base + 1);  // output-pad IPIN
     } else {
       for (int p :
-           clb_taps_[static_cast<std::size_t>(cands[i].side * width_ + t)]) {
+           tmpl_->clb_taps[static_cast<std::size_t>(cands[i].side * width_ + t)]) {
         out->push_back(base + 1 + p);
       }
     }
@@ -432,7 +505,7 @@ void RrGraph::append_out_edges_dedup(int id, std::vector<int>* out) const {
   int x, y, t;
   if (decode_wire(id, &horizontal, &x, &y, &t)) {
     const int sig = wire_signature(horizontal, x, y);
-    for (const Leg& leg : legs_[horizontal ? 1 : 0][sig]) {
+    for (const Leg& leg : tmpl_->legs[horizontal ? 1 : 0][sig]) {
       out->push_back(chan_id(leg.horizontal, x + leg.dx, y + leg.dy, t));
     }
     append_wire_taps(horizontal, x, y, t, out);
@@ -453,13 +526,13 @@ void RrGraph::append_out_edges_dedup(int id, std::vector<int>* out) const {
       {
         const int p = off - 1 - n_in;  // OPIN
         const int side = (p + 1) % 4;
-        for (int t2 : clb_opin_tracks_[static_cast<std::size_t>(p)]) {
+        for (int t2 : tmpl_->clb_opin_tracks[static_cast<std::size_t>(p)]) {
           out->push_back(adjacent_chan(loc.x, loc.y, side, t2));
         }
       }
       return;
     case BlockKind::kInputPad:
-      for (int t2 : pad_out_tracks_[static_cast<std::size_t>(loc.sub)]) {
+      for (int t2 : tmpl_->pad_out_tracks[static_cast<std::size_t>(loc.sub)]) {
         out->push_back(pad_wire(loc, t2));
       }
       return;

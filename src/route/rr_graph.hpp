@@ -20,6 +20,7 @@
 // (routing result, bitstream bytes) are identical between the two.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,51 @@ struct RrOptions {
   /// Tile-pattern deduplicated build (see file comment). false = the
   /// dense per-node oracle build, bit-identical by construction.
   bool dedup = true;
+};
+
+/// The placement-independent half of the dedup representation: switch-box
+/// wire-leg templates per boundary class and the connection-box tap
+/// tables. These depend only on (cluster_inputs, N, Fc_in, Fc_out, pad
+/// subs, W) — not on which design is placed where — so every RrGraph
+/// built for the same architecture and channel width references one
+/// immutable copy through shared(). This is the cross-job RR template
+/// cache of the amdrel_serve daemon: 64 concurrent sessions on the
+/// default arch stamp their fabrics from a single table set instead of
+/// rebuilding it per job.
+struct RrPatternTemplates {
+  struct Leg {
+    bool horizontal;
+    std::int8_t dx, dy;
+  };
+  /// Wire switch-box legs per (orientation, boundary signature).
+  std::vector<Leg> legs[2][16];
+  /// CLB input pins p (ascending) tapping track t from side s, [s*W+t].
+  std::vector<std::vector<int>> clb_taps;
+  /// Sorted track list per CLB output pin / input-pad sub.
+  std::vector<std::vector<int>> clb_opin_tracks;
+  std::vector<std::vector<int>> pad_out_tracks;
+  /// Output-pad sub taps track t, at [sub * W + t] / tap count per sub.
+  std::vector<char> pad_in_has;
+  std::vector<int> pad_in_count;
+  /// Resident-size estimate of the tables (the template part of
+  /// RrGraph::bytes_est()).
+  std::int64_t bytes_est = 0;
+
+  /// Uncached build — the reference the cache must match bit-for-bit.
+  /// `max_sub` is the largest pad sub-position in use (-1 when the
+  /// placement has no pads).
+  static RrPatternTemplates build(const arch::ArchSpec& spec, int width,
+                                  int max_sub);
+  /// Returns the process-wide cached template set for this architecture
+  /// and width, building it on first use. Thread-safe (mutex-guarded
+  /// map); the returned object is immutable and safely shared across
+  /// graphs and threads. Cache hits/misses land on the
+  /// rr.tmpl_cache_hits / rr.tmpl_cache_misses registry counters.
+  static std::shared_ptr<const RrPatternTemplates> shared(
+      const arch::ArchSpec& spec, int width, int max_sub);
+  /// Entries currently cached / drop them all (tests).
+  static std::size_t cache_size();
+  static void clear_cache();
 };
 
 /// Builds the RR graph for a placed design; node ids are stable.
@@ -117,10 +163,7 @@ class RrGraph {
   // one boundary class carries, as (orientation, dx, dy) deltas resolved
   // to node ids at stamp time. Signature bits (chanx): x==1, x==nx<<1,
   // y==0<<2, y==ny<<3; (chany): x==0, x==nx<<1, y==1<<2, y==ny<<3.
-  struct Leg {
-    bool horizontal;
-    std::int8_t dx, dy;
-  };
+  using Leg = RrPatternTemplates::Leg;
 
   void build_common_tables();
   void build_dense();
@@ -168,18 +211,10 @@ class RrGraph {
   // N opins; input pad: opin; output pad: sink, ipin.
   std::vector<int> block_base_;
 
-  // ---- dedup pattern tables (empty in dense mode) ----
-  // Wire switch-box legs per (orientation, signature).
-  std::vector<Leg> legs_[2][16];
-  // Connection-box taps: CLB input pins p (ascending) tapping track t
-  // from side s, at [s * W + t].
-  std::vector<std::vector<int>> clb_taps_;
-  // Sorted track list per CLB output pin / pad sub.
-  std::vector<std::vector<int>> clb_opin_tracks_;
-  std::vector<std::vector<int>> pad_out_tracks_;
-  // Output-pad sub taps track t, at [sub * W + t].
-  std::vector<char> pad_in_has_;
-  std::vector<int> pad_in_count_;  ///< tap tracks per pad sub
+  // ---- dedup pattern tables (null in dense mode) ----
+  // Shared immutable template set (legs / connection-box taps); see
+  // RrPatternTemplates. One copy per (arch, W) across all live graphs.
+  std::shared_ptr<const RrPatternTemplates> tmpl_;
   // CLB block at core tile (x, y), -1 when empty; [x * (ny_+2) + y].
   std::vector<int> clb_at_;
   // Pad blocks per perimeter tile, CSR over sorted tile keys.

@@ -1,0 +1,639 @@
+#include "serve/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "arch/arch.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel::serve {
+
+namespace {
+
+using std::chrono::steady_clock;
+
+/// Cap on one request line — inline VHDL/BLIF text lives in the line.
+constexpr std::size_t kMaxLine = 16u << 20;
+
+/// Process-wide cache of elaborated architectures, keyed on the exact
+/// DUTYS text. Read_arch_string is deterministic, so every job with the
+/// same arch text shares one parsed copy instead of re-elaborating per
+/// job (the RR-side sharing lives in route::RrPatternTemplates).
+const arch::ArchSpec& cached_arch(const std::string& text) {
+  static std::mutex mu;
+  static auto* cache = new std::unordered_map<std::string, arch::ArchSpec>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(text);
+  if (it == cache->end()) {
+    it = cache->emplace(text, arch::read_arch_string(text)).first;
+  }
+  return it->second;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+util::Json error_reply(const std::string& message,
+                       const std::string& reason = "") {
+  util::Json obj = util::Json::make_object();
+  obj.set("ok", false);
+  obj.set("error", message);
+  if (!reason.empty()) obj.set("reason", reason);
+  return obj;
+}
+
+std::int64_t req_job_id(const util::Json& req) {
+  const util::Json* id = req.get("id");
+  if (id == nullptr) throw Error("missing 'id'");
+  return id->as_int();
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+Server::Server(const ServeOptions& options) : options_(options) {
+  if (options_.max_queue < 1) options_.max_queue = 1;
+}
+
+Server::~Server() { shutdown(false); }
+
+void Server::start() {
+  AMDREL_CHECK_MSG(!started_.exchange(true), "server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(strprintf("serve: cannot listen on port %d", options_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  int workers = options_.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+  pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    pool_->submit([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listen socket gone
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.emplace_back(fd, std::thread([this, fd] { connection_loop(fd); }));
+  }
+}
+
+void Server::connection_loop(int fd) {
+  std::string buf;
+  char chunk[65536];
+  for (;;) {
+    const std::size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!send_all(fd, handle_line(line))) break;
+      continue;
+    }
+    if (buf.size() > kMaxLine) {
+      send_all(fd, error_reply("request line too long", "overflow").dump() +
+                       "\n");
+      break;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF / error / shutdown kick
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+}
+
+std::string Server::handle_line(const std::string& line) {
+  util::Json reply;
+  try {
+    const util::Json req = util::parse_json(line);
+    if (!req.is_object()) throw Error("expected a JSON object");
+    const util::Json* cmd = req.get("cmd");
+    if (cmd == nullptr) throw Error("missing 'cmd'");
+    const std::string name = cmd->as_string();
+    if (name == "ping") {
+      reply = util::Json::make_object();
+      reply.set("ok", true);
+      reply.set("reply", "pong");
+    } else if (name == "submit") {
+      reply = cmd_submit(req);
+    } else if (name == "status") {
+      reply = cmd_status(req);
+    } else if (name == "result") {
+      reply = cmd_result(req);
+    } else if (name == "cancel") {
+      reply = cmd_cancel(req);
+    } else if (name == "metrics") {
+      reply = cmd_metrics();
+    } else if (name == "drain") {
+      drain();
+      reply = util::Json::make_object();
+      reply.set("ok", true);
+      reply.set("draining", true);
+      reply.set("queue_depth", queue_depth());
+    } else if (name == "shutdown") {
+      const util::Json* d = req.get("drain");
+      request_shutdown(d == nullptr || d->as_bool());
+      reply = util::Json::make_object();
+      reply.set("ok", true);
+      reply.set("shutting_down", true);
+    } else {
+      throw Error("unknown command '" + name + "'");
+    }
+  } catch (const std::exception& e) {
+    // Malformed requests answer with an error reply on the same line —
+    // the connection stays usable (protocol test: garbage must not take
+    // the daemon down).
+    reply = error_reply(e.what(), "bad_request");
+  }
+  return reply.dump() + "\n";
+}
+
+std::int64_t Server::submit(const flow::JobSpec& spec) {
+  static obs::Counter& c_submitted = obs::counter("serve.jobs_submitted");
+  static obs::Counter& c_rejected = obs::counter("serve.jobs_rejected");
+  if (!spec.runnable()) {
+    c_rejected.add(1);
+    throw Error("job spec: missing 'source'");
+  }
+  if (draining() || stopping_.load(std::memory_order_acquire)) {
+    c_rejected.add(1);
+    throw Error("server is draining; submit rejected");
+  }
+  auto job = std::make_shared<Job>();
+  job->spec = spec;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    int waiting = 0;
+    for (const auto& q : queue_) waiting += static_cast<int>(q.size());
+    if (waiting >= options_.max_queue) {
+      c_rejected.add(1);
+      throw Error(strprintf("queue full (%d waiting jobs); retry later",
+                            waiting));
+    }
+    job->id = next_id_++;
+    jobs_[job->id] = job;
+    queue_[static_cast<int>(spec.priority)].push_back(job);
+  }
+  c_submitted.add(1);
+  queue_cv_.notify_one();
+  return job->id;
+}
+
+std::shared_ptr<Job> Server::find_job(std::int64_t id) const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+JobState Server::cancel_job(std::int64_t id) {
+  static obs::Counter& c_cancelled = obs::counter("serve.jobs_cancelled");
+  const std::shared_ptr<Job> job = find_job(id);
+  if (!job) throw Error(strprintf("no such job %lld",
+                                  static_cast<long long>(id)));
+  std::lock_guard<std::mutex> lock(job->mu);
+  job->cancel_requested = true;
+  if (job->state == JobState::kQueued) {
+    // Still waiting: cancel immediately; pop_job discards it later.
+    job->state = JobState::kCancelled;
+    {
+      std::lock_guard<std::mutex> jl(jobs_mu_);
+      ++finished_;
+    }
+    c_cancelled.add(1);
+    job->done_cv.notify_all();
+  } else if (job->state == JobState::kRunning && job->session) {
+    job->session->cancel();  // cooperative; worker observes + finalizes
+  }
+  return job->state;
+}
+
+std::shared_ptr<Job> Server::pop_job() {
+  std::unique_lock<std::mutex> lock(jobs_mu_);
+  for (;;) {
+    for (int p = 2; p >= 0; --p) {  // high → low, FIFO within a level
+      auto& q = queue_[p];
+      while (!q.empty()) {
+        std::shared_ptr<Job> job = q.front();
+        q.pop_front();
+        return job;
+      }
+    }
+    if (queue_stopped_) return nullptr;
+    queue_cv_.wait(lock);
+  }
+}
+
+void Server::worker_loop() {
+  while (std::shared_ptr<Job> job = pop_job()) {
+    run_job(job);
+  }
+}
+
+void Server::run_job(const std::shared_ptr<Job>& job) {
+  static obs::Counter& c_done = obs::counter("serve.jobs_done");
+  static obs::Counter& c_failed = obs::counter("serve.jobs_failed");
+  static obs::Counter& c_cancelled = obs::counter("serve.jobs_cancelled");
+
+  flow::JobSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->state != JobState::kQueued) return;  // cancelled while queued
+    job->state = JobState::kRunning;
+    spec = job->spec;
+  }
+
+  JobState final_state = JobState::kFailed;
+  std::string error, failed_stage;
+  util::Json result = util::Json::make_object();
+  const auto t0 = steady_clock::now();
+  try {
+    if (!spec.arch_text.empty()) {
+      // Shared read-only cache: parse each distinct DUTYS text once.
+      spec.options.arch = cached_arch(spec.arch_text);
+      spec.arch_text.clear();
+    }
+    auto session = std::make_unique<flow::FlowSession>(spec);
+    flow::FlowSession* raw = session.get();
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->session = std::move(session);
+      // A cancel that arrived between admission and here must not be
+      // lost: re-arm it on the live session.
+      if (job->cancel_requested) raw->cancel();
+    }
+    const flow::SessionState state = raw->run_until(spec.until);
+    result = flow::job_result_to_json(spec, raw->result());
+    final_state = state == flow::SessionState::kCancelled
+                      ? JobState::kCancelled
+                      : JobState::kDone;
+  } catch (const flow::StageInfeasibleError& e) {
+    error = e.what();
+    failed_stage = flow::stage_name(e.stage());
+  } catch (const flow::StageError& e) {
+    error = e.what();
+    failed_stage = flow::stage_name(e.stage());
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->wall_s =
+        std::chrono::duration<double>(steady_clock::now() - t0).count();
+    job->session.reset();  // free the artifacts; the JSON payload remains
+    job->state = final_state;
+    job->result = std::move(result);
+    job->error = std::move(error);
+    job->failed_stage = std::move(failed_stage);
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    ++finished_;
+  }
+  switch (final_state) {
+    case JobState::kDone: c_done.add(1); break;
+    case JobState::kCancelled: c_cancelled.add(1); break;
+    default: c_failed.add(1); break;
+  }
+  job->done_cv.notify_all();
+}
+
+util::Json Server::cmd_submit(const util::Json& req) {
+  const util::Json* job_json = req.get("job");
+  if (job_json == nullptr) throw Error("missing 'job'");
+  flow::JobSpec spec;
+  try {
+    spec = flow::job_spec_from_json(*job_json);
+  } catch (const std::exception& e) {
+    // The request line was valid JSON; the job description is what's
+    // broken (unknown key, bad value, missing source).
+    return error_reply(e.what(), "bad_job");
+  }
+  std::int64_t id = 0;
+  try {
+    id = submit(spec);
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    const std::string reason =
+        what.find("queue full") != std::string::npos ? "queue_full"
+        : what.find("draining") != std::string::npos ? "draining"
+                                                     : "bad_job";
+    return error_reply(what, reason);
+  }
+  util::Json reply = util::Json::make_object();
+  reply.set("ok", true);
+  reply.set("id", id);
+  if (!spec.label.empty()) reply.set("label", spec.label);
+  reply.set("state", job_state_name(JobState::kQueued));
+  reply.set("queue_depth", queue_depth());
+  return reply;
+}
+
+util::Json Server::cmd_status(const util::Json& req) {
+  const std::shared_ptr<Job> job = find_job(req_job_id(req));
+  if (!job) return error_reply("no such job", "not_found");
+  util::Json reply = util::Json::make_object();
+  reply.set("ok", true);
+  reply.set("id", job->id);
+  std::lock_guard<std::mutex> lock(job->mu);
+  if (!job->spec.label.empty()) reply.set("label", job->spec.label);
+  reply.set("state", job_state_name(job->state));
+  if (job->state == JobState::kRunning && job->session) {
+    const auto next = job->session->next_stage();
+    if (next) reply.set("stage", flow::stage_name(*next));
+  }
+  if (!job->error.empty()) reply.set("error", job->error);
+  if (!job->failed_stage.empty()) reply.set("stage", job->failed_stage);
+  if (job_state_terminal(job->state)) {
+    reply.set("wall_s", util::Json::make_number(job->wall_s));
+  }
+  return reply;
+}
+
+util::Json Server::cmd_result(const util::Json& req) {
+  const std::shared_ptr<Job> job = find_job(req_job_id(req));
+  if (!job) return error_reply("no such job", "not_found");
+  const util::Json* wait = req.get("wait");
+  const util::Json* timeout = req.get("timeout_s");
+  const double timeout_s =
+      timeout != nullptr ? timeout->as_number() : 600.0;
+
+  std::unique_lock<std::mutex> lock(job->mu);
+  if (wait != nullptr && wait->as_bool()) {
+    const auto deadline =
+        steady_clock::now() +
+        std::chrono::duration_cast<steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    while (!job_state_terminal(job->state)) {
+      if (job->done_cv.wait_until(lock, deadline) ==
+          std::cv_status::timeout &&
+          !job_state_terminal(job->state)) {
+        util::Json reply = error_reply("timed out waiting", "timeout");
+        reply.set("state", job_state_name(job->state));
+        return reply;
+      }
+    }
+  }
+  if (!job_state_terminal(job->state)) {
+    util::Json reply =
+        error_reply("job not finished", "not_finished");
+    reply.set("state", job_state_name(job->state));
+    return reply;
+  }
+  util::Json reply = util::Json::make_object();
+  reply.set("ok", true);
+  reply.set("id", job->id);
+  reply.set("state", job_state_name(job->state));
+  reply.set("wall_s", util::Json::make_number(job->wall_s));
+  if (!job->error.empty()) reply.set("error", job->error);
+  if (!job->failed_stage.empty()) reply.set("stage", job->failed_stage);
+  reply.set("result", job->result);
+  return reply;
+}
+
+util::Json Server::cmd_cancel(const util::Json& req) {
+  const std::int64_t id = req_job_id(req);
+  util::Json reply = util::Json::make_object();
+  try {
+    const JobState state = cancel_job(id);
+    reply.set("ok", true);
+    reply.set("id", id);
+    reply.set("state", job_state_name(state));
+  } catch (const Error& e) {
+    return error_reply(e.what(), "not_found");
+  }
+  return reply;
+}
+
+util::Json Server::cmd_metrics() const {
+  util::Json reply = util::Json::make_object();
+  reply.set("ok", true);
+  // The PR-5 registry snapshot, embedded as an object.
+  reply.set("metrics", util::parse_json(obs::snapshot_metrics().to_json()));
+
+  util::Json server = util::Json::make_object();
+  server.set("queue_depth", queue_depth());
+  server.set("jobs_submitted", jobs_submitted());
+  server.set("jobs_finished", jobs_finished());
+  server.set("draining", draining());
+  reply.set("server", std::move(server));
+
+  // Per-job summaries; terminal jobs carry their StageMetrics payload.
+  util::Json jobs = util::Json::make_array();
+  std::vector<std::shared_ptr<Job>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    snapshot.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) snapshot.push_back(job);
+  }
+  for (const std::shared_ptr<Job>& job : snapshot) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    util::Json j = util::Json::make_object();
+    j.set("id", job->id);
+    if (!job->spec.label.empty()) j.set("label", job->spec.label);
+    j.set("priority", flow::job_priority_name(job->spec.priority));
+    j.set("state", job_state_name(job->state));
+    if (job_state_terminal(job->state)) {
+      j.set("wall_s", util::Json::make_number(job->wall_s));
+      const util::Json* stages = job->result.get("stages");
+      if (stages != nullptr) j.set("stages", *stages);
+    }
+    jobs.push_back(std::move(j));
+  }
+  reply.set("jobs", std::move(jobs));
+  return reply;
+}
+
+int Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  int waiting = 0;
+  for (const auto& q : queue_) waiting += static_cast<int>(q.size());
+  return waiting;
+}
+
+std::int64_t Server::jobs_submitted() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return next_id_ - 1;
+}
+
+std::int64_t Server::jobs_finished() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return finished_;
+}
+
+bool Server::shutdown_requested(bool* drain_out) const {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (drain_out != nullptr) *drain_out = shutdown_drain_;
+  return shutdown_requested_;
+}
+
+void Server::request_shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+    shutdown_drain_ = drain;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::wait_shutdown_requested() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::shutdown(bool drain) {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopped_.exchange(true)) return;  // idempotent
+  stopping_.store(true, std::memory_order_release);
+  draining_.store(true, std::memory_order_release);
+
+  // Stop the acceptor: closing the listen socket unblocks accept().
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  if (!drain) {
+    // Cancel everything still pending; workers then finish fast.
+    std::vector<std::int64_t> ids;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      for (const auto& [id, job] : jobs_) ids.push_back(id);
+    }
+    for (const std::int64_t id : ids) {
+      try {
+        cancel_job(id);
+      } catch (const Error&) {
+      }
+    }
+  }
+
+  // Drain-and-stop the worker pool: pop_job returns null once the queue
+  // is empty and stopped, so every queued job still runs first.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    queue_stopped_ = true;
+  }
+  queue_cv_.notify_all();
+  if (pool_) {
+    pool_->wait();
+    pool_.reset();
+  }
+
+  // Kick and join the connection threads (blocking recv gets EOF; any
+  // result-wait already saw its job reach a terminal state above).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [fd, thread] : conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::pair<int, std::thread> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      conn = std::move(conns_.back());
+      conns_.pop_back();
+    }
+    if (conn.second.joinable()) conn.second.join();
+  }
+}
+
+namespace {
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+}  // namespace
+
+int run_server(const ServeOptions& options) {
+  Server server(options);
+  server.start();
+  std::printf("listening on %d\n", server.port());
+  std::fflush(stdout);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  // Wait for SIGTERM/SIGINT or a `shutdown` protocol command. The
+  // signal handler only flips a flag, so poll it alongside the
+  // command-driven condition.
+  bool drain = true;
+  while (!g_signal && !server.shutdown_requested(&drain)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "amdrel_serve: draining (%lld jobs submitted)...\n",
+               static_cast<long long>(server.jobs_submitted()));
+  server.shutdown(drain);
+  std::fprintf(stderr, "amdrel_serve: done (%lld jobs finished)\n",
+               static_cast<long long>(server.jobs_finished()));
+  return 0;
+}
+
+}  // namespace amdrel::serve

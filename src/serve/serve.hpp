@@ -1,0 +1,177 @@
+#pragma once
+// amdrel_serve — a long-lived compile service wrapping the Fig. 11 flow.
+//
+// The daemon accepts jobs over a newline-delimited JSON line protocol on
+// a TCP socket (one request per line, one reply per line; DESIGN.md
+// §13.3). Each job is a flow::JobSpec executed as a flow::FlowSession on
+// the repo's ThreadPool behind a three-level priority queue with
+// admission control: submits beyond `max_queue` waiting jobs are
+// rejected with a machine-readable reason instead of queueing unbounded.
+//
+// Concurrent jobs share the process-wide read-only caches: the
+// elaborated architecture (keyed on the job's DUTYS text, parsed once)
+// and the deduplicated RR pattern templates
+// (route::RrPatternTemplates::shared). Everything else a session touches
+// is session-local, so jobs are bit-identical to standalone runs of the
+// same spec — the soak test in tests/serve_test.cpp asserts exactly
+// that across ≥64 concurrent jobs.
+//
+// Lifecycle: cancel() is cooperative (FlowSession::cancel at the next
+// stage/iteration boundary); shutdown(drain=true) — also triggered by
+// SIGTERM in run_server — stops accepting connections and submits,
+// finishes every queued and running job, then joins all threads.
+// shutdown(drain=false) additionally cancels whatever is queued or
+// in flight first.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/jobspec.hpp"
+#include "flow/session.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amdrel::serve {
+
+struct ServeOptions {
+  int port = 0;        ///< TCP port to listen on; 0 = ephemeral (tests)
+  int workers = 0;     ///< concurrent flow sessions (0 = hw concurrency)
+  int max_queue = 64;  ///< admission control: max *waiting* jobs
+};
+
+/// Lifecycle of a submitted job.
+enum class JobState : int {
+  kQueued = 0,  ///< waiting in the priority queue
+  kRunning,     ///< a worker is executing the FlowSession
+  kDone,        ///< ran to spec.until; result available
+  kFailed,      ///< a stage threw; error (+ failing stage) recorded
+  kCancelled,   ///< cancelled while queued or mid-run
+};
+const char* job_state_name(JobState state);
+bool job_state_terminal(JobState state);
+
+/// One submitted job. All mutable fields are guarded by `mu`; `done_cv`
+/// fires on every state change (the blocking `result` wait uses it).
+struct Job {
+  std::int64_t id = 0;
+  flow::JobSpec spec;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  JobState state = JobState::kQueued;
+  std::unique_ptr<flow::FlowSession> session;  ///< non-null while running
+  util::Json result = util::Json::make_object();  ///< terminal payload
+  std::string error;         ///< kFailed: the stage exception message
+  std::string failed_stage;  ///< kFailed: machine-readable stage name
+  double wall_s = 0.0;       ///< run wall time (0 until terminal)
+  bool cancel_requested = false;
+};
+
+/// The embeddable server (tests construct it directly on port 0;
+/// amdrel_serve wraps it in run_server with signal handling).
+class Server {
+ public:
+  explicit Server(const ServeOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor and worker pool. Throws
+  /// Error when the port cannot be bound.
+  void start();
+  /// The bound port (after start; the actual port when options.port = 0).
+  int port() const { return port_; }
+
+  /// Stops accepting connections and submits; waits for queued+running
+  /// jobs (drain=true) or cancels them first (drain=false); joins every
+  /// thread. Idempotent, callable from any thread — including a
+  /// connection thread via the `shutdown` command, which defers to the
+  /// owner through shutdown_requested().
+  void shutdown(bool drain = true);
+
+  /// True once a `shutdown` protocol command or request_shutdown() has
+  /// fired; run_server waits on this. `drain_out` receives the requested
+  /// mode when non-null.
+  bool shutdown_requested(bool* drain_out = nullptr) const;
+  void request_shutdown(bool drain);
+  /// Blocks until shutdown_requested() (used by run_server; woken by the
+  /// protocol command or request_shutdown from a signal watcher).
+  void wait_shutdown_requested();
+
+  /// Stop admitting new jobs (submits reject with reason "draining");
+  /// running and queued jobs are unaffected.
+  void drain() { draining_.store(true, std::memory_order_release); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  // ---- introspection (tests / the metrics command) ----
+  int queue_depth() const;
+  std::int64_t jobs_submitted() const;
+  std::int64_t jobs_finished() const;  ///< done + failed + cancelled
+
+  /// Direct (in-process) submit of an already-parsed spec — the same
+  /// admission path the protocol uses. Returns the job id, or throws
+  /// Error with the rejection reason.
+  std::int64_t submit(const flow::JobSpec& spec);
+  std::shared_ptr<Job> find_job(std::int64_t id) const;
+  /// Requests cooperative cancellation; returns the state observed.
+  JobState cancel_job(std::int64_t id);
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  void worker_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+  std::shared_ptr<Job> pop_job();
+
+  std::string handle_line(const std::string& line);
+  util::Json cmd_submit(const util::Json& req);
+  util::Json cmd_status(const util::Json& req);
+  util::Json cmd_result(const util::Json& req);
+  util::Json cmd_cancel(const util::Json& req);
+  util::Json cmd_metrics() const;
+
+  ServeOptions options_;
+  /// Atomic: shutdown() closes + clears it while accept_loop reads it.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Job table + priority queue (one deque per JobPriority, popped
+  // high→low, FIFO within a level).
+  mutable std::mutex jobs_mu_;
+  std::condition_variable queue_cv_;
+  std::map<std::int64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<std::shared_ptr<Job>> queue_[3];
+  std::int64_t next_id_ = 1;
+  std::int64_t finished_ = 0;
+  bool queue_stopped_ = false;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+  mutable std::mutex conns_mu_;
+  std::vector<std::pair<int, std::thread>> conns_;
+
+  mutable std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool shutdown_drain_ = true;
+};
+
+/// The amdrel_serve main loop: start, wait for SIGTERM/SIGINT or a
+/// `shutdown` command, drain, exit 0. Prints the bound port on stdout
+/// ("listening on <port>") so scripts can scrape it.
+int run_server(const ServeOptions& options);
+
+}  // namespace amdrel::serve

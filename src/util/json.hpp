@@ -1,0 +1,101 @@
+#pragma once
+// Minimal JSON document model for the framework's machine interfaces
+// (flow::JobSpec and the amdrel_serve line protocol).
+//
+// The JSONL trace analyzer in obs/report keeps its own flat single-line
+// cursor (its schema never nests); this is the general value tree for
+// inputs the framework does not control — client requests arriving over
+// a socket — so it parses arbitrary nesting, escapes and unicode
+// \uXXXX sequences (encoded as UTF-8), and rejects trailing garbage.
+// No external dependency: the container images this runs in carry only
+// the C++ toolchain.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace amdrel::util {
+
+/// One JSON value. Objects keep insertion order for deterministic
+/// round-trips (serve replies are diffed byte-for-byte in tests).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json make_bool(bool b);
+  static Json make_number(double v);
+  static Json make_string(std::string s);
+  static Json make_array();
+  static Json make_object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Checked accessors: throw Error("expected <type>") on mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< number, checked integral + in range
+  const std::string& as_string() const;
+  const std::vector<Json>& as_array() const;
+
+  /// Object field access. get() returns nullptr when absent (or when
+  /// this value is not an object); at() throws Error naming the key.
+  const Json* get(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  /// Object keys in insertion order (empty for non-objects).
+  const std::vector<std::string>& keys() const;
+
+  // -- construction --
+  void push_back(Json v);                     ///< array append
+  void set(const std::string& key, Json v);   ///< object insert/replace
+
+  // convenience setters for the common scalar cases
+  void set(const std::string& key, bool v) { set(key, make_bool(v)); }
+  void set(const std::string& key, double v) { set(key, make_number(v)); }
+  void set(const std::string& key, int v) {
+    set(key, make_number(static_cast<double>(v)));
+  }
+  void set(const std::string& key, std::int64_t v) {
+    set(key, make_number(static_cast<double>(v)));
+  }
+  void set(const std::string& key, std::uint64_t v) {
+    set(key, make_number(static_cast<double>(v)));
+  }
+  void set(const std::string& key, const char* v) {
+    set(key, make_string(v));
+  }
+  void set(const std::string& key, const std::string& v) {
+    set(key, make_string(v));
+  }
+
+  /// Compact single-line serialization (no spaces); numbers print with
+  /// %.17g precision trimmed to the shortest round-trip form %g gives.
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::string> obj_keys_;
+  std::map<std::string, Json> obj_;
+  void dump_to(std::string* out) const;
+};
+
+/// Parses one complete JSON document; throws Error (with a byte offset)
+/// on malformed input or trailing non-whitespace.
+Json parse_json(const std::string& text);
+
+/// JSON string escaping of `s` (without the surrounding quotes).
+std::string json_escape_string(const std::string& s);
+
+}  // namespace amdrel::util

@@ -1,0 +1,351 @@
+// amdrel_serve daemon tests: line-protocol round-trips (malformed input
+// answers an error reply on a live connection), admission control
+// (queue-full rejection), cancel-then-status, shutdown with in-flight
+// jobs, and the concurrency soak — ≥64 bench_gen jobs with mixed
+// priorities and mid-flight cancels, every completed bitstream
+// byte-identical (same FNV-1a fingerprint and hex bytes) to a standalone
+// FlowSession run of the same JobSpec. Run under TSan by the tsan CI job.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/jobspec.hpp"
+#include "flow/session.hpp"
+#include "serve/serve.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace amdrel {
+namespace {
+
+using serve::JobState;
+using serve::ServeOptions;
+using serve::Server;
+
+/// A blocking line-protocol client for the daemon under test.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Sends one request line, returns the parsed reply line.
+  util::Json request(const std::string& line) {
+    std::string out = line + "\n";
+    EXPECT_EQ(::send(fd_, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+    std::string reply;
+    char c = 0;
+    while (::recv(fd_, &c, 1, 0) == 1 && c != '\n') reply.push_back(c);
+    return util::parse_json(reply);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+JobState state_of(const std::shared_ptr<serve::Job>& job) {
+  std::lock_guard<std::mutex> lock(job->mu);
+  return job->state;
+}
+
+/// Polls until job `id` reaches `want` (or any terminal state when
+/// `want` is terminal-accepting via exact match); false on timeout.
+bool wait_state(Server& server, std::int64_t id, JobState want,
+                double timeout_s = 60.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto job = server.find_job(id);
+    if (job && state_of(job) == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+/// A quick job (tens of ms) with a parameterized circuit + priority.
+std::string quick_job_json(int i) {
+  return strprintf(
+      "{\"source\":\"bench_gen\",\"label\":\"soak-%d\","
+      "\"priority\":\"%s\","
+      "\"bench\":{\"gates\":%d,\"latches\":%d,\"inputs\":8,"
+      "\"outputs\":6,\"seed\":%d}%s}",
+      i, i % 3 == 0 ? "high" : (i % 3 == 1 ? "normal" : "low"),
+      40 + (i % 5) * 12, 2 + i % 4, 1000 + i,
+      i % 9 == 0 ? ",\"return_bitstream\":true" : "");
+}
+
+/// A job slow enough to still be running while the test pokes at the
+/// queue behind it (place anneal on a mid-size circuit).
+flow::JobSpec slow_job(const std::string& label) {
+  flow::JobSpec spec;
+  spec.source = flow::JobSpec::Source::kBenchGen;
+  spec.label = label;
+  spec.bench.n_gates = 700;
+  spec.bench.n_latches = 16;
+  spec.bench.n_inputs = 12;
+  spec.bench.n_outputs = 10;
+  spec.bench.seed = 99;
+  spec.options.verify_mode = flow::VerifyMode::kOff;
+  return spec;
+}
+
+TEST(Serve, MalformedRequestsAnswerErrorsOnALiveConnection) {
+  Server server;
+  server.start();
+  Client client(server.port());
+
+  util::Json reply = client.request("{\"cmd\":\"ping\"}");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reply").as_string(), "pong");
+
+  // Garbage must answer an error reply, not kill the connection.
+  reply = client.request("this is not json at all");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reason").as_string(), "bad_request");
+
+  reply = client.request("{\"no_cmd\":1}");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+
+  reply = client.request("{\"cmd\":\"frobnicate\"}");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+
+  reply = client.request("{\"cmd\":\"status\"}");  // missing id
+  EXPECT_FALSE(reply.at("ok").as_bool());
+
+  reply = client.request("{\"cmd\":\"status\",\"id\":424242}");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reason").as_string(), "not_found");
+
+  // A spec without a source is rejected as bad_job.
+  reply = client.request("{\"cmd\":\"submit\",\"job\":{}}");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reason").as_string(), "bad_job");
+
+  // An unknown JobSpec key fails the parse loudly.
+  reply = client.request(
+      "{\"cmd\":\"submit\",\"job\":{\"source\":\"blif\",\"typo\":1}}");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reason").as_string(), "bad_job");
+
+  // The connection survived all of the above.
+  reply = client.request("{\"cmd\":\"ping\"}");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  server.shutdown(false);
+}
+
+TEST(Serve, QueueFullRejectsWithReason) {
+  ServeOptions options;
+  options.workers = 1;
+  options.max_queue = 1;
+  Server server(options);
+  server.start();
+
+  // Occupy the single worker, then fill the single queue slot.
+  const std::int64_t running = server.submit(slow_job("occupant"));
+  ASSERT_TRUE(wait_state(server, running, JobState::kRunning));
+  const std::int64_t queued = server.submit(slow_job("waiter"));
+  EXPECT_EQ(server.queue_depth(), 1);
+
+  Client client(server.port());
+  util::Json reply = client.request(
+      "{\"cmd\":\"submit\",\"job\":{\"source\":\"bench_gen\","
+      "\"bench\":{\"gates\":50}}}");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reason").as_string(), "queue_full");
+
+  // Draining rejects even with queue space.
+  server.cancel_job(queued);
+  server.drain();
+  reply = client.request(
+      "{\"cmd\":\"submit\",\"job\":{\"source\":\"bench_gen\","
+      "\"bench\":{\"gates\":50}}}");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reason").as_string(), "draining");
+
+  server.cancel_job(running);
+  server.shutdown(false);
+}
+
+TEST(Serve, CancelThenStatus) {
+  ServeOptions options;
+  options.workers = 1;
+  Server server(options);
+  server.start();
+  Client client(server.port());
+
+  const std::int64_t running = server.submit(slow_job("running"));
+  ASSERT_TRUE(wait_state(server, running, JobState::kRunning));
+  const std::int64_t queued = server.submit(slow_job("queued"));
+
+  // Cancelling a queued job is immediate.
+  util::Json reply = client.request(
+      strprintf("{\"cmd\":\"cancel\",\"id\":%lld}",
+                static_cast<long long>(queued)));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("state").as_string(), "cancelled");
+  reply = client.request(strprintf("{\"cmd\":\"status\",\"id\":%lld}",
+                                   static_cast<long long>(queued)));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("state").as_string(), "cancelled");
+  EXPECT_EQ(reply.at("label").as_string(), "queued");
+
+  // Cancelling the running job is cooperative; wait for it to land.
+  reply = client.request(strprintf("{\"cmd\":\"cancel\",\"id\":%lld}",
+                                   static_cast<long long>(running)));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  reply = client.request(
+      strprintf("{\"cmd\":\"result\",\"id\":%lld,\"wait\":true,"
+                "\"timeout_s\":120}",
+                static_cast<long long>(running)));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("state").as_string(), "cancelled");
+  EXPECT_EQ(server.jobs_finished(), 2);
+  server.shutdown(false);
+}
+
+TEST(Serve, ShutdownDrainsInflightJobs) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  server.start();
+
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(server.submit(
+        flow::parse_job_spec_json(quick_job_json(i))));
+  }
+  server.shutdown(true);  // drain: every queued job still runs
+
+  EXPECT_EQ(server.jobs_finished(), static_cast<std::int64_t>(ids.size()));
+  for (const std::int64_t id : ids) {
+    const auto job = server.find_job(id);
+    ASSERT_TRUE(job);
+    EXPECT_EQ(state_of(job), JobState::kDone) << "job " << id;
+  }
+}
+
+TEST(Serve, ShutdownNoDrainCancelsPendingJobs) {
+  ServeOptions options;
+  options.workers = 1;
+  Server server(options);
+  server.start();
+
+  const std::int64_t running = server.submit(slow_job("inflight"));
+  ASSERT_TRUE(wait_state(server, running, JobState::kRunning));
+  std::vector<std::int64_t> queued;
+  for (int i = 0; i < 3; ++i) queued.push_back(server.submit(slow_job("q")));
+
+  server.shutdown(false);  // cancel everything pending first
+
+  for (const std::int64_t id : queued) {
+    EXPECT_EQ(state_of(server.find_job(id)), JobState::kCancelled);
+  }
+  // The in-flight job observed the cooperative cancel (or won the race
+  // and completed); either way it is terminal and accounted for.
+  EXPECT_TRUE(serve::job_state_terminal(state_of(server.find_job(running))));
+  EXPECT_EQ(server.jobs_finished(), 4);
+}
+
+TEST(Serve, SoakConcurrentJobsMatchStandaloneBitstreams) {
+  constexpr int kJobs = 72;  // ≥64 per the design contract
+  ServeOptions options;
+  options.workers = 4;
+  options.max_queue = kJobs;
+  Server server(options);
+  server.start();
+  Client client(server.port());
+
+  // Submit everything through the protocol, mixed priorities.
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    util::Json reply = client.request(
+        "{\"cmd\":\"submit\",\"job\":" + quick_job_json(i) + "}");
+    ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+    ids.push_back(reply.at("id").as_int());
+  }
+  // Mid-flight cancels: some land on queued jobs, some on running ones.
+  std::vector<bool> cancelled(kJobs, false);
+  for (int i = 0; i < kJobs; ++i) {
+    if (i % 7 != 3) continue;
+    cancelled[i] = true;
+    util::Json reply = client.request(
+        strprintf("{\"cmd\":\"cancel\",\"id\":%lld}",
+                  static_cast<long long>(ids[i])));
+    EXPECT_TRUE(reply.at("ok").as_bool());
+  }
+
+  int done = 0, cancelled_seen = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    util::Json reply = client.request(
+        strprintf("{\"cmd\":\"result\",\"id\":%lld,\"wait\":true,"
+                  "\"timeout_s\":300}",
+                  static_cast<long long>(ids[i])));
+    ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+    const std::string state = reply.at("state").as_string();
+    if (!cancelled[i]) {
+      ASSERT_EQ(state, "done") << reply.dump();
+    }
+    if (state == "cancelled") {
+      ++cancelled_seen;
+      continue;
+    }
+    ASSERT_EQ(state, "done") << reply.dump();
+    ++done;
+
+    // Byte-identity against a standalone run of the same JobSpec.
+    const flow::JobSpec spec = flow::parse_job_spec_json(quick_job_json(i));
+    flow::FlowSession standalone(spec);
+    ASSERT_EQ(standalone.run_until(spec.until), flow::SessionState::kDone);
+    const util::Json expect =
+        flow::job_result_to_json(spec, standalone.result());
+
+    const util::Json& got = reply.at("result");
+    for (const char* key : {"bitstream_fnv", "bitstream_bytes",
+                            "config_bits", "channel_width", "luts"}) {
+      ASSERT_NE(got.get(key), nullptr) << key << ": " << got.dump();
+      EXPECT_EQ(got.at(key).dump(), expect.at(key).dump())
+          << "job " << i << " key " << key;
+    }
+    if (spec.return_bitstream) {
+      EXPECT_EQ(got.at("bitstream_hex").as_string(),
+                expect.at("bitstream_hex").as_string())
+          << "job " << i;
+    }
+  }
+  EXPECT_EQ(done + cancelled_seen, kJobs);
+  EXPECT_GE(done, kJobs - kJobs / 7 - 1);
+
+  // The registry-backed metrics reply accounts for every job.
+  util::Json metrics = client.request("{\"cmd\":\"metrics\"}");
+  EXPECT_TRUE(metrics.at("ok").as_bool());
+  EXPECT_EQ(metrics.at("server").at("jobs_submitted").as_int(), kJobs);
+  EXPECT_EQ(metrics.at("server").at("jobs_finished").as_int(), kJobs);
+  EXPECT_EQ(static_cast<int>(metrics.at("jobs").as_array().size()), kJobs);
+
+  client.request("{\"cmd\":\"shutdown\"}");
+  EXPECT_TRUE(server.shutdown_requested());
+  server.shutdown(true);
+}
+
+}  // namespace
+}  // namespace amdrel

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -28,6 +29,47 @@ TEST(Error, ParseErrorCarriesLocation) {
   EXPECT_EQ(e.file(), "foo.vhd");
   EXPECT_EQ(e.line(), 42);
   EXPECT_NE(std::string(e.what()).find("foo.vhd:42"), std::string::npos);
+}
+
+TEST(Json, ParseAndDumpRoundTrip) {
+  const std::string text =
+      "{\"a\":1,\"b\":[true,false,null],\"c\":{\"nested\":\"s\\n\"},"
+      "\"d\":-2.5}";
+  const util::Json v = util::parse_json(text);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").as_array().size(), 3u);
+  EXPECT_TRUE(v.at("b").as_array()[0].as_bool());
+  EXPECT_TRUE(v.at("b").as_array()[2].is_null());
+  EXPECT_EQ(v.at("c").at("nested").as_string(), "s\n");
+  EXPECT_EQ(v.at("d").as_number(), -2.5);
+  // Insertion order survives the round trip byte-for-byte.
+  EXPECT_EQ(v.dump(), text);
+  EXPECT_EQ(util::parse_json(v.dump()).dump(), text);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  const util::Json v = util::parse_json("\"\\u00e9\\u20ac\"");
+  EXPECT_EQ(v.as_string(), "\xc3\xa9\xe2\x82\xac");  // é €
+}
+
+TEST(Json, MalformedInputsThrow) {
+  EXPECT_THROW(util::parse_json(""), Error);
+  EXPECT_THROW(util::parse_json("{"), Error);
+  EXPECT_THROW(util::parse_json("{\"a\":}"), Error);
+  EXPECT_THROW(util::parse_json("[1,]"), Error);
+  EXPECT_THROW(util::parse_json("nul"), Error);
+  EXPECT_THROW(util::parse_json("\"unterminated"), Error);
+  EXPECT_THROW(util::parse_json("{} trailing"), Error);
+}
+
+TEST(Json, CheckedAccessorsRejectMismatches) {
+  const util::Json v = util::parse_json("{\"n\":1.5,\"s\":\"x\"}");
+  EXPECT_THROW(v.at("n").as_string(), Error);
+  EXPECT_THROW(v.at("n").as_int(), Error);  // 1.5 is not integral
+  EXPECT_THROW(v.at("s").as_number(), Error);
+  EXPECT_THROW(v.at("missing"), Error);
+  EXPECT_EQ(v.get("missing"), nullptr);
 }
 
 TEST(Rng, Deterministic) {
