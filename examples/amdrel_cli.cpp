@@ -18,7 +18,9 @@
 //                        [--mode random|formal|both] [--time-limit S]
 //   amdrel_cli eco       <base> <edited> [--json]   # incremental recompile
 //   amdrel_cli bench_gen <name> <gates> [latches] [seed] [--edit N]
-//   amdrel_cli trace-report <trace.jsonl> [--json]  # analyze an obs trace
+//   amdrel_cli trace-report <trace.jsonl>... [--json]  # analyze obs traces
+//       (multiple files — e.g. the daemon's per-job spools — are analyzed
+//       as one interleaved trace; span ids keep the trees separate)
 //   amdrel_cli job       <spec.json|->              # run one flow::JobSpec
 //
 // Global flags (any command, removed from argv before dispatch by
@@ -393,10 +395,28 @@ int main(int argc, char** argv) {
     if (cmd == "trace-report") {
       if (argc < 3) return usage();
       bool json = false;
-      for (int i = 3; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0) json = true;
+      std::vector<const char*> files;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+          json = true;
+        } else {
+          files.push_back(argv[i]);
+        }
       }
-      obs::TraceReport report = obs::analyze_trace_file(argv[2]);
+      if (files.empty()) return usage();
+      // Several files (e.g. the daemon's per-job spools) concatenate into
+      // one interleaved trace: span ids keep each job's tree exact, and
+      // the report counts the distinct trace ids.
+      std::stringstream all;
+      for (const char* file : files) {
+        std::ifstream in(file);
+        if (!in) {
+          std::fprintf(stderr, "amdrel_cli: cannot open '%s'\n", file);
+          return 1;
+        }
+        all << in.rdbuf();
+      }
+      obs::TraceReport report = obs::analyze_trace(all);
       std::printf("%s", json ? report.to_json().c_str()
                              : report.to_text().c_str());
       if (json) std::printf("\n");

@@ -1,6 +1,7 @@
 // amdrel_serve — the long-lived compile daemon (DESIGN.md §13).
 //
 // Usage: amdrel_serve [--port N] [--workers N] [--queue N]
+//                     [--trace-dir DIR] [--events N] [--slow-job S]
 //                     [--trace FILE] [--metrics FILE] [--progress]
 //                     [--threads N]
 //
@@ -9,6 +10,12 @@
 // bound. --threads is the shared runtime spelling for the worker count
 // (--workers wins when both are given). Stop it with SIGTERM/SIGINT or
 // the `shutdown` command — both drain in-flight jobs before exit.
+//
+// Observability (DESIGN.md §13.3): --trace-dir spools each job's own
+// JSONL trace to DIR/job-<id>.jsonl (fetch with the `trace` command;
+// distinct from --trace, the process-global trace of the daemon itself).
+// --events sizes the bounded daemon-event ring behind the `events`
+// command; --slow-job sets the watchdog threshold in seconds (0 = off).
 //
 // Quick session (see README):
 //   $ amdrel_serve --port 7440 &
@@ -28,18 +35,23 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--workers N] [--queue N]\n"
+               "          [--trace-dir DIR] [--events N] [--slow-job S]\n"
                "          [--trace FILE] [--metrics FILE] [--progress]"
                " [--threads N]\n",
                argv0);
   return 2;
 }
 
-int parse_int_arg(int argc, char** argv, int* i, const char* flag) {
+const char* parse_value_arg(int argc, char** argv, int* i, const char* flag) {
   if (*i + 1 >= argc) {
     std::fprintf(stderr, "amdrel_serve: %s needs a value\n", flag);
     std::exit(2);
   }
-  return std::atoi(argv[++*i]);
+  return argv[++*i];
+}
+
+int parse_int_arg(int argc, char** argv, int* i, const char* flag) {
+  return std::atoi(parse_value_arg(argc, argv, i, flag));
 }
 
 }  // namespace
@@ -61,6 +73,12 @@ int main(int argc, char** argv) {
         options.workers = parse_int_arg(argc, argv, &i, arg);
       } else if (std::strcmp(arg, "--queue") == 0) {
         options.max_queue = parse_int_arg(argc, argv, &i, arg);
+      } else if (std::strcmp(arg, "--trace-dir") == 0) {
+        options.trace_dir = parse_value_arg(argc, argv, &i, arg);
+      } else if (std::strcmp(arg, "--events") == 0) {
+        options.event_buffer = parse_int_arg(argc, argv, &i, arg);
+      } else if (std::strcmp(arg, "--slow-job") == 0) {
+        options.slow_job_s = std::atof(parse_value_arg(argc, argv, &i, arg));
       } else if (std::strcmp(arg, "--help") == 0) {
         return usage(argv[0]) == 2 ? 0 : 0;
       } else {

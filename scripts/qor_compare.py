@@ -61,9 +61,16 @@ Per rr_scale circuit:
                       --rss-tolerance %% (default 25; allocator and OS
                       noise, but a 2x blowup must fail).
 
+A "serve_latency" capture (written by scripts/serve_smoke.py
+--artifacts) is reported informationally only: daemon queue-wait and
+run-latency quantiles are wall-clock measurements on shared runners, so
+they are printed (and compared against a baseline section when one
+exists) but never gate the build.
+
 A metric present in the baseline but missing from the current run is a
 named regression (a silently dropped metric must not pass the gate), as
-is a baseline section with no matching current file.
+is a baseline section with no matching current file (except the
+informational serve_latency section).
 
 Improvements and new circuits are reported but never fail.
 
@@ -207,7 +214,28 @@ class Gate:
         for name in sorted(set(cur) - set(base)):
             self.notes.append(f"{name}: new circuit (not in baseline)")
 
+    def report_serve_latency(self, base_capture, cur_capture):
+        """Informational only: daemon latency is wall clock, never a gate."""
+        def quantiles(capture, key):
+            h = (capture or {}).get(key) or {}
+            return h.get("p50"), h.get("p95"), h.get("count")
+
+        jobs = cur_capture.get("jobs", 0)
+        for key in ("queue_wait_s", "run_wall_s"):
+            p50, p95, count = quantiles(cur_capture, key)
+            if count is None:
+                continue
+            line = (f"serve_latency: {key} p50 {p50:.3f}s p95 {p95:.3f}s "
+                    f"over {count} observation(s), {jobs} job(s)")
+            _, bp95, _ = quantiles(base_capture, key)
+            if bp95 is not None and p95 is not None:
+                line += f" (baseline p95 {bp95:.3f}s)"
+            self.notes.append(line)
+
     def compare(self, bench, base_capture, cur_capture):
+        if bench == "serve_latency":
+            self.report_serve_latency(base_capture, cur_capture)
+            return
         base, cur = by_name(base_capture), by_name(cur_capture)
         if bench == "eco_bench":
             self.compare_eco(base, cur)
@@ -272,12 +300,19 @@ def main():
     for bench, base_capture in sorted(sections.items()):
         cur_capture = currents.get(bench)
         if cur_capture is None:
-            gate.regressions.append(
-                f"{bench}: no current capture for this baseline section")
+            if bench == "serve_latency":  # informational, never gates
+                gate.notes.append(
+                    "serve_latency: no current capture (informational "
+                    "section, skipped)")
+            else:
+                gate.regressions.append(
+                    f"{bench}: no current capture for this baseline section")
             continue
         gate.compare(bench, base_capture, cur_capture)
     for bench in sorted(set(currents) - set(sections)):
         gate.notes.append(f"{bench}: new bench (not in baseline)")
+        if bench == "serve_latency":
+            gate.compare(bench, {}, currents[bench])
 
     for n in gate.notes:
         print(f"note: {n}")

@@ -1,22 +1,38 @@
 #!/usr/bin/env python3
 """CI smoke test for the amdrel_serve daemon (DESIGN.md §13).
 
-Starts the daemon on an ephemeral port, submits N concurrent bench_gen
-jobs over the newline-delimited JSON protocol (one connection per job,
-mixed priorities), waits for every result, and checks each bitstream
-fingerprint byte-for-byte against a single-shot `amdrel_cli job` run of
-the identical JobSpec. Finishes with a protocol sanity poke (malformed
-line answers an error, not a hangup) and a drain shutdown, asserting the
-daemon exits 0.
+Starts the daemon on an ephemeral port with per-job tracing enabled,
+submits N concurrent bench_gen jobs over the newline-delimited JSON
+protocol (one connection per job, mixed priorities), waits for every
+result, and checks each bitstream fingerprint byte-for-byte against a
+single-shot `amdrel_cli job` run of the identical JobSpec. Then exercises
+the observability surface: `stats` must census every job, `events` must
+stream each job's submitted/started/done transitions, `trace` must return
+a complete per-job spool tagged with that job's trace id, and `metrics`
+must serve both the JSON registry snapshot and Prometheus text
+exposition. Finishes with a protocol sanity poke (malformed line answers
+an error, not a hangup) and a drain shutdown, asserting the daemon
+exits 0.
+
+With --artifacts DIR the script leaves behind (for CI upload):
+  metrics.json        the registry + per-job metrics reply
+  metrics.prom        the Prometheus text exposition
+  job-<id>.jsonl      one per-job trace spool fetched over the wire
+  serve_latency.json  a QoR-capture-style latency record
+                      ({"bench": "serve_latency", ...}) that
+                      qor_compare.py reports informationally
 
 Usage: serve_smoke.py <amdrel_serve> <amdrel_cli> [--jobs N]
+                      [--artifacts DIR]
 """
 
 import argparse
 import json
+import os
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
 
 
@@ -51,7 +67,7 @@ def request(port, payload):
         return json.loads(buf)
 
 
-def run_job_via_daemon(port, spec, results, i):
+def run_job_via_daemon(port, spec, results, ids, i):
     """submit + blocking result wait, one connection per job."""
     with socket.create_connection(("127.0.0.1", port), timeout=300) as sock:
         f = sock.makefile("rwb")
@@ -63,11 +79,90 @@ def run_job_via_daemon(port, spec, results, i):
 
         submitted = rpc({"cmd": "submit", "job": spec})
         assert submitted["ok"], submitted
+        ids[i] = submitted["id"]
         result = rpc(
             {"cmd": "result", "id": submitted["id"], "wait": True,
              "timeout_s": 300})
         assert result["ok"] and result["state"] == "done", result
-        results[i] = result["result"]
+        assert result["queue_wait_s"] >= 0, result
+        assert result["run_wall_s"] > 0, result
+        results[i] = result
+
+
+def check_observability(port, ids, n_jobs, artifacts):
+    """stats / events / trace / metrics assertions + artifact drops."""
+    stats = request(port, {"cmd": "stats"})
+    assert stats["ok"], stats
+    assert stats["jobs"]["submitted"] == n_jobs, stats["jobs"]
+    assert stats["jobs"]["done"] == n_jobs, stats["jobs"]
+    assert stats["queue_wait_s"]["count"] >= n_jobs, stats["queue_wait_s"]
+    assert stats["run_wall_s"]["count"] >= n_jobs, stats["run_wall_s"]
+    print(f"stats: {n_jobs} jobs done, run_wall_s p95 "
+          f"{stats['run_wall_s'].get('p95', 0):.3f}s", flush=True)
+
+    # The event stream carries each job's lifecycle in order.
+    events = request(port, {"cmd": "events", "limit": 0})
+    assert events["ok"], events
+    by_job = {}
+    for e in events["events"]:
+        if e.get("id"):
+            by_job.setdefault(e["id"], []).append(e["kind"])
+    for jid in ids:
+        assert by_job.get(jid) == ["submitted", "started", "done"], (
+            jid, by_job.get(jid))
+    print(f"events: {len(events['events'])} buffered, "
+          f"lifecycles complete", flush=True)
+
+    # Per-job trace spool: complete, and pure (only this job's trace id).
+    trace = request(port, {"cmd": "trace", "id": ids[0]})
+    assert trace["ok"] and trace["complete"], trace.get("error", trace)
+    want = f"job-{ids[0]}"
+    lines = [l for l in trace["trace_jsonl"].splitlines() if l]
+    assert lines, "empty trace spool"
+    for line in lines:
+        event = json.loads(line)
+        assert event.get("trace") == want, line
+    roots = [l for l in lines
+             if json.loads(l).get("name") == "serve.job"]
+    assert len(roots) == 2, roots  # one begin + one end, exactly one job
+    print(f"trace: job {ids[0]} spool has {len(lines)} events, "
+          f"all tagged {want}", flush=True)
+
+    metrics = request(port, {"cmd": "metrics"})
+    assert metrics["ok"], metrics
+    assert metrics["server"]["jobs_finished"] == n_jobs, metrics["server"]
+    prom = request(port, {"cmd": "metrics", "format": "prometheus"})
+    assert prom["ok"] and prom["format"] == "prometheus", prom
+    assert "amdrel_serve_jobs_submitted" in prom["text"], prom["text"][:500]
+    assert "amdrel_serve_run_wall_s_count" in prom["text"], prom["text"][:500]
+
+    if artifacts:
+        os.makedirs(artifacts, exist_ok=True)
+        with open(os.path.join(artifacts, "metrics.json"), "w") as f:
+            json.dump(metrics, f, indent=2)
+        with open(os.path.join(artifacts, "metrics.prom"), "w") as f:
+            f.write(prom["text"])
+        with open(os.path.join(artifacts, f"job-{ids[0]}.jsonl"), "w") as f:
+            f.write(trace["trace_jsonl"])
+    return stats
+
+
+def write_latency_capture(path, stats, results):
+    """A QoR-capture-style record qor_compare.py reports informationally."""
+    capture = {
+        "bench": "serve_latency",
+        "jobs": len(results),
+        "queue_wait_s": stats["queue_wait_s"],
+        "run_wall_s": stats["run_wall_s"],
+        "per_job": [
+            {"id": r["id"], "queue_wait_s": r["queue_wait_s"],
+             "run_wall_s": r["run_wall_s"]}
+            for r in results
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(capture, f, indent=2)
+    print(f"serve-latency capture -> {path}", flush=True)
 
 
 def main():
@@ -75,22 +170,27 @@ def main():
     parser.add_argument("serve_bin")
     parser.add_argument("cli_bin")
     parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--artifacts", default="")
     args = parser.parse_args()
 
+    trace_dir = tempfile.mkdtemp(prefix="serve_smoke_traces.")
     daemon = subprocess.Popen(
-        [args.serve_bin, "--port", "0", "--workers", "4"],
+        [args.serve_bin, "--port", "0", "--workers", "4",
+         "--trace-dir", trace_dir],
         stdout=subprocess.PIPE, text=True)
     try:
         banner = daemon.stdout.readline().strip()
         assert banner.startswith("listening on "), banner
         port = int(banner.split()[-1])
-        print(f"daemon up on port {port}", flush=True)
+        print(f"daemon up on port {port} (traces in {trace_dir})",
+              flush=True)
 
         specs = [job_spec(i) for i in range(args.jobs)]
         results = [None] * args.jobs
+        ids = [None] * args.jobs
         threads = [
             threading.Thread(target=run_job_via_daemon,
-                             args=(port, specs[i], results, i))
+                             args=(port, specs[i], results, ids, i))
             for i in range(args.jobs)
         ]
         for t in threads:
@@ -102,7 +202,8 @@ def main():
         # single-shot run of the same JobSpec.
         keys = ["bitstream_fnv", "bitstream_bytes", "config_bits",
                 "channel_width", "luts"]
-        for i, (spec, got) in enumerate(zip(specs, results)):
+        for i, (spec, reply) in enumerate(zip(specs, results)):
+            got = reply["result"]
             single = json.loads(subprocess.run(
                 [args.cli_bin, "job", "-"], input=json.dumps(spec),
                 capture_output=True, text=True, check=True).stdout)
@@ -114,6 +215,12 @@ def main():
             print(f"job {i}: bitstream {got['bitstream_fnv']} "
                   f"({got['bitstream_bytes']} bytes) matches", flush=True)
 
+        stats = check_observability(port, ids, args.jobs, args.artifacts)
+        if args.artifacts:
+            write_latency_capture(
+                os.path.join(args.artifacts, "serve_latency.json"),
+                stats, results)
+
         # Protocol sanity: malformed input answers an error reply.
         with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
             s.sendall(b"definitely not json\n")
@@ -121,15 +228,11 @@ def main():
             assert reply["ok"] is False and reply["reason"] == "bad_request", \
                 reply
 
-        metrics = request(port, {"cmd": "metrics"})
-        assert metrics["ok"], metrics
-        assert metrics["server"]["jobs_finished"] == args.jobs, metrics["server"]
-
         # Drain shutdown: daemon must exit 0 on its own.
         request(port, {"cmd": "shutdown"})
         assert daemon.wait(timeout=60) == 0, daemon.returncode
         print(f"OK: {args.jobs} concurrent jobs byte-identical, "
-              "clean shutdown", flush=True)
+              "observability verified, clean shutdown", flush=True)
     finally:
         if daemon.poll() is None:
             daemon.kill()

@@ -269,7 +269,10 @@ util::Json job_result_to_json(const JobSpec& spec, const FlowResult& result) {
     if (!m.ran) continue;
     util::Json sm = util::Json::make_object();
     sm.set("wall_s", util::Json::make_number(m.wall_s));
-    sm.set("peak_rss_kb", static_cast<std::int64_t>(m.peak_rss_kb));
+    // obs::peak_rss_kb() is process-wide and monotone, not per-stage or
+    // per-job — under a concurrent daemon it reads as "peak RSS of the
+    // whole process so far", so the key says exactly that (DESIGN.md §13).
+    sm.set("process_peak_rss_kb", static_cast<std::int64_t>(m.peak_rss_kb));
     if (!m.counters.empty()) {
       util::Json counters = util::Json::make_object();
       for (const auto& [name, delta] : m.counters) {

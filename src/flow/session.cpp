@@ -217,6 +217,10 @@ std::string FlowSession::stage_context(Stage stage) const {
 SessionState FlowSession::run_until(Stage last) {
   AMDREL_CHECK_MSG(state_ != SessionState::kFailed,
                    "run_until on a failed FlowSession");
+  // Carry the job-scoped trace context (if any) onto this thread for the
+  // duration of the run: every stage span and kernel point below routes
+  // to the context's sink under its trace id. Null = global sink.
+  obs::ScopedContext trace_scope(trace_ctx_);
   state_ = SessionState::kReady;
   while (next_ <= static_cast<int>(last) && next_ < kNumStages) {
     if (cancel_requested_.exchange(false, std::memory_order_acq_rel)) {
@@ -511,6 +515,7 @@ SessionState FlowSession::resume_with_edit(const netlist::Network& edited,
                                            eco::EcoStats* stats_out) {
   AMDREL_CHECK_MSG(state_ == SessionState::kDone,
                    "resume_with_edit requires a completed session");
+  obs::ScopedContext trace_scope(trace_ctx_);
   StageMetrics m;
   const obs::MetricsSnapshot before = obs::snapshot_metrics();
   const auto t0 = Clock::now();

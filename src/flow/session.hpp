@@ -119,6 +119,19 @@ class FlowSession {
 
   const FlowOptions& options() const { return options_; }
 
+  /// Attaches a job-scoped trace context (obs::TraceContext) the session
+  /// carries onto whichever thread executes run_until / resume /
+  /// resume_with_edit: the context is installed for the duration of the
+  /// call (obs::ScopedContext), so every stage span and kernel point the
+  /// run emits lands in the context's sink tagged with its trace id —
+  /// falling back to the process-global sink when null (the default, and
+  /// the unchanged standalone-CLI behavior). The context is borrowed: it
+  /// must outlive the session or be cleared before it is destroyed. The
+  /// compile daemon installs one context per job so 64-way concurrent
+  /// jobs each write their own attributable trace (DESIGN.md §8.1).
+  void set_trace_context(const obs::TraceContext* ctx) { trace_ctx_ = ctx; }
+  const obs::TraceContext* trace_context() const { return trace_ctx_; }
+
   /// The stage artifacts produced so far. Fields owned by stages that have
   /// not run yet are default-initialized (null unique_ptrs, empty stats).
   const FlowResult& result() const { return result_; }
@@ -166,6 +179,7 @@ class FlowSession {
   int next_ = 0;  ///< index of the next stage to run
   SessionState state_ = SessionState::kReady;
   std::atomic<bool> cancel_requested_{false};
+  const obs::TraceContext* trace_ctx_ = nullptr;  ///< borrowed, may be null
   StageMetrics eco_metrics_;
   eco::EcoStats eco_stats_;
 };

@@ -274,6 +274,47 @@ std::string MetricsSnapshot::to_json() const {
   return out;
 }
 
+namespace {
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names are
+/// dotted lowercase identifiers, so mangling is dots→underscores plus a
+/// defensive sweep for anything else.
+std::string prom_name(const std::string& name) {
+  std::string out = "amdrel_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& c : counters) {
+    const std::string n = prom_name(c.name);
+    out += strprintf("# TYPE %s counter\n%s %llu\n", n.c_str(), n.c_str(),
+                     static_cast<unsigned long long>(c.value));
+  }
+  for (const auto& g : gauges) {
+    const std::string n = prom_name(g.name);
+    out += strprintf("# TYPE %s gauge\n%s %.9g\n", n.c_str(), n.c_str(),
+                     g.value);
+  }
+  for (const auto& h : histograms) {
+    const std::string n = prom_name(h.name);
+    out += strprintf("# TYPE %s summary\n", n.c_str());
+    out += strprintf("%s{quantile=\"0.5\"} %.9g\n", n.c_str(), h.p50);
+    out += strprintf("%s{quantile=\"0.95\"} %.9g\n", n.c_str(), h.p95);
+    out += strprintf("%s_sum %.9g\n", n.c_str(), h.sum);
+    out += strprintf("%s_count %llu\n", n.c_str(),
+                     static_cast<unsigned long long>(h.count));
+  }
+  return out;
+}
+
 MetricsSnapshot snapshot_metrics() {
   return detail::Registry::instance().snapshot();
 }

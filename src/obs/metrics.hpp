@@ -165,6 +165,15 @@ struct MetricsSnapshot {
   ///    "histograms":{"spice.step_s":{"count":9,"sum":...,"min":...,
   ///                                  "max":...,"p50":...,"p95":...}}}
   std::string to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters and gauges as
+  /// their native types, histograms as summaries (p50/p95 quantile
+  /// samples plus _sum/_count). Names are mangled to the Prometheus
+  /// charset — dots become underscores — and prefixed with "amdrel_",
+  /// e.g. `route.pathfinder_iters` → `amdrel_route_pathfinder_iters`.
+  /// Served by the daemon's `metrics` command with
+  /// {"format":"prometheus"} (DESIGN.md §13.3).
+  std::string to_prometheus() const;
 };
 
 /// Merges all shards. Counters registered but never bumped report 0.

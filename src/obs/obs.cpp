@@ -9,13 +9,27 @@ namespace amdrel::obs {
 namespace detail {
 
 std::atomic<Sink*> g_sink{nullptr};
+thread_local const TraceContext* t_context = nullptr;
+thread_local std::uint64_t t_open_span = 0;
 
 namespace {
 std::chrono::steady_clock::time_point g_epoch = std::chrono::steady_clock::now();
+std::atomic<std::uint64_t> g_next_span_id{1};
 }  // namespace
+
+std::uint64_t next_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 double since_attach_s(std::chrono::steady_clock::time_point tp) {
   return std::chrono::duration<double>(tp - g_epoch).count();
+}
+
+double since_s(const TraceContext* ctx,
+               std::chrono::steady_clock::time_point tp) {
+  if (ctx != nullptr)
+    return std::chrono::duration<double>(tp - ctx->epoch).count();
+  return since_attach_s(tp);
 }
 
 double trace_now_s() {
@@ -40,12 +54,16 @@ void set_sink(Sink* sink) {
 Sink* sink() { return detail::g_sink.load(std::memory_order_acquire); }
 
 void point(const char* name, std::initializer_list<Metric> metrics) {
-  Sink* s = detail::g_sink.load(std::memory_order_relaxed);
+  const TraceContext* ctx = detail::t_context;
+  Sink* s = ctx != nullptr ? ctx->sink
+                           : detail::g_sink.load(std::memory_order_relaxed);
   if (s == nullptr) return;
   Event e;
   e.kind = Event::Kind::kPoint;
   e.name = name;
-  e.t_s = detail::trace_now_s();
+  e.t_s = detail::since_s(ctx, std::chrono::steady_clock::now());
+  e.parent = detail::t_open_span;
+  if (ctx != nullptr) e.trace = ctx->trace_id.c_str();
   e.metrics = metrics.begin();
   e.n_metrics = metrics.size();
   s->on_event(e);
@@ -53,14 +71,22 @@ void point(const char* name, std::initializer_list<Metric> metrics) {
 
 void Span::finish() {
   if (sink_ == nullptr) return;
+  // Pop this span from the thread's open-span chain — but only if it is
+  // still the innermost one *on this thread*. A span finished on another
+  // thread, or after its ScopedContext already restored the chain, must
+  // not clobber that thread's unrelated linkage.
+  if (detail::t_open_span == id_) detail::t_open_span = parent_;
   const auto end = end_ != std::chrono::steady_clock::time_point{}
                        ? end_
                        : std::chrono::steady_clock::now();
   Event e;
   e.kind = Event::Kind::kSpanEnd;
   e.name = name_;
-  e.t_s = detail::since_attach_s(start_);
+  e.t_s = detail::since_s(ctx_, start_);
   e.dur_s = std::chrono::duration<double>(end - start_).count();
+  e.id = id_;
+  e.parent = parent_;
+  if (ctx_ != nullptr) e.trace = ctx_->trace_id.c_str();
   e.metrics = metrics_.data();
   e.n_metrics = metrics_.size();
   sink_->on_event(e);
@@ -95,6 +121,17 @@ void JsonlSink::on_event(const Event& e) {
                kind_label(e.kind), e.name, e.t_s);
   if (e.kind == Event::Kind::kSpanEnd) {
     std::fprintf(file_, ",\"dur\":%.9g", e.dur_s);
+  }
+  if (e.id != 0) {
+    std::fprintf(file_, ",\"id\":%llu", (unsigned long long)e.id);
+  }
+  if (e.parent != 0) {
+    std::fprintf(file_, ",\"parent\":%llu", (unsigned long long)e.parent);
+  }
+  if (e.trace != nullptr && e.trace[0] != '\0') {
+    // Trace ids are caller-controlled short tokens ("job-17"); they must
+    // not contain JSON-significant characters.
+    std::fprintf(file_, ",\"trace\":\"%s\"", e.trace);
   }
   if (e.n_metrics > 0) {
     std::fprintf(file_, ",\"metrics\":{");

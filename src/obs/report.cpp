@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <fstream>
 #include <istream>
+#include <set>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -176,6 +177,16 @@ bool parse_trace_line(const std::string& line, TraceEvent* out) {
       if (!c.number(&out->t_s)) return false;
     } else if (key == "dur") {
       if (!c.number(&out->dur_s)) return false;
+    } else if (key == "id") {
+      double v = 0.0;
+      if (!c.number(&v) || v < 0) return false;
+      out->id = static_cast<std::uint64_t>(v);
+    } else if (key == "parent") {
+      double v = 0.0;
+      if (!c.number(&v) || v < 0) return false;
+      out->parent = static_cast<std::uint64_t>(v);
+    } else if (key == "trace") {
+      if (!c.string(&out->trace)) return false;
     } else if (key == "metrics") {
       if (!c.lit('{')) return false;
       if (!c.lit('}')) {
@@ -200,8 +211,13 @@ bool parse_trace_line(const std::string& line, TraceEvent* out) {
 
 TraceReport analyze_trace(std::istream& in) {
   TraceReport report;
-  // Stack of open spans; `roots` collects finished top-level spans.
+  // Id-carrying spans pair begin↔end by id and parent by the recorded
+  // parent id — exact even when 64 jobs interleave in one stream.
+  std::map<std::uint64_t, SpanNode> open_by_id;
+  std::map<std::uint64_t, std::uint64_t> parent_by_id;
+  // Id-less (legacy) spans fall back to the nearest-open-name stack.
   std::vector<SpanNode> stack;
+  std::set<std::string> trace_ids;
   std::map<std::string, AggBuild> aggs;
 
   std::string line;
@@ -214,15 +230,46 @@ TraceReport analyze_trace(std::istream& in) {
     }
     ++report.events;
     report.trace_dur_s = std::max(report.trace_dur_s, e.t_s + e.dur_s);
+    if (!e.trace.empty()) trace_ids.insert(e.trace);
     switch (e.kind) {
       case TraceEvent::Kind::kBegin: {
         SpanNode node;
         node.name = std::move(e.name);
         node.t_s = e.t_s;
-        stack.push_back(std::move(node));
+        node.id = e.id;
+        node.trace = std::move(e.trace);
+        if (e.id != 0) {
+          parent_by_id[e.id] = e.parent;
+          open_by_id[e.id] = std::move(node);
+        } else {
+          stack.push_back(std::move(node));
+        }
         break;
       }
       case TraceEvent::Kind::kEnd: {
+        if (e.id != 0) {
+          auto it = open_by_id.find(e.id);
+          if (it == open_by_id.end()) {
+            ++report.unmatched_ends;
+            break;
+          }
+          SpanNode node = std::move(it->second);
+          const std::uint64_t parent = parent_by_id[e.id];
+          open_by_id.erase(it);
+          parent_by_id.erase(e.id);
+          node.dur_s = e.dur_s;
+          node.metrics = std::move(e.metrics);
+          // Attach under the parent if it is still open; a parent that
+          // already closed (cross-thread finish) makes this a root.
+          auto pit = parent != 0 ? open_by_id.find(parent)
+                                 : open_by_id.end();
+          if (pit != open_by_id.end()) {
+            pit->second.children.push_back(std::move(node));
+          } else {
+            report.roots.push_back(std::move(node));
+          }
+          break;
+        }
         // Close the nearest open span with this name (concurrent spans
         // interleave; see the header caveat).
         std::size_t i = stack.size();
@@ -253,12 +300,27 @@ TraceReport analyze_trace(std::istream& in) {
   }
   // Crash tail: spans begun but never ended. Promote their finished
   // children so completed work still reports, and drop the open shells.
+  // Ids are allocated at begin, so a child's id always exceeds its
+  // parent's — walking descending ids handles children before parents.
+  while (!open_by_id.empty()) {
+    auto it = std::prev(open_by_id.end());
+    SpanNode open = std::move(it->second);
+    const std::uint64_t parent = parent_by_id[it->first];
+    parent_by_id.erase(it->first);
+    open_by_id.erase(it);
+    auto pit =
+        parent != 0 ? open_by_id.find(parent) : open_by_id.end();
+    auto& dest =
+        pit != open_by_id.end() ? pit->second.children : report.roots;
+    for (SpanNode& c : open.children) dest.push_back(std::move(c));
+  }
   while (!stack.empty()) {
     SpanNode open = std::move(stack.back());
     stack.pop_back();
     auto& dest = stack.empty() ? report.roots : stack.back().children;
     for (SpanNode& c : open.children) dest.push_back(std::move(c));
   }
+  report.traces = trace_ids.size();
 
   for (const SpanNode& root : report.roots) {
     walk_span(root, &aggs, &report.qor);
@@ -294,10 +356,17 @@ TraceReport analyze_trace_file(const std::string& path) {
 std::string TraceReport::to_text() const {
   std::string out = strprintf(
       "trace report: %llu events, %.3f s traced "
-      "(%llu unparseable lines, %llu unmatched span ends)\n\n",
+      "(%llu unparseable lines, %llu unmatched span ends)\n",
       static_cast<unsigned long long>(events), trace_dur_s,
       static_cast<unsigned long long>(skipped_lines),
       static_cast<unsigned long long>(unmatched_ends));
+  if (traces > 0) {
+    out += strprintf("  %llu distinct trace id%s%s\n",
+                     static_cast<unsigned long long>(traces),
+                     traces == 1 ? "" : "s",
+                     traces > 1 ? " (multi-job trace)" : "");
+  }
+  out += "\n";
   out += strprintf("  %-28s %-5s %8s %10s %10s %10s %10s\n", "name", "kind",
                    "count", "total_s", "self_s", "p50_s", "p95_s");
   for (const auto& a : aggregates) {
@@ -345,10 +414,11 @@ std::string TraceReport::to_text() const {
 std::string TraceReport::to_json() const {
   std::string out = strprintf(
       "{\"events\":%llu,\"skipped_lines\":%llu,\"unmatched_ends\":%llu,"
-      "\"trace_dur_s\":%.9g,\"names\":[",
+      "\"traces\":%llu,\"trace_dur_s\":%.9g,\"names\":[",
       static_cast<unsigned long long>(events),
       static_cast<unsigned long long>(skipped_lines),
-      static_cast<unsigned long long>(unmatched_ends), trace_dur_s);
+      static_cast<unsigned long long>(unmatched_ends),
+      static_cast<unsigned long long>(traces), trace_dur_s);
   for (std::size_t i = 0; i < aggregates.size(); ++i) {
     const auto& a = aggregates[i];
     out += strprintf(

@@ -16,12 +16,16 @@
 // analysis backs tests that cross-check span durations against the
 // session's own StageMetrics.
 //
-// Concurrency caveat: the JSONL stream carries no thread ids. Spans
-// emitted concurrently (e.g. route.pathfinder inside min-W probe waves)
-// are paired to the nearest open span with the same name, so their
-// parentage — and therefore the *self* time of whatever span they landed
-// under — is approximate in concurrent sections. Totals, counts and
-// quantiles are exact regardless.
+// Span pairing: events that carry span ids (every trace written since
+// the schema gained "id"/"parent"/"trace") are paired begin↔end by id
+// and parented by the recorded parent id, so interleaved multi-job
+// traces — e.g. a daemon spooling 64 concurrent jobs into one file, or
+// several per-job spools concatenated for a fleet-wide view — produce
+// exact trees. Id-less events (old traces) fall back to pairing with
+// the nearest open span of the same name, whose parentage — and
+// therefore the *self* time of whatever span they landed under — is
+// approximate in concurrent sections. Totals, counts and quantiles are
+// exact under either pairing.
 
 #include <iosfwd>
 #include <map>
@@ -37,6 +41,9 @@ struct TraceEvent {
   std::string name;
   double t_s = 0.0;
   double dur_s = 0.0;
+  std::uint64_t id = 0;      ///< span id (0: id-less legacy event)
+  std::uint64_t parent = 0;  ///< enclosing span id (0: root)
+  std::string trace;         ///< owning trace id ("" outside a context)
   std::vector<std::pair<std::string, double>> metrics;
 };
 
@@ -50,6 +57,8 @@ struct SpanNode {
   std::string name;
   double t_s = 0.0;
   double dur_s = 0.0;
+  std::uint64_t id = 0;  ///< span id (0 for id-less legacy traces)
+  std::string trace;     ///< trace id this span was emitted under
   std::vector<std::pair<std::string, double>> metrics;
   std::vector<SpanNode> children;
 };
@@ -91,6 +100,7 @@ struct TraceReport {
   std::uint64_t events = 0;        ///< parsed events
   std::uint64_t skipped_lines = 0; ///< unparseable lines (crash tails)
   std::uint64_t unmatched_ends = 0;///< span ends with no open begin
+  std::uint64_t traces = 0;        ///< distinct trace ids seen (0: none)
   double trace_dur_s = 0.0;        ///< max event timestamp (+dur)
   std::vector<SpanNode> roots;     ///< top-level spans, trace order
   std::vector<NameAggregate> aggregates;  ///< sorted by total_s desc

@@ -103,6 +103,43 @@ TEST_F(Metrics, HistogramSingleValueHasTightQuantiles) {
   }
 }
 
+TEST_F(Metrics, HistogramEmptyReportsZeros) {
+  obs::histogram("test.hist.empty");  // registered, never observed
+  const auto snap = obs::snapshot_metrics();
+  bool found = false;
+  for (const auto& x : snap.histograms) {
+    if (x.name != "test.hist.empty") continue;
+    found = true;
+    EXPECT_EQ(x.count, 0u);
+    EXPECT_DOUBLE_EQ(x.sum, 0.0);
+    EXPECT_DOUBLE_EQ(x.min, 0.0);
+    EXPECT_DOUBLE_EQ(x.max, 0.0);
+    EXPECT_DOUBLE_EQ(x.p50, 0.0);
+    EXPECT_DOUBLE_EQ(x.p95, 0.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Metrics, HistogramQuantilesClampToMinMaxAtBucketBoundaries) {
+  // All samples in one power-of-two bucket [2,4): interpolation inside
+  // the bucket must never report a quantile outside the observed range.
+  static obs::Histogram& h = obs::histogram("test.hist.clamp");
+  h.observe(2.0);  // exactly a bucket boundary
+  h.observe(3.9);
+  h.observe(3.9);
+  const auto snap = obs::snapshot_metrics();
+  for (const auto& x : snap.histograms) {
+    if (x.name != "test.hist.clamp") continue;
+    EXPECT_EQ(x.count, 3u);
+    EXPECT_GE(x.p50, x.min);
+    EXPECT_LE(x.p50, x.max);
+    EXPECT_GE(x.p95, x.p50);
+    EXPECT_LE(x.p95, x.max);
+    EXPECT_DOUBLE_EQ(x.min, 2.0);
+    EXPECT_DOUBLE_EQ(x.max, 3.9);
+  }
+}
+
 TEST_F(Metrics, ResetZeroesEverything) {
   static obs::Counter& c = obs::counter("test.counter.reset");
   static obs::Gauge& g = obs::gauge("test.gauge.reset");
@@ -201,6 +238,46 @@ TEST_F(Metrics, WriteMetricsFileRoundTrips) {
 TEST_F(Metrics, WriteMetricsFileThrowsOnUnwritablePath) {
   EXPECT_THROW(obs::write_metrics_file("/nonexistent-dir/metrics.json"),
                Error);
+}
+
+TEST_F(Metrics, PrometheusExpositionCoversAllMetricTypes) {
+  static obs::Counter& c = obs::counter("test.prom.counter");
+  static obs::Gauge& g = obs::gauge("test.prom.gauge");
+  static obs::Histogram& h = obs::histogram("test.prom.hist");
+  c.add(5);
+  g.set(2.5);
+  h.observe(1.0);
+  h.observe(3.0);
+  const std::string text = obs::snapshot_metrics().to_prometheus();
+  // Names are prefixed and dot-mangled to the Prometheus charset.
+  EXPECT_NE(text.find("# TYPE amdrel_test_prom_counter counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("amdrel_test_prom_counter 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE amdrel_test_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("amdrel_test_prom_gauge 2.5"), std::string::npos);
+  // Histograms export as summaries: quantile samples plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE amdrel_test_prom_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("amdrel_test_prom_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("amdrel_test_prom_hist{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("amdrel_test_prom_hist_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("amdrel_test_prom_hist_count 2"), std::string::npos);
+  // Every line is either a comment or "name[{labels}] value", and no
+  // metric name leaks an unmangled dot.
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of(" {");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    EXPECT_EQ(line.substr(0, name_end).find('.'), std::string::npos)
+        << line;  // dots only ever appear in values
+    EXPECT_EQ(line.compare(0, 7, "amdrel_"), 0) << line;
+  }
 }
 
 }  // namespace

@@ -45,6 +45,26 @@ TEST(TraceParse, ParsesBeginAndPoint) {
   EXPECT_EQ(e.name, "route.minw_probe");
 }
 
+TEST(TraceParse, ParsesIdParentAndTrace) {
+  obs::TraceEvent e;
+  ASSERT_TRUE(obs::parse_trace_line(
+      R"({"type":"begin","name":"flow.map","t":0.5,"id":7,"parent":3,)"
+      R"("trace":"job-12"})",
+      &e));
+  EXPECT_EQ(e.id, 7u);
+  EXPECT_EQ(e.parent, 3u);
+  EXPECT_EQ(e.trace, "job-12");
+  // All three are optional (traces from older builds omit them).
+  ASSERT_TRUE(obs::parse_trace_line(
+      R"({"type":"begin","name":"flow.map","t":0.5})", &e));
+  EXPECT_EQ(e.id, 0u);
+  EXPECT_EQ(e.parent, 0u);
+  EXPECT_TRUE(e.trace.empty());
+  // Negative ids are malformed, not silently wrapped.
+  EXPECT_FALSE(obs::parse_trace_line(
+      R"({"type":"begin","name":"x","t":0,"id":-3})", &e));
+}
+
 TEST(TraceParse, RejectsGarbageAndTruncation) {
   obs::TraceEvent e;
   EXPECT_FALSE(obs::parse_trace_line("", &e));
@@ -137,6 +157,69 @@ TEST(TraceAnalyze, PairsConcurrentSameNameSpansNearestFirst) {
   EXPECT_EQ(a.name, "probe");
   EXPECT_EQ(a.count, 2u);
   EXPECT_DOUBLE_EQ(a.total_s, 4.0);
+}
+
+/// The daemon's per-job traces interleave on one timeline when
+/// concatenated. With span ids, each end closes exactly its own begin and
+/// each child attaches to its actual parent — same-name spans from other
+/// jobs in between cannot confuse the pairing.
+TEST(TraceAnalyze, IdPairingReconstructsInterleavedJobTrees) {
+  std::istringstream in(
+      R"({"type":"begin","name":"serve.job","t":0,"id":1,"trace":"job-1"}
+{"type":"begin","name":"serve.job","t":0.05,"id":2,"trace":"job-2"}
+{"type":"begin","name":"flow.synth","t":0.1,"id":3,"parent":1,"trace":"job-1"}
+{"type":"begin","name":"flow.synth","t":0.15,"id":4,"parent":2,"trace":"job-2"}
+{"type":"span","name":"flow.synth","t":0.1,"dur":0.2,"id":3,"parent":1,"trace":"job-1"}
+{"type":"begin","name":"flow.map","t":0.35,"id":5,"parent":1,"trace":"job-1"}
+{"type":"span","name":"flow.synth","t":0.15,"dur":0.4,"id":4,"parent":2,"trace":"job-2"}
+{"type":"span","name":"flow.map","t":0.35,"dur":0.1,"id":5,"parent":1,"trace":"job-1"}
+{"type":"span","name":"serve.job","t":0,"dur":1,"id":1,"trace":"job-1"}
+{"type":"span","name":"serve.job","t":0.05,"dur":2,"id":2,"trace":"job-2"}
+)");
+  const obs::TraceReport r = obs::analyze_trace(in);
+  EXPECT_EQ(r.unmatched_ends, 0u);
+  EXPECT_EQ(r.skipped_lines, 0u);
+  EXPECT_EQ(r.traces, 2u);
+  ASSERT_EQ(r.roots.size(), 2u);
+  // job-1's root completes first (dur 1 vs 2).
+  EXPECT_EQ(r.roots[0].trace, "job-1");
+  EXPECT_EQ(r.roots[0].id, 1u);
+  ASSERT_EQ(r.roots[0].children.size(), 2u);
+  EXPECT_EQ(r.roots[0].children[0].name, "flow.synth");
+  EXPECT_DOUBLE_EQ(r.roots[0].children[0].dur_s, 0.2);
+  EXPECT_EQ(r.roots[0].children[1].name, "flow.map");
+  EXPECT_EQ(r.roots[1].trace, "job-2");
+  ASSERT_EQ(r.roots[1].children.size(), 1u);
+  EXPECT_EQ(r.roots[1].children[0].name, "flow.synth");
+  EXPECT_DOUBLE_EQ(r.roots[1].children[0].dur_s, 0.4);
+  // With the old nearest-open-name pairing, job-2's flow.synth end (the
+  // 7th line) would have closed job-1's still-open flow.map — the
+  // per-name aggregate would smear 0.4s onto the wrong job. Check the
+  // aggregate instead reports both synths under one name, both correct.
+  for (const auto& a : r.aggregates) {
+    if (a.name == "flow.synth") {
+      EXPECT_EQ(a.count, 2u);
+      EXPECT_DOUBLE_EQ(a.total_s, 0.6);
+    }
+  }
+  // The rendering mentions the multi-trace nature.
+  EXPECT_NE(r.to_text().find("distinct trace id"), std::string::npos);
+  EXPECT_NE(r.to_json().find("\"traces\":2"), std::string::npos);
+}
+
+TEST(TraceAnalyze, IdCrashTailPromotesCompletedChildren) {
+  // The job root (id 1) and flow.map (id 5) never close — daemon killed —
+  // but flow.synth completed. The drain promotes it as a root.
+  std::istringstream in(
+      R"({"type":"begin","name":"serve.job","t":0,"id":1,"trace":"job-1"}
+{"type":"begin","name":"flow.synth","t":0.1,"id":3,"parent":1,"trace":"job-1"}
+{"type":"span","name":"flow.synth","t":0.1,"dur":0.2,"id":3,"parent":1,"trace":"job-1"}
+{"type":"begin","name":"flow.map","t":0.35,"id":5,"parent":1,"trace":"job-1"}
+)");
+  const obs::TraceReport r = obs::analyze_trace(in);
+  EXPECT_EQ(r.traces, 1u);
+  ASSERT_EQ(r.roots.size(), 1u);
+  EXPECT_EQ(r.roots[0].name, "flow.synth");
 }
 
 TEST(TraceAnalyze, ExtractsFlowQorFromStageSpans) {

@@ -27,10 +27,14 @@ class CaptureSink : public obs::Sink {
     std::string name;
     double t_s;
     double dur_s;
+    std::uint64_t id;
+    std::uint64_t parent;
+    std::string trace;
     std::vector<std::pair<std::string, double>> metrics;
   };
   void on_event(const obs::Event& e) override {
-    Rec r{e.kind, e.name, e.t_s, e.dur_s, {}};
+    Rec r{e.kind,   e.name, e.t_s, e.dur_s, e.id, e.parent,
+          e.trace != nullptr ? e.trace : "", {}};
     for (std::size_t i = 0; i < e.n_metrics; ++i) {
       r.metrics.emplace_back(e.metrics[i].key, e.metrics[i].value);
     }
@@ -205,6 +209,13 @@ TEST(Obs, SpanMoveAssignFinishesTheOverwrittenSpan) {
   obs::set_sink(nullptr);
   ASSERT_EQ(sink.events.size(), 4u);
   EXPECT_EQ(sink.events[3].name, "test.second");
+  // Closing "first" out of LIFO order must not poison the thread's
+  // open-span chain: a fresh span afterwards is a root again.
+  obs::set_sink(&sink);
+  { obs::Span after("test.after"); }
+  obs::set_sink(nullptr);
+  ASSERT_EQ(sink.events.size(), 6u);
+  EXPECT_EQ(sink.events[4].parent, 0u);
 }
 
 TEST(Obs, SpanSelfMoveAssignIsANoOp) {
@@ -332,6 +343,171 @@ TEST(Obs, SpanWithSuppliedTimestampsReportsExactDuration) {
   ASSERT_EQ(sink.events[1].metrics.size(), 1u);
   EXPECT_EQ(sink.events[1].metrics[0].first, "after_freeze");
   obs::set_sink(nullptr);
+}
+
+TEST(Obs, SpansCarryIdsAndParentLinkage) {
+  CaptureSink sink;
+  obs::set_sink(&sink);
+  {
+    obs::Span outer("test.outer");
+    ASSERT_NE(outer.id(), 0u);
+    {
+      obs::Span inner("test.inner");
+      ASSERT_NE(inner.id(), 0u);
+      EXPECT_NE(inner.id(), outer.id());
+      obs::point("test.p", {{"k", 1.0}});
+    }
+  }
+  obs::set_sink(nullptr);
+  ASSERT_EQ(sink.events.size(), 5u);  // begin, begin, point, end, end
+  const auto& outer_begin = sink.events[0];
+  const auto& inner_begin = sink.events[1];
+  const auto& point = sink.events[2];
+  const auto& inner_end = sink.events[3];
+  const auto& outer_end = sink.events[4];
+  EXPECT_EQ(outer_begin.parent, 0u);          // root
+  EXPECT_EQ(inner_begin.parent, outer_begin.id);
+  EXPECT_EQ(point.id, 0u);                    // points have no id...
+  EXPECT_EQ(point.parent, inner_begin.id);    // ...but link to the open span
+  EXPECT_EQ(inner_end.id, inner_begin.id);
+  EXPECT_EQ(outer_end.id, outer_begin.id);
+  // Child ids are allocated after (so greater than) their parent's.
+  EXPECT_GT(inner_begin.id, outer_begin.id);
+  // No context installed: events carry no trace tag.
+  EXPECT_TRUE(outer_begin.trace.empty());
+}
+
+TEST(Obs, ScopedContextRoutesToContextSinkAndTagsTrace) {
+  CaptureSink global, scoped;
+  obs::set_sink(&global);
+  {
+    obs::TraceContext ctx(&scoped, "job-7");
+    obs::ScopedContext guard(&ctx);
+    EXPECT_EQ(obs::context(), &ctx);
+    obs::Span span("test.routed");
+    obs::point("test.routed-point", {{"k", 1.0}});
+  }
+  EXPECT_EQ(obs::context(), nullptr);
+  { obs::Span span("test.global-again"); }
+  obs::set_sink(nullptr);
+
+  // Everything emitted under the context went to its sink, tagged.
+  ASSERT_EQ(scoped.events.size(), 3u);
+  for (const auto& e : scoped.events) EXPECT_EQ(e.trace, "job-7");
+  // The global sink saw only the span begun after the context exited,
+  // untagged.
+  ASSERT_EQ(global.events.size(), 2u);
+  EXPECT_EQ(global.events[0].name, "test.global-again");
+  EXPECT_TRUE(global.events[0].trace.empty());
+}
+
+TEST(Obs, NullContextGuardIsANoOp) {
+  CaptureSink global;
+  obs::set_sink(&global);
+  {
+    obs::ScopedContext guard(nullptr);
+    EXPECT_EQ(obs::context(), nullptr);
+    obs::Span span("test.fallback");  // falls through to the global sink
+  }
+  obs::set_sink(nullptr);
+  ASSERT_EQ(global.events.size(), 2u);
+  EXPECT_EQ(global.events[0].name, "test.fallback");
+}
+
+TEST(Obs, ContextWithNullSinkSuppressesTracing) {
+  CaptureSink global;
+  obs::set_sink(&global);
+  {
+    obs::TraceContext ctx;  // null sink: this thread opted out
+    obs::ScopedContext guard(&ctx);
+    EXPECT_FALSE(obs::enabled());
+    obs::Span span("test.suppressed");
+    EXPECT_FALSE(span.active());
+    obs::point("test.suppressed-point", {{"k", 1.0}});
+  }
+  EXPECT_TRUE(obs::enabled());
+  obs::set_sink(nullptr);
+  EXPECT_TRUE(global.events.empty());
+}
+
+TEST(Obs, ScopedContextRestoresOuterParentChain) {
+  CaptureSink global, scoped;
+  obs::set_sink(&global);
+  {
+    obs::Span outer("test.outer");
+    {
+      obs::TraceContext ctx(&scoped, "job-9");
+      obs::ScopedContext guard(&ctx);
+      // Inside the context the parent chain restarts: the job's first
+      // span is a root of its own trace, not a child of test.outer.
+      obs::Span inner("test.context-root");
+      EXPECT_EQ(scoped.events.back().parent, 0u);
+    }
+    // After the context exits, new spans chain to test.outer again.
+    obs::Span sibling("test.after-context");
+    EXPECT_EQ(global.events.back().parent, outer.id());
+  }
+  obs::set_sink(nullptr);
+}
+
+TEST(Obs, ReinstallingTheCurrentContextKeepsTheParentChain) {
+  CaptureSink scoped;
+  obs::TraceContext ctx(&scoped, "job-5");
+  obs::ScopedContext outer_guard(&ctx);
+  obs::Span root("serve.job");
+  {
+    // The daemon's pattern: FlowSession re-installs the same context on
+    // the worker thread. The redundant guard must not restart the chain —
+    // stage spans stay children of the daemon's root span.
+    obs::ScopedContext inner_guard(&ctx);
+    obs::Span stage("flow.synth");
+    EXPECT_EQ(scoped.events.back().parent, root.id());
+  }
+  obs::Span after("flow.map");
+  EXPECT_EQ(scoped.events.back().parent, root.id());
+}
+
+TEST(Obs, ContextClockStartsAtTheContextEpoch) {
+  CaptureSink scoped;
+  // No global sink at all: the context alone enables tracing.
+  ASSERT_FALSE(obs::enabled());
+  obs::TraceContext ctx(&scoped, "job-3");
+  obs::ScopedContext guard(&ctx);
+  EXPECT_TRUE(obs::enabled());
+  { obs::Span span("test.epoch"); }
+  ASSERT_EQ(scoped.events.size(), 2u);
+  // The context was created moments ago; its clock starts there, not at
+  // some ancient global attach.
+  EXPECT_GE(scoped.events[0].t_s, 0.0);
+  EXPECT_LT(scoped.events[0].t_s, 60.0);
+}
+
+TEST(Obs, JsonlSinkWritesIdParentAndTraceFields) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_test_ctx_trace.jsonl";
+  {
+    obs::JsonlSink sink(path);
+    obs::TraceContext ctx(&sink, "job-42");
+    obs::ScopedContext guard(&ctx);
+    obs::Span outer("flow.test");
+    { obs::Span inner("flow.inner"); }
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // begin begin end end
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(json_valid(line)) << line;
+    EXPECT_EQ(json_field(line, "trace").value_or(""), "job-42") << line;
+    EXPECT_TRUE(json_field(line, "id").has_value()) << line;
+  }
+  const std::string outer_id = json_field(lines[0], "id").value_or("");
+  // The outer span is a root: its begin omits "parent" (zero fields are
+  // left out for backward compatibility); the inner one links to it.
+  EXPECT_FALSE(json_field(lines[0], "parent").has_value());
+  EXPECT_EQ(json_field(lines[1], "parent").value_or(""), outer_id);
+  std::remove(path.c_str());
 }
 
 }  // namespace

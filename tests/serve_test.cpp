@@ -11,15 +11,18 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "flow/jobspec.hpp"
 #include "flow/session.hpp"
+#include "obs/report.hpp"
 #include "serve/serve.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -266,11 +269,232 @@ TEST(Serve, ShutdownNoDrainCancelsPendingJobs) {
   EXPECT_EQ(server.jobs_finished(), 4);
 }
 
+TEST(Serve, StatusAndResultReportQueueWaitAndRunWall) {
+  Server server;
+  server.start();
+  Client client(server.port());
+
+  util::Json reply = client.request(
+      "{\"cmd\":\"submit\",\"job\":" + quick_job_json(1) + "}");
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  const std::int64_t id = reply.at("id").as_int();
+
+  reply = client.request(
+      strprintf("{\"cmd\":\"result\",\"id\":%lld,\"wait\":true,"
+                "\"timeout_s\":120}",
+                static_cast<long long>(id)));
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  ASSERT_EQ(reply.at("state").as_string(), "done");
+  EXPECT_GE(reply.at("queue_wait_s").as_number(), 0.0);
+  EXPECT_GT(reply.at("run_wall_s").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(reply.at("run_wall_s").as_number(),
+                   reply.at("wall_s").as_number());
+
+  reply = client.request(strprintf("{\"cmd\":\"status\",\"id\":%lld}",
+                                   static_cast<long long>(id)));
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_GE(reply.at("queue_wait_s").as_number(), 0.0);
+  EXPECT_GT(reply.at("run_wall_s").as_number(), 0.0);
+  server.shutdown(true);
+}
+
+TEST(Serve, QueuedCancelReportsZeroWallAndItsQueueWait) {
+  ServeOptions options;
+  options.workers = 1;
+  Server server(options);
+  server.start();
+  Client client(server.port());
+
+  const std::int64_t running = server.submit(slow_job("occupant"));
+  ASSERT_TRUE(wait_state(server, running, JobState::kRunning));
+  const std::int64_t queued = server.submit(slow_job("victim"));
+  server.cancel_job(queued);
+
+  // A job cancelled while queued never ran: wall_s is an explicit 0 (not
+  // a stale default) and queue_wait_s closes out the wait it did spend.
+  util::Json reply = client.request(
+      strprintf("{\"cmd\":\"result\",\"id\":%lld}",
+                static_cast<long long>(queued)));
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  EXPECT_EQ(reply.at("state").as_string(), "cancelled");
+  EXPECT_DOUBLE_EQ(reply.at("wall_s").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(reply.at("run_wall_s").as_number(), 0.0);
+  EXPECT_GE(reply.at("queue_wait_s").as_number(), 0.0);
+
+  server.cancel_job(running);
+  server.shutdown(false);
+}
+
+TEST(Serve, StatsSummarizesTheDaemon) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  server.start();
+  Client client(server.port());
+
+  util::Json reply = client.request(
+      "{\"cmd\":\"submit\",\"job\":" + quick_job_json(2) + "}");
+  const std::int64_t id = reply.at("id").as_int();
+  client.request(strprintf("{\"cmd\":\"result\",\"id\":%lld,\"wait\":true,"
+                           "\"timeout_s\":120}",
+                           static_cast<long long>(id)));
+
+  util::Json stats = client.request("{\"cmd\":\"stats\"}");
+  ASSERT_TRUE(stats.at("ok").as_bool()) << stats.dump();
+  EXPECT_GE(stats.at("uptime_s").as_number(), 0.0);
+  EXPECT_EQ(stats.at("workers").as_int(), 2);
+  EXPECT_FALSE(stats.at("draining").as_bool());
+  EXPECT_EQ(stats.at("queue_depth").at("total").as_int(), 0);
+  EXPECT_EQ(stats.at("jobs").at("submitted").as_int(), 1);
+  EXPECT_EQ(stats.at("jobs").at("done").as_int(), 1);
+  EXPECT_EQ(stats.at("jobs").at("running").as_int(), 0);
+  // Latency histograms come from the process-global registry, so other
+  // servers in this test binary may have contributed: loose bounds only.
+  EXPECT_GE(stats.at("queue_wait_s").at("count").as_int(), 1);
+  EXPECT_GE(stats.at("run_wall_s").at("count").as_int(), 1);
+  EXPECT_GE(stats.at("events").at("next_seq").as_int(), 3);
+  server.shutdown(true);
+}
+
+TEST(Serve, EventsStreamRecordsTransitionsAndPages) {
+  Server server;
+  server.start();
+  Client client(server.port());
+
+  util::Json reply = client.request(
+      "{\"cmd\":\"submit\",\"job\":" + quick_job_json(3) + "}");
+  const std::int64_t id = reply.at("id").as_int();
+  client.request(strprintf("{\"cmd\":\"result\",\"id\":%lld,\"wait\":true,"
+                           "\"timeout_s\":120}",
+                           static_cast<long long>(id)));
+
+  util::Json events = client.request("{\"cmd\":\"events\"}");
+  ASSERT_TRUE(events.at("ok").as_bool()) << events.dump();
+  std::vector<std::string> kinds;
+  for (const util::Json& e : events.at("events").as_array()) {
+    if (e.at("id").as_int() == id) kinds.push_back(e.at("kind").as_string());
+  }
+  ASSERT_EQ(kinds.size(), 3u) << events.dump();
+  EXPECT_EQ(kinds[0], "submitted");
+  EXPECT_EQ(kinds[1], "started");
+  EXPECT_EQ(kinds[2], "done");
+  EXPECT_EQ(events.at("dropped").as_int(), 0);
+
+  // Paging: limit=1 returns the oldest unseen event and a cursor that
+  // resumes exactly after it.
+  util::Json page = client.request("{\"cmd\":\"events\",\"limit\":1}");
+  ASSERT_EQ(page.at("events").as_array().size(), 1u);
+  const std::int64_t first_seq =
+      page.at("events").as_array()[0].at("seq").as_int();
+  EXPECT_EQ(page.at("next_after").as_int(), first_seq);
+  page = client.request(
+      strprintf("{\"cmd\":\"events\",\"after\":%lld,\"limit\":1}",
+                static_cast<long long>(first_seq)));
+  ASSERT_EQ(page.at("events").as_array().size(), 1u);
+  EXPECT_GT(page.at("events").as_array()[0].at("seq").as_int(), first_seq);
+  server.shutdown(true);
+}
+
+TEST(Serve, EventRingIsBoundedAndCountsDrops) {
+  ServeOptions options;
+  options.workers = 1;
+  options.event_buffer = 4;
+  Server server(options);
+  server.start();
+
+  // 3 quick jobs × (submitted+started+done) = 9 events through a ring
+  // of 4: the oldest are dropped and accounted for.
+  for (int i = 0; i < 3; ++i) {
+    server.submit(flow::parse_job_spec_json(quick_job_json(i)));
+  }
+  server.shutdown(true);
+  const auto events = server.events_after(0);
+  EXPECT_LE(events.size(), 4u);
+  ASSERT_FALSE(events.empty());
+  EXPECT_GT(events.front().seq, 1);  // seq gap ⇒ overflow happened
+}
+
+TEST(Serve, WatchdogFlagsSlowJobs) {
+  ServeOptions options;
+  options.workers = 1;
+  options.slow_job_s = 0.05;
+  Server server(options);
+  server.start();
+
+  const std::int64_t id = server.submit(slow_job("laggard"));
+  ASSERT_TRUE(wait_state(server, id, JobState::kRunning));
+  // The watchdog scans every slow_job_s/4; give it a few periods.
+  bool flagged = false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  while (!flagged && std::chrono::steady_clock::now() < deadline) {
+    for (const auto& e : server.events_after(0)) {
+      if (e.kind == "slow_job" && e.job_id == id) flagged = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(flagged);
+  // One firing per job, not one per scan.
+  server.cancel_job(id);
+  server.shutdown(false);
+  int firings = 0;
+  for (const auto& e : server.events_after(0)) {
+    if (e.kind == "slow_job" && e.job_id == id) ++firings;
+  }
+  EXPECT_EQ(firings, 1);
+}
+
+TEST(Serve, MetricsServesPrometheusTextExposition) {
+  Server server;
+  server.start();
+  Client client(server.port());
+
+  util::Json reply = client.request(
+      "{\"cmd\":\"submit\",\"job\":" + quick_job_json(4) + "}");
+  const std::int64_t id = reply.at("id").as_int();
+  client.request(strprintf("{\"cmd\":\"result\",\"id\":%lld,\"wait\":true,"
+                           "\"timeout_s\":120}",
+                           static_cast<long long>(id)));
+
+  reply = client.request("{\"cmd\":\"metrics\",\"format\":\"prometheus\"}");
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  EXPECT_EQ(reply.at("format").as_string(), "prometheus");
+  const std::string text = reply.at("text").as_string();
+  EXPECT_NE(text.find("# TYPE amdrel_serve_jobs_submitted counter"),
+            std::string::npos)
+      << text.substr(0, 2000);
+  EXPECT_NE(text.find("# TYPE amdrel_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("amdrel_serve_run_wall_s{quantile=\"0.5\"}"),
+            std::string::npos);
+  server.shutdown(true);
+}
+
+TEST(Serve, TraceCommandRequiresTraceDir) {
+  Server server;  // no trace_dir: per-job tracing off
+  server.start();
+  Client client(server.port());
+  util::Json reply = client.request(
+      "{\"cmd\":\"submit\",\"job\":" + quick_job_json(5) + "}");
+  const std::int64_t id = reply.at("id").as_int();
+  client.request(strprintf("{\"cmd\":\"result\",\"id\":%lld,\"wait\":true,"
+                           "\"timeout_s\":120}",
+                           static_cast<long long>(id)));
+  reply = client.request(strprintf("{\"cmd\":\"trace\",\"id\":%lld}",
+                                   static_cast<long long>(id)));
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reason").as_string(), "no_trace");
+  server.shutdown(true);
+}
+
 TEST(Serve, SoakConcurrentJobsMatchStandaloneBitstreams) {
   constexpr int kJobs = 72;  // ≥64 per the design contract
+  const std::string trace_dir = ::testing::TempDir() + "/serve_soak_traces";
+  ::mkdir(trace_dir.c_str(), 0755);
   ServeOptions options;
   options.workers = 4;
   options.max_queue = kJobs;
+  options.trace_dir = trace_dir;
   Server server(options);
   server.start();
   Client client(server.port());
@@ -334,6 +558,74 @@ TEST(Serve, SoakConcurrentJobsMatchStandaloneBitstreams) {
   }
   EXPECT_EQ(done + cancelled_seen, kJobs);
   EXPECT_GE(done, kJobs - kJobs / 7 - 1);
+
+  // Per-job trace purity: with 4 workers interleaving 72 jobs, every
+  // spooled trace must contain only its own job's events — each line
+  // tagged with that job's trace id, exactly one serve.job root, and the
+  // flow stages reconstructed as its children.
+  std::vector<std::string> trace_bodies;
+  std::vector<std::string> trace_ids;
+  int traced = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    util::Json reply = client.request(
+        strprintf("{\"cmd\":\"trace\",\"id\":%lld}",
+                  static_cast<long long>(ids[i])));
+    if (!reply.at("ok").as_bool()) {
+      // Jobs cancelled while still queued never ran, so they have no
+      // spool — the only acceptable failure.
+      ASSERT_TRUE(cancelled[i]) << reply.dump();
+      EXPECT_EQ(reply.at("reason").as_string(), "no_trace");
+      continue;
+    }
+    ++traced;
+    EXPECT_TRUE(reply.at("complete").as_bool());
+    const std::string want_trace =
+        strprintf("job-%lld", static_cast<long long>(ids[i]));
+    const std::string& body = reply.at("trace_jsonl").as_string();
+    std::istringstream lines(body);
+    std::size_t n_lines = 0;
+    for (std::string line; std::getline(lines, line); ++n_lines) {
+      obs::TraceEvent e;
+      ASSERT_TRUE(obs::parse_trace_line(line, &e)) << line;
+      ASSERT_EQ(e.trace, want_trace) << "foreign event in job trace: "
+                                     << line;
+    }
+    ASSERT_GT(n_lines, 0u);
+    const std::string state =
+        client.request(strprintf("{\"cmd\":\"status\",\"id\":%lld}",
+                                 static_cast<long long>(ids[i])))
+            .at("state")
+            .as_string();
+    if (state == "done" && trace_bodies.size() < 2) {
+      trace_bodies.push_back(body);
+      trace_ids.push_back(want_trace);
+    }
+  }
+  EXPECT_GE(traced, done);
+
+  // Concatenate two jobs' spools into one interleaved stream: the
+  // id-based analyzer must reconstruct one exact serve.job tree per job,
+  // with that job's stage spans as children.
+  ASSERT_EQ(trace_bodies.size(), 2u);
+  std::istringstream merged(trace_bodies[0] + trace_bodies[1]);
+  const obs::TraceReport report = obs::analyze_trace(merged);
+  EXPECT_EQ(report.traces, 2u);
+  EXPECT_EQ(report.unmatched_ends, 0u);
+  ASSERT_EQ(report.roots.size(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    const obs::SpanNode& root = report.roots[r];
+    EXPECT_EQ(root.name, "serve.job");
+    // The two roots complete in job-finish order; match by trace id.
+    EXPECT_TRUE(root.trace == trace_ids[0] || root.trace == trace_ids[1])
+        << root.trace;
+    int stage_children = 0;
+    for (const obs::SpanNode& child : root.children) {
+      EXPECT_EQ(child.trace, root.trace);
+      if (child.name.rfind("flow.", 0) == 0) ++stage_children;
+    }
+    EXPECT_EQ(stage_children, flow::kNumStages) << "root " << root.trace;
+  }
+  EXPECT_NE(report.roots[0].trace, report.roots[1].trace);
 
   // The registry-backed metrics reply accounts for every job.
   util::Json metrics = client.request("{\"cmd\":\"metrics\"}");
